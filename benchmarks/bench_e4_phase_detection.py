@@ -1,0 +1,29 @@
+"""E4 — shader-vector phase detection across the BioShock-like series.
+
+Paper claims: phases exist in each game of the series, enabling
+extraction of small representative subsets.
+"""
+
+from repro.analysis.experiments import e4_phase_detection
+
+
+def bench_e4(benchmark, corpus, record_result):
+    result = benchmark.pedantic(
+        lambda: e4_phase_detection(corpus),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+
+    benchmark.extra_info["phases_per_game"] = {
+        row[0]: row[2] for row in result.rows
+    }
+
+    # Shape: every game exhibits repetition (intervals > phases), and the
+    # detected phases agree with the generator's script well above chance.
+    for row in result.rows:
+        game, intervals, phases, repeat, kept_pct, purity, has_phases = row
+        assert has_phases, f"{game}: no repetition found"
+        assert repeat > 1.3, f"{game}: weak repetition ({repeat})"
+        assert kept_pct < 80.0
+        assert purity > 50.0

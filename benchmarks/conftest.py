@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to a CI-scale corpus (same three games, same phase
+scripts and pass structure, fewer frames and draws).  Set
+``REPRO_FULL_SCALE=1`` to run the paper-scale corpus: 717 frames and
+~828K draw-calls across the BioShock-like trilogy.
+
+Every bench registers its :class:`ExperimentResult`; the rendered
+paper-vs-measured tables are printed in the terminal summary after the
+timing table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro import datasets
+from repro.analysis.report import ExperimentResult
+from repro.gfx.trace import Trace
+from repro.simgpu.config import GpuConfig
+
+_RESULTS: List[ExperimentResult] = []
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Dict[str, Trace]:
+    """The three-game corpus at bench scale."""
+    return datasets.bench_corpus()
+
+
+@pytest.fixture(scope="session")
+def single_game(corpus) -> Trace:
+    """One mid-weight game for single-trace experiments."""
+    return corpus["bioshock2_like"]
+
+
+@pytest.fixture(scope="session")
+def gpu_config() -> GpuConfig:
+    return GpuConfig.preset("mainstream")
+
+
+@pytest.fixture()
+def record_result():
+    """Register an ExperimentResult for the terminal summary."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        _RESULTS.append(result)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    scale = "PAPER SCALE" if datasets.full_scale_requested() else (
+        f"CI scale ({datasets.CI_FRAMES_PER_GAME} frames/game, "
+        f"content x{datasets.CI_SCALE}); set REPRO_FULL_SCALE=1 for the "
+        "717-frame / 828K-draw corpus"
+    )
+    terminalreporter.write_line(f"corpus: {scale}")
+    terminalreporter.write_line("")
+    for result in sorted(_RESULTS, key=lambda r: r.experiment_id):
+        terminalreporter.write_line(result.render())
+        terminalreporter.write_line("")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Explore a game's phase structure via shader vectors.
+
+Prints the per-interval phase timeline detected from shader-vector
+similarity, next to the generator's ground-truth segment script, and
+shows which intervals the subset keeps.
+
+Run:
+    python examples/phase_explorer.py
+"""
+
+from repro import datasets
+from repro.core.phasedetect import detect_phases, phase_purity
+from repro.core.shadervector import shader_vector
+from repro.core.subsetting import build_subset
+
+PHASE_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def main() -> None:
+    trace = datasets.load("bioshock2_like", frames=120, scale=0.15)
+    detection = detect_phases(trace, interval_length=4)
+    subset = build_subset(trace, detection)
+
+    print(f"workload: {trace.name}, {trace.num_frames} frames")
+    print(
+        f"intervals: {detection.num_intervals} x {detection.interval_length} "
+        f"frames -> {detection.num_phases} phases"
+    )
+    print()
+
+    # Phase timeline, one glyph per interval; '*' marks kept intervals.
+    kept_starts = {
+        interval.start for interval in detection.representative_intervals().values()
+    }
+    timeline = "".join(
+        PHASE_GLYPHS[phase % len(PHASE_GLYPHS)] for phase in detection.phase_ids
+    )
+    kept = "".join(
+        "*" if interval.start in kept_starts else " "
+        for interval in detection.intervals
+    )
+    print("detected phases: ", timeline)
+    print("kept intervals:  ", kept)
+
+    # Ground truth from the generator's script.
+    truth_line = []
+    segments = trace.metadata["segments"]
+    labels = {}
+    for interval in detection.intervals:
+        mid = (interval.start + interval.end) // 2
+        for row in segments:
+            if row["start"] <= mid < row["end"]:
+                label = row["phase"]
+                labels.setdefault(label, PHASE_GLYPHS[len(labels)])
+                truth_line.append(labels[label])
+                break
+    print("script (truth):  ", "".join(truth_line))
+    print()
+    for label, glyph in labels.items():
+        print(f"  {glyph} = {label}")
+    print()
+    print(f"phase purity vs script: {100 * phase_purity(detection, trace):.1f}%")
+    print(
+        f"subset keeps {subset.num_frames}/{trace.num_frames} frames "
+        f"({100 * subset.frame_fraction:.1f}%)"
+    )
+
+    # Peek at one phase's shader vector.
+    rep = detection.representative_intervals()[0]
+    vector = shader_vector(rep.frames_of(trace.frames))
+    top = sorted(vector.items(), key=lambda kv: -kv[1])[:5]
+    print()
+    print("phase A's heaviest shaders (id: draws/interval):")
+    for sid, count in top:
+        print(f"  {trace.shader(sid).name:32s} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Workload characterization: where a trace spends its time.
+
+IISWC-style reporting on top of the performance model: per-pass time
+shares, per-stage bottleneck distribution, and memory-traffic breakdown.
+Useful both to sanity-check the synthetic workloads against engine
+intuition (G-buffer heavy, post constant, shadows geometry-bound) and as
+a user-facing profiling tool for imported traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.gfx.trace import Trace
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.simulator import GpuSimulator
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregate characterization of a trace on one architecture."""
+
+    trace_name: str
+    config_name: str
+    total_time_ms: float
+    mean_fps: float
+    pass_time_share: Dict[str, float]  # pass type -> fraction of time
+    bottleneck_share: Dict[str, float]  # bottleneck name -> fraction of draws
+    bottleneck_time_share: Dict[str, float]  # -> fraction of time
+    traffic_share: Dict[str, float]  # vertex/texture/rt -> fraction of bytes
+
+    def report(self) -> str:
+        sections = [
+            f"Workload profile: {self.trace_name} on {self.config_name}",
+            f"total {self.total_time_ms:.2f} ms, mean {self.mean_fps:.1f} fps",
+            format_table(
+                ["pass", "time %"],
+                sorted(
+                    ([k, 100 * v] for k, v in self.pass_time_share.items()),
+                    key=lambda r: -r[1],
+                ),
+                precision=1,
+            ),
+            format_table(
+                ["bottleneck", "draws %", "time %"],
+                sorted(
+                    (
+                        [
+                            k,
+                            100 * self.bottleneck_share.get(k, 0.0),
+                            100 * self.bottleneck_time_share.get(k, 0.0),
+                        ]
+                        for k in set(self.bottleneck_share)
+                        | set(self.bottleneck_time_share)
+                    ),
+                    key=lambda r: -r[2],
+                ),
+                precision=1,
+            ),
+            format_table(
+                ["traffic class", "bytes %"],
+                sorted(
+                    ([k, 100 * v] for k, v in self.traffic_share.items()),
+                    key=lambda r: -r[1],
+                ),
+                precision=1,
+            ),
+        ]
+        return "\n\n".join(sections)
+
+
+def characterize_trace(trace: Trace, config: GpuConfig) -> WorkloadProfile:
+    """Profile a trace: pass shares, bottlenecks, traffic mix.
+
+    Uses the sequential simulator with per-draw detail (characterization
+    is a one-off analysis; accuracy of attribution matters more than
+    throughput here).
+    """
+    simulator = GpuSimulator(config)
+    pass_times: Counter = Counter()
+    bottleneck_draws: Counter = Counter()
+    bottleneck_time: Counter = Counter()
+    traffic: Counter = Counter()
+    total_time_ns = 0.0
+    total_draws = 0
+    for frame in trace.frames:
+        result = simulator.simulate_frame(frame, trace, keep_draw_costs=True)
+        total_time_ns += result.time_ns
+        for key, value in result.pass_times_ns.items():
+            pass_times[key] += value
+        for cost in result.draw_costs:
+            bottleneck_draws[cost.bottleneck] += 1
+            bottleneck_time[cost.bottleneck] += cost.time_ns
+            traffic["vertex"] += cost.traffic.vertex_bytes
+            traffic["texture"] += cost.traffic.texture_bytes
+            traffic["render_target"] += cost.traffic.rt_bytes
+            total_draws += 1
+
+    total_bytes = sum(traffic.values())
+    mean_frame_s = total_time_ns / trace.num_frames / 1e9
+    return WorkloadProfile(
+        trace_name=trace.name,
+        config_name=config.name,
+        total_time_ms=total_time_ns / 1e6,
+        mean_fps=1.0 / mean_frame_s,
+        pass_time_share={k: v / total_time_ns for k, v in pass_times.items()},
+        bottleneck_share={k: v / total_draws for k, v in bottleneck_draws.items()},
+        bottleneck_time_share={
+            k: v / total_time_ns for k, v in bottleneck_time.items()
+        },
+        traffic_share=(
+            {k: v / total_bytes for k, v in traffic.items()}
+            if total_bytes > 0
+            else {k: 0.0 for k in traffic}
+        ),
+    )

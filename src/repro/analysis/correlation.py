@@ -1,0 +1,95 @@
+"""Frequency-scaling correlation: the paper's subset-validation method.
+
+A subset is trustworthy for pathfinding when its response to an
+architecture change tracks the parent's.  The paper scales GPU core
+frequency and correlates the subset's performance-improvement curve with
+the parent's, reporting r >= 0.997 for subsets under 1% of the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.subsetting import WorkloadSubset
+from repro.gfx.trace import Trace
+from repro.simgpu.batch import precompute_trace, simulate_trace_batch
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.dvfs import DEFAULT_CLOCKS_MHZ
+from repro.util.stats import pearson_correlation
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Parent-vs-subset frequency-scaling curves and their correlation."""
+
+    trace_name: str
+    subset_method: str
+    clocks_mhz: Tuple[float, ...]
+    parent_times_ns: Tuple[float, ...]
+    subset_estimated_times_ns: Tuple[float, ...]
+
+    @staticmethod
+    def _improvements(times: Sequence[float]) -> Tuple[float, ...]:
+        base = times[0]
+        return tuple(100.0 * (base / t - 1.0) for t in times[1:])
+
+    @property
+    def parent_improvements_percent(self) -> Tuple[float, ...]:
+        return self._improvements(self.parent_times_ns)
+
+    @property
+    def subset_improvements_percent(self) -> Tuple[float, ...]:
+        return self._improvements(self.subset_estimated_times_ns)
+
+    @property
+    def correlation(self) -> float:
+        """Pearson r between the two improvement curves (paper: >= 0.997)."""
+        return pearson_correlation(
+            self.parent_improvements_percent, self.subset_improvements_percent
+        )
+
+    @property
+    def max_improvement_gap_points(self) -> float:
+        """Largest absolute gap between the curves, in percentage points."""
+        return max(
+            abs(a - b)
+            for a, b in zip(
+                self.parent_improvements_percent, self.subset_improvements_percent
+            )
+        )
+
+
+def subset_parent_correlation(
+    trace: Trace,
+    subset: WorkloadSubset,
+    base_config: GpuConfig,
+    clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
+) -> CorrelationResult:
+    """Sweep core clocks on parent and subset; package both curves.
+
+    The subset side simulates *only* the subset trace at each clock and
+    scales by the subset weights — the exact reduced workflow a
+    pathfinding team would run.
+    """
+    subset_trace = subset.materialize(trace)
+    parent_precomp = precompute_trace(trace)
+    subset_precomp = precompute_trace(subset_trace)
+    parent_times = []
+    subset_times = []
+    for clock in clocks_mhz:
+        config = base_config.with_core_clock(clock)
+        parent_times.append(
+            simulate_trace_batch(trace, config, parent_precomp).total_time_ns
+        )
+        subset_result = simulate_trace_batch(subset_trace, config, subset_precomp)
+        subset_times.append(
+            subset.estimate_total_time_ns(subset_result.frame_times_ns)
+        )
+    return CorrelationResult(
+        trace_name=trace.name,
+        subset_method=subset.method,
+        clocks_mhz=tuple(clocks_mhz),
+        parent_times_ns=tuple(parent_times),
+        subset_estimated_times_ns=tuple(subset_times),
+    )

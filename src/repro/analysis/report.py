@@ -1,0 +1,60 @@
+"""Experiment result records and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    ``paper_values`` states the abstract's corresponding claims so every
+    printout shows paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+    paper_values: Tuple[Tuple[str, str], ...] = ()
+    notes: str = ""
+    precision: int = 3
+    figure: str = ""  # pre-rendered ascii figure (for figure-style results)
+
+    def render(self) -> str:
+        parts = [
+            format_table(
+                list(self.headers),
+                [list(r) for r in self.rows],
+                title=f"[{self.experiment_id}] {self.title}",
+                precision=self.precision,
+            )
+        ]
+        if self.figure:
+            parts.append(self.figure)
+        if self.paper_values:
+            parts.append("paper reference:")
+            for key, value in self.paper_values:
+                parts.append(f"  {key}: {value}")
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "paper_values": dict(self.paper_values),
+            "notes": self.notes,
+        }
+
+    def column(self, header: str) -> List[object]:
+        """One column's values, by header name (for tests and plots)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]

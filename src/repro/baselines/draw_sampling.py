@@ -1,0 +1,85 @@
+"""Draw-level sampling baselines.
+
+Each returns a :class:`DrawSample` — kept draw indices and per-draw
+weights — at a caller-chosen budget, so comparisons against clustering
+(E8) hold the number of simulated draws equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SubsetError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class DrawSample:
+    """Kept draw indices and the weight each carries in prediction."""
+
+    indices: Tuple[int, ...]
+    weights: Tuple[float, ...]
+    method: str
+
+    @property
+    def budget(self) -> int:
+        return len(self.indices)
+
+    def predict_time_ns(self, draw_times_ns: Sequence[float]) -> float:
+        """Weighted estimate of the frame time from sampled draw times.
+
+        ``draw_times_ns`` are the times of *all* the frame's draws; only
+        the sampled indices are read (a deployment would simulate only
+        those).
+        """
+        times = np.asarray(draw_times_ns, dtype=float)
+        picked = times[np.array(self.indices, dtype=int)]
+        return float(picked @ np.asarray(self.weights))
+
+
+def _check_budget(num_draws: int, budget: int) -> None:
+    if num_draws <= 0:
+        raise SubsetError(f"num_draws must be > 0, got {num_draws}")
+    if not 1 <= budget <= num_draws:
+        raise SubsetError(
+            f"budget must be in [1, {num_draws}], got {budget}"
+        )
+
+
+def random_draw_sample(num_draws: int, budget: int, seed: int = 0) -> DrawSample:
+    """Uniform random sample; every kept draw stands for n/budget draws."""
+    _check_budget(num_draws, budget)
+    rng = make_rng(seed, "random-draws", num_draws, budget)
+    indices = np.sort(rng.choice(num_draws, size=budget, replace=False))
+    weight = num_draws / budget
+    return DrawSample(
+        indices=tuple(int(i) for i in indices),
+        weights=(weight,) * budget,
+        method="random",
+    )
+
+
+def systematic_draw_sample(num_draws: int, budget: int) -> DrawSample:
+    """Every-Nth sampling with even coverage of the frame."""
+    _check_budget(num_draws, budget)
+    positions = np.floor(np.arange(budget) * num_draws / budget).astype(int)
+    weight = num_draws / budget
+    return DrawSample(
+        indices=tuple(int(i) for i in positions),
+        weights=(weight,) * budget,
+        method="systematic",
+    )
+
+
+def first_n_draw_sample(num_draws: int, budget: int) -> DrawSample:
+    """Keep the first ``budget`` draws — the naive truncation baseline."""
+    _check_budget(num_draws, budget)
+    weight = num_draws / budget
+    return DrawSample(
+        indices=tuple(range(budget)),
+        weights=(weight,) * budget,
+        method="first_n",
+    )

@@ -1,0 +1,33 @@
+"""Periodic frame sampling — the classic workload-reduction baseline."""
+
+from __future__ import annotations
+
+from repro.core.subsetting import WorkloadSubset
+from repro.errors import SubsetError
+from repro.gfx.trace import Trace
+
+
+def every_nth_frame_subset(trace: Trace, stride: int) -> WorkloadSubset:
+    """Keep frames 0, stride, 2*stride, ...; each stands for its window.
+
+    The last kept frame's weight covers the (possibly shorter) tail so the
+    weights sum to the parent's frame count.
+    """
+    if stride < 1:
+        raise SubsetError(f"stride must be >= 1, got {stride}")
+    positions = list(range(0, trace.num_frames, stride))
+    weights = []
+    for i, position in enumerate(positions):
+        window_end = positions[i + 1] if i + 1 < len(positions) else trace.num_frames
+        weights.append(float(window_end - position))
+    subset_draws = sum(trace.frames[p].num_draws for p in positions)
+    return WorkloadSubset(
+        parent_name=trace.name,
+        detection=None,
+        frame_positions=tuple(positions),
+        frame_weights=tuple(weights),
+        parent_num_frames=trace.num_frames,
+        parent_num_draws=trace.num_draws,
+        subset_num_draws=subset_draws,
+        method=f"every_{stride}th_frame",
+    )

@@ -1,0 +1,80 @@
+"""A SimPoint analog at frame granularity.
+
+SimPoint clusters instruction-stream intervals on basic-block vectors
+with BIC-selected k-means and keeps each cluster's medoid.  The natural
+transplant to 3D workloads treats each frame as an interval and its
+shader vector (draw counts per shader) as the BBV.  This is the closest
+prior-art baseline to the paper's phase-equality method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.distance import euclidean_to_point
+from repro.core.kselect import select_k_bic
+from repro.core.shadervector import shader_vector
+from repro.core.subsetting import WorkloadSubset
+from repro.errors import SubsetError
+from repro.gfx.trace import Trace
+
+
+def frame_shader_matrix(trace: Trace) -> np.ndarray:
+    """(num_frames, num_shaders) matrix of per-frame shader draw counts."""
+    shader_ids = sorted(trace.shaders)
+    column = {sid: j for j, sid in enumerate(shader_ids)}
+    matrix = np.zeros((trace.num_frames, len(shader_ids)))
+    for i, frame in enumerate(trace.frames):
+        for sid, count in shader_vector([frame]).items():
+            matrix[i, column[sid]] = count
+    return matrix
+
+
+def simpoint_frames_subset(
+    trace: Trace,
+    k_candidates: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> WorkloadSubset:
+    """Cluster frames on shader vectors, keep each cluster's medoid frame."""
+    matrix = frame_shader_matrix(trace)
+    n = trace.num_frames
+    if n < 2:
+        raise SubsetError("SimPoint-style subsetting needs at least two frames")
+    if k_candidates is None:
+        k_candidates = [k for k in (1, 2, 4, 8, 16, 32) if k <= n]
+    # Normalize rows so frame 'size' doesn't dominate shape (SimPoint
+    # normalizes BBVs the same way).
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    normalized = matrix / row_sums
+    selection = select_k_bic(normalized, k_candidates, seed=seed)
+    labels = selection.result.labels
+
+    positions = []
+    weights = []
+    for cluster in range(selection.k):
+        member_rows = np.nonzero(labels == cluster)[0]
+        if member_rows.size == 0:
+            continue
+        centroid = normalized[member_rows].mean(axis=0)
+        dists = euclidean_to_point(normalized[member_rows], centroid)
+        medoid = int(member_rows[int(np.argmin(dists))])
+        positions.append(medoid)
+        weights.append(float(member_rows.size))
+    order = np.argsort(positions)
+    positions = [positions[i] for i in order]
+    weights = [weights[i] for i in order]
+
+    subset_draws = sum(trace.frames[p].num_draws for p in positions)
+    return WorkloadSubset(
+        parent_name=trace.name,
+        detection=None,
+        frame_positions=tuple(positions),
+        frame_weights=tuple(weights),
+        parent_num_frames=n,
+        parent_num_draws=trace.num_draws,
+        subset_num_draws=subset_draws,
+        method="simpoint_frames",
+    )

@@ -1,0 +1,328 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --game bioshock1_like --frames 120 -o trace.jsonl
+    repro info      trace.jsonl
+    repro simulate  trace.jsonl --preset mainstream
+    repro subset    trace.jsonl --preset mainstream --radius 0.16
+    repro sweep     trace.jsonl --preset mainstream
+    repro experiment e1 [--full-scale]   # e1..e9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import datasets
+from repro.analysis import experiments
+from repro.core.cluster_frame import DEFAULT_RADIUS
+from repro.core.phasedetect import DEFAULT_INTERVAL_LENGTH, DEFAULT_TOLERANCE
+from repro.core.pipeline import SubsettingPipeline
+from repro.core.subsetting import build_subset
+from repro.errors import ReproError
+from repro.gfx.traceio import load_trace_auto as load_trace
+from repro.gfx.traceio import save_trace_auto as save_trace
+from repro.simgpu.batch import simulate_trace_batch
+from repro.simgpu.config import GpuConfig
+from repro.synth.generator import generate_trace
+from repro.synth.profiles import BIOSHOCK_SERIES
+from repro.util.tables import format_table
+
+EXPERIMENT_RUNNERS = (
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "3D workload subsetting for GPU architecture pathfinding "
+            "(IISWC 2015 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic game trace")
+    gen.add_argument("--game", choices=BIOSHOCK_SERIES, default=BIOSHOCK_SERIES[0])
+    gen.add_argument("--frames", type=int, default=None)
+    gen.add_argument("--seed", type=int, default=datasets.DEFAULT_SEED)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("-o", "--output", required=True)
+
+    info = sub.add_parser("info", help="print statistics of a trace file")
+    info.add_argument("trace")
+
+    sim = sub.add_parser("simulate", help="simulate a trace on a GPU preset")
+    sim.add_argument("trace")
+    sim.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+
+    subset = sub.add_parser(
+        "subset", help="run the full subsetting methodology on a trace"
+    )
+    subset.add_argument("trace")
+    subset.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+    subset.add_argument("--radius", type=float, default=DEFAULT_RADIUS)
+    subset.add_argument(
+        "--interval-length", type=int, default=DEFAULT_INTERVAL_LENGTH
+    )
+    subset.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    subset.add_argument(
+        "--save-subset", default=None, help="write the subset trace here"
+    )
+    subset.add_argument(
+        "--save-def",
+        default=None,
+        help="write the subset definition (positions + weights) as JSON",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="pathfinding sweep: parent vs subset over candidates"
+    )
+    sweep.add_argument("trace")
+    sweep.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+
+    estimate = sub.add_parser(
+        "estimate",
+        help="estimate a parent's time from a saved subset definition",
+    )
+    estimate.add_argument("trace", help="the parent trace file")
+    estimate.add_argument("subset", help="subset JSON from 'subset --save-def'")
+    estimate.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+
+    characterize = sub.add_parser(
+        "characterize",
+        help="profile a trace: pass/bottleneck/traffic breakdown",
+    )
+    characterize.add_argument("trace")
+    characterize.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the full trust checklist on a saved subset definition",
+    )
+    validate.add_argument("trace", help="the parent trace file")
+    validate.add_argument("subset", help="subset JSON from 'subset --save-def'")
+    validate.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+
+    exp = sub.add_parser("experiment", help="run a canned experiment (E1-E9)")
+    exp.add_argument("id", choices=EXPERIMENT_RUNNERS)
+    exp.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use the paper-scale corpus (717 frames / ~828K draws)",
+    )
+    exp.add_argument("--seed", type=int, default=datasets.DEFAULT_SEED)
+    return parser
+
+
+def _corpus(args) -> dict:
+    if args.full_scale:
+        return datasets.paper_corpus(seed=args.seed)
+    return datasets.bench_corpus(seed=args.seed)
+
+
+def _cmd_generate(args) -> int:
+    trace = generate_trace(
+        args.game, num_frames=args.frames, seed=args.seed, scale=args.scale
+    )
+    save_trace(trace, args.output)
+    stats = trace.stats()
+    print(
+        f"wrote {args.output}: {stats.num_frames} frames, "
+        f"{stats.num_draws} draws, {stats.num_shaders} shaders"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    trace = load_trace(args.trace)
+    stats = trace.stats()
+    rows = [[key, value] for key, value in stats.as_dict().items()]
+    print(format_table(["stat", "value"], rows, title=trace.name))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = load_trace(args.trace)
+    config = GpuConfig.preset(args.preset)
+    result = simulate_trace_batch(trace, config)
+    print(
+        f"{trace.name} on {config.name}: total {result.total_time_ms:.2f} ms, "
+        f"mean {result.mean_fps:.1f} fps over {trace.num_frames} frames"
+    )
+    return 0
+
+
+def _cmd_subset(args) -> int:
+    trace = load_trace(args.trace)
+    config = GpuConfig.preset(args.preset)
+    pipeline = SubsettingPipeline(
+        radius=args.radius,
+        interval_length=args.interval_length,
+        phase_tolerance=args.tolerance,
+    )
+    result = pipeline.run(trace, config)
+    print(result.report())
+    if args.save_subset:
+        subset_trace = result.subset.materialize(trace)
+        save_trace(subset_trace, args.save_subset)
+        print(f"subset trace written to {args.save_subset}")
+    if args.save_def:
+        from repro.core.subsetio import save_subset as save_subset_def
+
+        save_subset_def(result.subset, args.save_def)
+        print(f"subset definition written to {args.save_def}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.core.subsetio import check_subset_against, load_subset
+    from repro.simgpu.batch import simulate_trace_batch as _simulate
+
+    trace = load_trace(args.trace)
+    subset = load_subset(args.subset)
+    check_subset_against(subset, trace)
+    config = GpuConfig.preset(args.preset)
+    estimate_ns = subset.estimate_on_config(trace, config)
+    actual_ns = _simulate(trace, config).total_time_ns
+    error = abs(estimate_ns - actual_ns) / actual_ns
+    print(
+        f"{trace.name} on {config.name}: subset estimate "
+        f"{estimate_ns / 1e6:.2f} ms vs full {actual_ns / 1e6:.2f} ms "
+        f"({100 * error:.2f}% error, {subset.num_frames}/{trace.num_frames} "
+        "frames simulated)"
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis.characterize import characterize_trace
+
+    trace = load_trace(args.trace)
+    config = GpuConfig.preset(args.preset)
+    print(characterize_trace(trace, config).report())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis.validation import validate_subset
+    from repro.core.subsetio import check_subset_against, load_subset
+
+    trace = load_trace(args.trace)
+    subset = load_subset(args.subset)
+    check_subset_against(subset, trace)
+    config = GpuConfig.preset(args.preset)
+    validation = validate_subset(trace, subset, config)
+    print(validation.report())
+    return 0 if validation.passed else 2
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import pathfinding_sweep
+
+    trace = load_trace(args.trace)
+    subset = build_subset(trace)
+    result = pathfinding_sweep(trace, subset)
+    rows = [
+        [name, parent / 1e6, estimate / 1e6]
+        for name, parent, estimate in zip(
+            result.config_names,
+            result.parent_times_ns,
+            result.subset_estimated_times_ns,
+        )
+    ]
+    print(
+        format_table(
+            ["config", "parent ms", "subset-estimated ms"],
+            rows,
+            title=f"Pathfinding sweep on {trace.name}",
+        )
+    )
+    print(f"ranking agreement (spearman): {result.ranking_agreement:.4f}")
+    print(f"winner agrees: {result.winner_agrees()}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    config = GpuConfig.preset("mainstream")
+    experiment_id = args.id
+    if experiment_id in ("e1", "e2", "e4", "e6", "e9", "e10"):
+        traces = _corpus(args)
+        runner = {
+            "e1": lambda: experiments.e1_clustering_accuracy(traces, config),
+            "e2": lambda: experiments.e2_cluster_outliers(traces, config),
+            "e4": lambda: experiments.e4_phase_detection(traces),
+            "e6": lambda: experiments.e6_frequency_correlation(traces, config),
+            "e9": lambda: experiments.e9_cross_architecture_transfer(traces),
+            "e10": lambda: experiments.e10_phase_signal_stability(traces),
+        }[experiment_id]
+        print(runner().render())
+        return 0
+    if experiment_id == "e5":
+        print(experiments.e5_subset_size("bioshock1_like", config).render())
+        return 0
+    # single-game experiments
+    scale = 1.0 if args.full_scale else datasets.CI_SCALE
+    frames = (
+        datasets.PAPER_FRAMES_PER_GAME
+        if args.full_scale
+        else datasets.CI_FRAMES_PER_GAME
+    )
+    trace = datasets.load(
+        "bioshock2_like", frames=frames, seed=args.seed, scale=scale
+    )
+    runner = {
+        "e3": lambda: experiments.e3_error_efficiency_tradeoff(trace, config),
+        "e7": lambda: experiments.e7_ablations(trace, config),
+        "e8": lambda: experiments.e8_baselines(trace, config),
+    }[experiment_id]
+    print(runner().render())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "simulate": _cmd_simulate,
+    "subset": _cmd_subset,
+    "sweep": _cmd_sweep,
+    "estimate": _cmd_estimate,
+    "validate": _cmd_validate,
+    "characterize": _cmd_characterize,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Micro-architecture-independent draw-call characteristics.
+
+These are the clustering features of the paper's first contribution.
+Every entry is observable from the API stream alone — geometry counts,
+static shader instruction mix, texture demands, render-target traffic,
+fixed-function state — and none depends on any GPU's cache sizes, core
+counts, or clocks.  Count-like features are log-compressed so a 10x and
+a 11x-vertex draw are near, while a 10x and a 10000x draw are far.
+
+Deliberately absent (they are micro-architecture *dependent*): register
+pressure / occupancy, cache warmth, position in the frame, and any
+simulated cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.frame import Frame
+from repro.gfx.trace import Trace
+
+FEATURE_NAMES = (
+    "log_vertices",
+    "log_primitives",
+    "log_pixels_rasterized",
+    "log_pixels_shaded",
+    "vs_alu_ops",
+    "vs_tex_ops",
+    "ps_alu_ops",
+    "ps_tex_ops",
+    "interpolants",
+    "log_texture_footprint",
+    "num_textures",
+    "rt_bytes_per_pixel",
+    "num_render_targets",
+    "log_vertex_stride",
+    "log_instances",
+    "depth_reads",
+    "depth_writes",
+    "blend_reads_dest",
+    "cull_disabled",
+)
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+class FeatureExtractor:
+    """Extracts feature vectors/matrices for the draws of one trace.
+
+    Shader- and texture-derived sub-vectors are cached per id, so paper-
+    scale corpora extract quickly.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._shader_cache: Dict[int, np.ndarray] = {}
+        self._footprint_cache: Dict[tuple, float] = {}
+        self._rt_bpp_cache: Dict[tuple, float] = {}
+
+    def extract(self, draw: DrawCall) -> np.ndarray:
+        """The feature vector of one draw (length ``NUM_FEATURES``)."""
+        row = np.empty(NUM_FEATURES)
+        row[0] = math.log1p(draw.total_vertices)
+        row[1] = math.log1p(draw.primitive_count)
+        row[2] = math.log1p(draw.pixels_rasterized)
+        row[3] = math.log1p(draw.pixels_shaded)
+        row[4:9] = self._shader_features(draw.shader_id)
+        row[9] = math.log1p(self._footprint(draw.texture_ids))
+        row[10] = len(draw.texture_ids)
+        row[11] = self._rt_bytes_per_pixel(draw.render_target_ids)
+        row[12] = len(draw.render_target_ids)
+        row[13] = math.log1p(draw.vertex_stride_bytes)
+        row[14] = math.log1p(draw.instance_count)
+        row[15] = 1.0 if draw.state.depth.reads_depth else 0.0
+        row[16] = 1.0 if draw.state.depth.writes_depth else 0.0
+        row[17] = 1.0 if draw.state.blend.reads_destination else 0.0
+        row[18] = 1.0 if draw.state.cull.value == "none" else 0.0
+        return row
+
+    def frame_matrix(self, frame: Frame) -> np.ndarray:
+        """Feature matrix of a frame: (num_draws, NUM_FEATURES)."""
+        draws = frame.draw_list
+        if not draws:
+            raise ValidationError(f"frame {frame.index} has no draws")
+        return self.draws_matrix(draws)
+
+    def draws_matrix(self, draws: Sequence[DrawCall]) -> np.ndarray:
+        """Feature matrix for an arbitrary draw sequence."""
+        matrix = np.empty((len(draws), NUM_FEATURES))
+        for i, draw in enumerate(draws):
+            matrix[i] = self.extract(draw)
+        return matrix
+
+    def trace_matrices(self) -> List[np.ndarray]:
+        """One feature matrix per frame, for the whole trace."""
+        return [self.frame_matrix(frame) for frame in self.trace.frames]
+
+    # -- cached lookups ------------------------------------------------------
+
+    def _shader_features(self, shader_id: int) -> np.ndarray:
+        cached = self._shader_cache.get(shader_id)
+        if cached is None:
+            shader = self.trace.shader(shader_id)
+            cached = np.array(
+                [
+                    float(shader.vertex.alu_ops),
+                    float(shader.vertex.tex_ops),
+                    float(shader.pixel.alu_ops),
+                    float(shader.pixel.tex_ops),
+                    float(shader.pixel.interpolants),
+                ]
+            )
+            self._shader_cache[shader_id] = cached
+        return cached
+
+    def _footprint(self, texture_ids: tuple) -> float:
+        cached = self._footprint_cache.get(texture_ids)
+        if cached is None:
+            cached = float(
+                sum(self.trace.texture(tid).byte_size for tid in texture_ids)
+            )
+            self._footprint_cache[texture_ids] = cached
+        return cached
+
+    def _rt_bytes_per_pixel(self, target_ids: tuple) -> float:
+        cached = self._rt_bpp_cache.get(target_ids)
+        if cached is None:
+            cached = float(
+                sum(
+                    self.trace.render_target(rid).bytes_per_pixel
+                    for rid in target_ids
+                )
+            )
+            self._rt_bpp_cache[target_ids] = cached
+        return cached

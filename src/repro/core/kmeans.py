@@ -1,0 +1,105 @@
+"""k-means clustering (k-means++ initialization, Lloyd iterations).
+
+Implemented from scratch on numpy; deterministic given a seed.  Used by
+the SimPoint-analog baseline, the E7 algorithm ablation, and
+:mod:`repro.core.kselect`'s BIC-driven k search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import cdist_euclidean, euclidean_to_point
+from repro.errors import ClusteringError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Labels, centers, and the final within-cluster sum of squares."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def _plus_plus_init(matrix: np.ndarray, k: int, rng) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = matrix.shape[0]
+    centers = np.empty((k, matrix.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = matrix[first]
+    closest_sq = euclidean_to_point(matrix, centers[0]) ** 2
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total == 0.0:
+            # All remaining points coincide with a center; any pick works.
+            centers[j] = matrix[int(rng.integers(0, n))]
+            continue
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centers[j] = matrix[pick]
+        dist_sq = euclidean_to_point(matrix, centers[j]) ** 2
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster rows of ``matrix`` into ``k`` groups.
+
+    Empty clusters are reseeded to the point farthest from its center,
+    so the result always has exactly ``k`` non-empty clusters (when
+    ``k <= n``).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError(
+            f"matrix must be a non-empty 2-D array, got shape {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k must be in [1, {n}], got {k}")
+
+    rng = make_rng(seed, "kmeans", n, k)
+    centers = _plus_plus_init(matrix, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    previous_inertia = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = cdist_euclidean(matrix, centers)
+        labels = distances.argmin(axis=1)
+        row_index = np.arange(n)
+        inertia = float((distances[row_index, labels] ** 2).sum())
+        for j in range(k):
+            members = labels == j
+            if members.any():
+                centers[j] = matrix[members].mean(axis=0)
+            else:
+                # Reseed on the current worst-fitted point.
+                worst = int(distances[row_index, labels].argmax())
+                centers[j] = matrix[worst]
+                labels[worst] = j
+        if previous_inertia - inertia <= tolerance * max(previous_inertia, 1.0):
+            previous_inertia = inertia
+            break
+        previous_inertia = inertia
+
+    return KMeansResult(
+        labels=labels,
+        centers=centers,
+        inertia=previous_inertia,
+        iterations=iterations,
+    )

@@ -1,0 +1,77 @@
+"""Leader (radius) clustering — the pipeline's default grouping algorithm.
+
+A single deterministic pass: each point joins the nearest existing leader
+within ``radius``, or founds a new cluster.  No k to choose up front, and
+the radius directly expresses the paper's notion of "performance
+similarity": draws whose normalized characteristics differ by less than
+the radius are presumed to perform alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.distance import euclidean_to_point
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class LeaderResult:
+    """Labels plus the leader (founder) index of each cluster."""
+
+    labels: np.ndarray  # (n,) cluster id per point
+    leader_indices: np.ndarray  # (k,) row index of each cluster's founder
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.leader_indices)
+
+
+def leader_cluster(matrix: np.ndarray, radius: float) -> LeaderResult:
+    """Cluster rows of ``matrix`` with the leader algorithm.
+
+    Points are processed in row order (submission order for draws), which
+    makes the result deterministic and order-sensitive in the same way a
+    streaming implementation in a real tool would be.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError(
+            f"matrix must be a non-empty 2-D array, got shape {matrix.shape}"
+        )
+    if not radius > 0:
+        raise ClusteringError(f"radius must be > 0, got {radius}")
+
+    n = matrix.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    leader_rows: List[np.ndarray] = []
+    leader_indices: List[int] = []
+    leader_matrix = np.empty((0, matrix.shape[1]))
+    # Rebuilding the leader matrix every append is O(k^2); grow in blocks.
+    capacity = 0
+    count = 0
+
+    for i in range(n):
+        if count:
+            dists = euclidean_to_point(leader_matrix[:count], matrix[i])
+            nearest = int(np.argmin(dists))
+            if dists[nearest] <= radius:
+                labels[i] = nearest
+                continue
+        if count == capacity:
+            capacity = max(16, capacity * 2)
+            grown = np.empty((capacity, matrix.shape[1]))
+            grown[:count] = leader_matrix[:count]
+            leader_matrix = grown
+        leader_matrix[count] = matrix[i]
+        leader_rows.append(matrix[i])
+        leader_indices.append(i)
+        labels[i] = count
+        count += 1
+
+    return LeaderResult(
+        labels=labels, leader_indices=np.array(leader_indices, dtype=np.int64)
+    )

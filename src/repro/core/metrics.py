@@ -1,0 +1,99 @@
+"""Clustering-quality metrics: the quantities the paper's tables report.
+
+- per-frame performance prediction error (paper: 1.0% average)
+- clustering efficiency (paper: 65.8% average)
+- cluster outliers: clusters whose intra-cluster prediction error
+  exceeds 20% (paper: 3.0% of clusters on average)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cluster_frame import FrameClustering
+from repro.errors import ValidationError
+
+OUTLIER_ERROR_THRESHOLD = 0.20
+
+
+def clustering_efficiency(num_draws: int, num_clusters: int) -> float:
+    """Fraction of per-draw simulations avoided by clustering."""
+    if num_draws <= 0:
+        raise ValidationError(f"num_draws must be > 0, got {num_draws}")
+    if not 0 < num_clusters <= num_draws:
+        raise ValidationError(
+            f"num_clusters must be in [1, {num_draws}], got {num_clusters}"
+        )
+    return 1.0 - num_clusters / num_draws
+
+
+def frame_prediction_error(actual_ns: float, predicted_ns: float) -> float:
+    """Relative frame-time prediction error (fraction)."""
+    if actual_ns <= 0:
+        raise ValidationError(f"actual_ns must be > 0, got {actual_ns}")
+    return abs(predicted_ns - actual_ns) / actual_ns
+
+
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Intra-cluster coherence of one frame's clustering."""
+
+    intra_cluster_errors: Tuple[float, ...]
+    outlier_threshold: float
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.intra_cluster_errors)
+
+    @property
+    def num_outliers(self) -> int:
+        return sum(
+            1 for e in self.intra_cluster_errors if e > self.outlier_threshold
+        )
+
+    @property
+    def outlier_rate(self) -> float:
+        return self.num_outliers / self.num_clusters
+
+
+def cluster_quality(
+    clustering: FrameClustering,
+    draw_times_ns: Sequence[float],
+    outlier_threshold: float = OUTLIER_ERROR_THRESHOLD,
+) -> ClusterQuality:
+    """Per-cluster prediction error against ground-truth draw times.
+
+    A cluster's intra-cluster prediction error is
+    ``|population x t_rep - sum(t_members)| / sum(t_members)`` — how far
+    scaling the representative misses the cluster's true total.
+    """
+    times = np.asarray(draw_times_ns, dtype=float)
+    if times.shape[0] != clustering.num_draws:
+        raise ValidationError(
+            f"draw_times covers {times.shape[0]} draws but clustering has "
+            f"{clustering.num_draws}"
+        )
+    if np.any(times <= 0):
+        raise ValidationError("draw times must be strictly positive")
+    errors = []
+    for cluster in range(clustering.num_clusters):
+        member_times = times[clustering.labels == cluster]
+        true_total = float(member_times.sum())
+        rep_time = float(times[int(clustering.representatives[cluster])])
+        estimated = rep_time * member_times.shape[0]
+        errors.append(abs(estimated - true_total) / true_total)
+    return ClusterQuality(
+        intra_cluster_errors=tuple(errors), outlier_threshold=outlier_threshold
+    )
+
+
+def cluster_outlier_rate(
+    clustering: FrameClustering,
+    draw_times_ns: Sequence[float],
+    outlier_threshold: float = OUTLIER_ERROR_THRESHOLD,
+) -> float:
+    """Fraction of clusters whose intra-cluster error exceeds the threshold."""
+    return cluster_quality(clustering, draw_times_ns, outlier_threshold).outlier_rate

@@ -1,0 +1,73 @@
+"""Feature normalization.
+
+Clustering distances are meaningless when features live on wildly
+different scales (log-pixels vs ALU counts vs 0/1 flags).  The paper
+clusters per frame, so the default workflow fits a normalizer on each
+frame's feature matrix.  Zero-variance columns normalize to exactly zero
+so constant features never contribute distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.util.validation import check_in
+
+METHODS = ("zscore", "minmax", "none")
+
+
+class Normalizer:
+    """Fit/transform feature matrices with a chosen scheme."""
+
+    def __init__(self, method: str = "zscore") -> None:
+        check_in("method", method, METHODS)
+        self.method = method
+        self._center: np.ndarray = np.empty(0)
+        self._scale: np.ndarray = np.empty(0)
+        self._fitted = False
+
+    def fit(self, matrix: np.ndarray) -> "Normalizer":
+        """Learn per-column statistics from ``matrix``."""
+        matrix = _check_matrix(matrix)
+        if self.method == "zscore":
+            self._center = matrix.mean(axis=0)
+            self._scale = matrix.std(axis=0)
+        elif self.method == "minmax":
+            self._center = matrix.min(axis=0)
+            self._scale = matrix.max(axis=0) - self._center
+        else:  # none
+            self._center = np.zeros(matrix.shape[1])
+            self._scale = np.ones(matrix.shape[1])
+        # Constant columns carry no information; map them to zero.
+        self._scale = np.where(self._scale == 0.0, np.inf, self._scale)
+        self._fitted = True
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the fitted statistics to ``matrix``."""
+        if not self._fitted:
+            raise ValidationError("Normalizer.transform called before fit")
+        matrix = _check_matrix(matrix)
+        if matrix.shape[1] != self._center.shape[0]:
+            raise ValidationError(
+                f"matrix has {matrix.shape[1]} columns but normalizer was "
+                f"fitted on {self._center.shape[0]}"
+            )
+        return (matrix - self._center) / self._scale
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+def _check_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"feature matrix must be 2-D, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] == 0:
+        raise ValidationError("feature matrix must have at least one row")
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError("feature matrix contains non-finite values")
+    return matrix

@@ -1,0 +1,127 @@
+"""Online phase detection (extension beyond the paper).
+
+The offline detector (:mod:`repro.core.phasedetect`) needs the whole
+capture.  A capture tool wants the opposite: while the game runs, decide
+per interval — is this a phase we have already recorded, or new behaviour
+worth keeping?  :class:`OnlinePhaseDetector` ingests frames one at a
+time, closes intervals as they fill, matches each against the phases
+seen so far (same shader-vector similarity rule as offline), and reports
+a keep/skip decision per interval.
+
+Feeding the frames of a trace in order reproduces the offline detector's
+phase sequence exactly, since the offline similarity mode is itself a
+greedy first-match scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.shadervector import relative_l1_distance, shader_vector
+from repro.errors import PhaseDetectionError
+from repro.gfx.frame import Frame
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class IntervalDecision:
+    """The detector's verdict on one completed interval."""
+
+    interval_index: int
+    start_frame: int
+    end_frame: int
+    phase: int
+    is_new_phase: bool
+
+    @property
+    def keep(self) -> bool:
+        """Capture-tool policy: record only the first interval of a phase."""
+        return self.is_new_phase
+
+
+class OnlinePhaseDetector:
+    """Streaming shader-vector phase classification."""
+
+    def __init__(self, interval_length: int = 4, tolerance: float = 0.10) -> None:
+        check_positive("interval_length", interval_length)
+        if tolerance < 0:
+            raise PhaseDetectionError(f"tolerance must be >= 0, got {tolerance}")
+        self.interval_length = interval_length
+        self.tolerance = tolerance
+        self._founders: List[Dict[int, int]] = []
+        self._founder_lengths: List[int] = []
+        self._pending: List[Frame] = []
+        self._frames_seen = 0
+        self._intervals_closed = 0
+        self._decisions: List[IntervalDecision] = []
+
+    @property
+    def num_phases(self) -> int:
+        return len(self._founders)
+
+    @property
+    def decisions(self) -> List[IntervalDecision]:
+        return list(self._decisions)
+
+    @property
+    def frames_kept(self) -> int:
+        return sum(
+            d.end_frame - d.start_frame for d in self._decisions if d.keep
+        )
+
+    def feed(self, frame: Frame) -> Optional[IntervalDecision]:
+        """Ingest one frame; returns a decision when an interval closes."""
+        if not isinstance(frame, Frame):
+            raise PhaseDetectionError(
+                f"feed expects a Frame, got {type(frame).__name__}"
+            )
+        self._pending.append(frame)
+        self._frames_seen += 1
+        if len(self._pending) < self.interval_length:
+            return None
+        return self._close_interval()
+
+    def finish(self) -> Optional[IntervalDecision]:
+        """Close a trailing partial interval, if any frames are pending."""
+        if not self._pending:
+            return None
+        return self._close_interval()
+
+    # -- internals -----------------------------------------------------------
+
+    def _close_interval(self) -> IntervalDecision:
+        frames = self._pending
+        self._pending = []
+        vector = shader_vector(frames)
+        matched: Optional[int] = None
+        for phase, founder in enumerate(self._founders):
+            scaled = _scale(founder, len(frames), self._founder_lengths[phase])
+            if relative_l1_distance(vector, scaled) <= self.tolerance:
+                matched = phase
+                break
+        is_new = matched is None
+        if is_new:
+            self._founders.append(vector)
+            self._founder_lengths.append(len(frames))
+            matched = len(self._founders) - 1
+        end = self._frames_seen
+        decision = IntervalDecision(
+            interval_index=self._intervals_closed,
+            start_frame=end - len(frames),
+            end_frame=end,
+            phase=matched,
+            is_new_phase=is_new,
+        )
+        self._intervals_closed += 1
+        self._decisions.append(decision)
+        return decision
+
+
+def _scale(
+    vector: Dict[int, int], target_frames: int, source_frames: int
+) -> Dict[int, int]:
+    if target_frames == source_frames:
+        return vector
+    ratio = target_frames / source_frames
+    return {sid: round(count * ratio) for sid, count in vector.items()}

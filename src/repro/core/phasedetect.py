@@ -1,0 +1,181 @@
+"""Phase detection by shader-vector comparison across frame intervals.
+
+Intervals with matching shader vectors are the same phase.  Phases are
+numbered by first occurrence, so the phase sequence reads as the
+workload's repeating pattern (e.g. ``0 1 2 1 3 1`` — phase 1 recurs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.shadervector import (
+    Interval,
+    interval_signature,
+    partition_intervals,
+    relative_l1_distance,
+    shader_vector,
+)
+from repro.errors import PhaseDetectionError
+from repro.gfx.trace import Trace
+from repro.util.validation import check_in
+
+MODES = ("equality", "similarity")
+
+DEFAULT_INTERVAL_LENGTH = 4
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class PhaseDetection:
+    """The phase structure found in a trace."""
+
+    trace_name: str
+    interval_length: int
+    mode: str
+    tolerance: float
+    intervals: Tuple[Interval, ...]
+    phase_ids: Tuple[int, ...]  # phase of each interval, first-occurrence order
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def num_phases(self) -> int:
+        return max(self.phase_ids) + 1
+
+    @property
+    def has_repetition(self) -> bool:
+        """True when at least one phase covers more than one interval."""
+        return self.num_phases < self.num_intervals
+
+    def phase_members(self) -> Dict[int, List[Interval]]:
+        """Intervals of each phase."""
+        members: Dict[int, List[Interval]] = {}
+        for interval, phase in zip(self.intervals, self.phase_ids):
+            members.setdefault(phase, []).append(interval)
+        return members
+
+    def representative_intervals(self) -> Dict[int, Interval]:
+        """First-occurrence interval per phase — the retained subset."""
+        reps: Dict[int, Interval] = {}
+        for interval, phase in zip(self.intervals, self.phase_ids):
+            reps.setdefault(phase, interval)
+        return reps
+
+    def phase_frame_counts(self) -> Dict[int, int]:
+        """Total frames each phase covers (the prediction weights)."""
+        counts: Dict[int, int] = {}
+        for interval, phase in zip(self.intervals, self.phase_ids):
+            counts[phase] = counts.get(phase, 0) + interval.num_frames
+        return counts
+
+    @property
+    def retained_frame_fraction(self) -> float:
+        """Fraction of frames the representative intervals keep."""
+        total = sum(i.num_frames for i in self.intervals)
+        kept = sum(i.num_frames for i in self.representative_intervals().values())
+        return kept / total
+
+
+def detect_phases(
+    trace: Trace,
+    interval_length: int = DEFAULT_INTERVAL_LENGTH,
+    mode: str = "similarity",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PhaseDetection:
+    """Find repeating phases in ``trace`` via shader-vector matching.
+
+    ``equality`` mode hashes quantized signatures; ``similarity`` mode
+    greedily matches each interval to the earliest phase whose founding
+    shader vector is within ``tolerance`` relative L1 distance.
+    """
+    check_in("mode", mode, MODES)
+    if tolerance < 0:
+        raise PhaseDetectionError(f"tolerance must be >= 0, got {tolerance}")
+    intervals = partition_intervals(trace.num_frames, interval_length)
+    frames = trace.frames
+
+    phase_ids: List[int] = []
+    if mode == "equality":
+        signature_to_phase: Dict[tuple, int] = {}
+        for interval in intervals:
+            signature = interval_signature(
+                interval.frames_of(frames), tolerance=tolerance
+            )
+            phase = signature_to_phase.setdefault(signature, len(signature_to_phase))
+            phase_ids.append(phase)
+    else:  # similarity
+        founders: List[Dict[int, int]] = []
+        founder_lengths: List[int] = []
+        for interval in intervals:
+            vector = shader_vector(interval.frames_of(frames))
+            matched: Optional[int] = None
+            for phase, founder in enumerate(founders):
+                # Compare per-frame-normalized vectors so a short trailing
+                # interval can still match the phase it belongs to.
+                scaled = _scale_vector(founder, interval.num_frames,
+                                       founder_lengths[phase])
+                if relative_l1_distance(vector, scaled) <= tolerance:
+                    matched = phase
+                    break
+            if matched is None:
+                founders.append(vector)
+                founder_lengths.append(interval.num_frames)
+                matched = len(founders) - 1
+            phase_ids.append(matched)
+
+    return PhaseDetection(
+        trace_name=trace.name,
+        interval_length=interval_length,
+        mode=mode,
+        tolerance=tolerance,
+        intervals=tuple(intervals),
+        phase_ids=tuple(phase_ids),
+    )
+
+
+def _scale_vector(
+    vector: Dict[int, int], target_frames: int, source_frames: int
+) -> Dict[int, int]:
+    """Rescale a shader vector from one interval length to another."""
+    if target_frames == source_frames:
+        return vector
+    ratio = target_frames / source_frames
+    return {sid: round(count * ratio) for sid, count in vector.items()}
+
+
+def phase_purity(detection: PhaseDetection, trace: Trace) -> float:
+    """Agreement between detected phases and generator ground truth.
+
+    For traces from :mod:`repro.synth`, ``trace.metadata['segments']``
+    records the true phase label of every frame.  Purity is the fraction
+    of frames whose detected phase's majority ground-truth label matches
+    their own — 1.0 means detection recovered the script exactly.
+    """
+    segments = trace.metadata.get("segments")
+    if not segments:
+        raise PhaseDetectionError(
+            "trace has no ground-truth segment metadata (not a synth trace?)"
+        )
+    frame_truth: Dict[int, str] = {}
+    for row in segments:
+        for position in range(row["start"], row["end"]):
+            frame_truth[position] = row["phase"]
+
+    frame_detected: Dict[int, int] = {}
+    for interval, phase in zip(detection.intervals, detection.phase_ids):
+        for position in range(interval.start, interval.end):
+            frame_detected[position] = phase
+
+    by_phase: Dict[int, Dict[str, int]] = {}
+    for position, phase in frame_detected.items():
+        truth = frame_truth[position]
+        by_phase.setdefault(phase, {})
+        by_phase[phase][truth] = by_phase[phase].get(truth, 0) + 1
+
+    agree = sum(max(counts.values()) for counts in by_phase.values())
+    total = len(frame_detected)
+    return agree / total

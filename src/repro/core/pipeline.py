@@ -1,0 +1,276 @@
+"""End-to-end subsetting pipeline: the paper's full methodology on one trace.
+
+Given a trace and a GPU configuration:
+
+1. simulate the full trace for ground truth (the expensive run the
+   methodology exists to avoid — here it doubles as the referee);
+2. cluster every frame's draws on micro-architecture-independent
+   features, pick representatives, simulate *only* them, and predict
+   each frame's time (E1), scoring efficiency and cluster outliers (E2);
+3. detect phases from shader vectors and extract the phase-representative
+   frame subset (E4, E5);
+4. compose both reductions into the final subset size and a subset-based
+   estimate of total trace time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cluster_frame import DEFAULT_RADIUS, FrameClustering, cluster_frame
+from repro.core.features import FeatureExtractor
+from repro.core.metrics import cluster_quality
+from repro.core.phasedetect import (
+    DEFAULT_INTERVAL_LENGTH,
+    DEFAULT_TOLERANCE,
+    PhaseDetection,
+    detect_phases,
+)
+from repro.core.predict import (
+    FramePrediction,
+    predict_time_ns,
+    rep_times_from_draw_times,
+)
+from repro.core.subsetting import WorkloadSubset, build_subset
+from repro.errors import SubsetError
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.trace import Trace
+from repro.simgpu.batch import precompute_trace, simulate_frames_batch
+from repro.simgpu.config import GpuConfig
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything the paper's evaluation reports, for one trace+config."""
+
+    trace_name: str
+    config_name: str
+    frame_predictions: Tuple[FramePrediction, ...]
+    frame_outlier_rates: Tuple[float, ...]
+    detection: PhaseDetection
+    subset: WorkloadSubset
+    actual_total_time_ns: float
+    subset_estimated_total_time_ns: float
+    combined_draw_fraction: float
+    clusterings: Optional[Tuple[FrameClustering, ...]] = field(
+        default=None, compare=False
+    )
+
+    # -- E1 ------------------------------------------------------------------
+
+    @property
+    def mean_prediction_error(self) -> float:
+        """Paper metric: representatives priced at in-context cost."""
+        return float(np.mean([p.error for p in self.frame_predictions]))
+
+    @property
+    def mean_isolated_error(self) -> float:
+        """Deployment metric: representatives re-simulated in isolation."""
+        return float(np.mean([p.isolated_error for p in self.frame_predictions]))
+
+    @property
+    def mean_efficiency(self) -> float:
+        return float(np.mean([p.efficiency for p in self.frame_predictions]))
+
+    # -- E2 ---------------------------------------------------------------
+
+    @property
+    def mean_outlier_rate(self) -> float:
+        return float(np.mean(self.frame_outlier_rates))
+
+    # -- E5 / phase-level accuracy ---------------------------------------------
+
+    @property
+    def subset_time_error(self) -> float:
+        return (
+            abs(self.subset_estimated_total_time_ns - self.actual_total_time_ns)
+            / self.actual_total_time_ns
+        )
+
+    def report(self) -> str:
+        """Human-readable summary (the per-game row of the paper's tables)."""
+        rows = [
+            ["frames", len(self.frame_predictions)],
+            ["draws", self.subset.parent_num_draws],
+            ["mean frame prediction error %", 100.0 * self.mean_prediction_error],
+            ["mean isolated-resim error %", 100.0 * self.mean_isolated_error],
+            ["mean clustering efficiency %", 100.0 * self.mean_efficiency],
+            ["mean cluster outlier rate %", 100.0 * self.mean_outlier_rate],
+            ["phases detected", self.detection.num_phases],
+            ["intervals", self.detection.num_intervals],
+            ["subset frame fraction %", 100.0 * self.subset.frame_fraction],
+            ["subset draw fraction %", 100.0 * self.subset.draw_fraction],
+            ["combined subset (clustered) %", 100.0 * self.combined_draw_fraction],
+            ["subset total-time error %", 100.0 * self.subset_time_error],
+        ]
+        return format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Subsetting report: {self.trace_name} on {self.config_name}",
+        )
+
+
+class SubsettingPipeline:
+    """Configured, reusable runner for the full methodology."""
+
+    def __init__(
+        self,
+        cluster_method: str = "leader",
+        radius: float = DEFAULT_RADIUS,
+        normalize: str = "zscore",
+        k: Optional[int] = None,
+        interval_length: int = DEFAULT_INTERVAL_LENGTH,
+        phase_mode: str = "similarity",
+        phase_tolerance: float = DEFAULT_TOLERANCE,
+        seed: int = 0,
+    ) -> None:
+        self.cluster_method = cluster_method
+        self.radius = radius
+        self.normalize = normalize
+        self.k = k
+        self.interval_length = interval_length
+        self.phase_mode = phase_mode
+        self.phase_tolerance = phase_tolerance
+        self.seed = seed
+
+    # -- pieces (reused by the experiment harness) -----------------------------
+
+    def cluster_all_frames(self, trace: Trace) -> List[FrameClustering]:
+        """Cluster every frame of ``trace`` on its feature matrix."""
+        extractor = FeatureExtractor(trace)
+        return [
+            cluster_frame(
+                extractor.frame_matrix(frame),
+                method=self.cluster_method,
+                radius=self.radius,
+                k=self.k,
+                normalize=self.normalize,
+                seed=self.seed,
+            )
+            for frame in trace.frames
+        ]
+
+    @staticmethod
+    def representative_trace(
+        trace: Trace, clusterings: List[FrameClustering]
+    ) -> Trace:
+        """The reduced trace containing only representative draws.
+
+        Frame indices are preserved so the simulator's per-slot noise
+        stays consistent with simulating the representatives alone.
+        """
+        if len(clusterings) != trace.num_frames:
+            raise SubsetError(
+                f"{len(clusterings)} clusterings for {trace.num_frames} frames"
+            )
+        rep_frames = []
+        for frame, clustering in zip(trace.frames, clusterings):
+            draws = frame.draw_list
+            order = np.sort(clustering.representatives)
+            rep_draws = tuple(draws[int(i)] for i in order)
+            rep_frames.append(
+                Frame(
+                    index=frame.index,
+                    passes=(
+                        RenderPass(pass_type=rep_draws[0].pass_type, draws=rep_draws),
+                    ),
+                    metadata=dict(frame.metadata),
+                )
+            )
+        return Trace(
+            name=f"{trace.name}.reps",
+            frames=tuple(rep_frames),
+            shaders=dict(trace.shaders),
+            textures=dict(trace.textures),
+            render_targets=dict(trace.render_targets),
+            buffers=dict(trace.buffers),
+            metadata={**trace.metadata, "parent": trace.name},
+        )
+
+    # -- full run ---------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        config: GpuConfig,
+        keep_clusterings: bool = False,
+    ) -> PipelineResult:
+        """Execute the full methodology on ``trace`` at ``config``.
+
+        Pass ``keep_clusterings=True`` to retain the per-frame
+        clusterings, e.g. to compose the final deliverable artifact::
+
+            result = pipeline.run(trace, config, keep_clusterings=True)
+            artifact = build_combined_subset(
+                trace, result.subset, result.clusterings
+            )
+        """
+        precomp = precompute_trace(trace)
+        ground = simulate_frames_batch(trace, config, precomp)
+        clusterings = self.cluster_all_frames(trace)
+
+        rep_trace = self.representative_trace(trace, clusterings)
+        rep_outputs = simulate_frames_batch(rep_trace, config)
+
+        predictions: List[FramePrediction] = []
+        outlier_rates: List[float] = []
+        for frame, clustering, truth, rep_out in zip(
+            trace.frames, clusterings, ground, rep_outputs
+        ):
+            order = np.sort(clustering.representatives)
+            position_of = {int(draw_i): pos for pos, draw_i in enumerate(order)}
+            isolated_times = [
+                float(rep_out.draw_times_ns[position_of[int(rep)]])
+                for rep in clustering.representatives
+            ]
+            isolated = predict_time_ns(isolated_times, clustering.weights)
+            in_context_times = rep_times_from_draw_times(
+                clustering, truth.draw_times_ns
+            )
+            predicted = predict_time_ns(in_context_times, clustering.weights)
+            predictions.append(
+                FramePrediction(
+                    frame_index=frame.index,
+                    actual_time_ns=truth.time_ns,
+                    predicted_time_ns=predicted,
+                    num_draws=clustering.num_draws,
+                    num_clusters=clustering.num_clusters,
+                    isolated_time_ns=isolated,
+                )
+            )
+            outlier_rates.append(
+                cluster_quality(clustering, truth.draw_times_ns).outlier_rate
+            )
+
+        detection = detect_phases(
+            trace,
+            interval_length=self.interval_length,
+            mode=self.phase_mode,
+            tolerance=self.phase_tolerance,
+        )
+        subset = build_subset(trace, detection)
+        frame_times = [ground[p].time_ns for p in subset.frame_positions]
+        subset_estimate = subset.estimate_total_time_ns(frame_times)
+        actual_total = float(sum(out.time_ns for out in ground))
+
+        kept_clusters = sum(
+            clusterings[p].num_clusters for p in subset.frame_positions
+        )
+        combined_fraction = kept_clusters / trace.num_draws
+
+        return PipelineResult(
+            trace_name=trace.name,
+            config_name=config.name,
+            frame_predictions=tuple(predictions),
+            frame_outlier_rates=tuple(outlier_rates),
+            detection=detection,
+            subset=subset,
+            actual_total_time_ns=actual_total,
+            subset_estimated_total_time_ns=subset_estimate,
+            combined_draw_fraction=combined_fraction,
+            clusterings=tuple(clusterings) if keep_clusterings else None,
+        )

@@ -1,0 +1,47 @@
+"""Representative selection: one simulated draw stands in for its cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import euclidean_to_point
+from repro.errors import ClusteringError
+
+
+def representative_indices(matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """The medoid-ish representative of each cluster.
+
+    For each cluster, the member nearest the cluster centroid in feature
+    space.  Returns an array of row indices, one per cluster id
+    (0..num_clusters-1), in cluster-id order.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    labels = np.asarray(labels)
+    if matrix.shape[0] != labels.shape[0]:
+        raise ClusteringError(
+            f"matrix has {matrix.shape[0]} rows but labels has {labels.shape[0]}"
+        )
+    if matrix.shape[0] == 0:
+        raise ClusteringError("cannot pick representatives of an empty matrix")
+    num_clusters = int(labels.max()) + 1
+    expected = set(range(num_clusters))
+    present = set(np.unique(labels).tolist())
+    if present != expected:
+        raise ClusteringError(
+            f"labels must be contiguous 0..{num_clusters - 1}; got {sorted(present)}"
+        )
+    reps = np.empty(num_clusters, dtype=np.int64)
+    for cluster in range(num_clusters):
+        member_rows = np.nonzero(labels == cluster)[0]
+        centroid = matrix[member_rows].mean(axis=0)
+        dists = euclidean_to_point(matrix[member_rows], centroid)
+        reps[cluster] = member_rows[int(np.argmin(dists))]
+    return reps
+
+
+def cluster_sizes(labels: np.ndarray) -> np.ndarray:
+    """Population of each cluster id (the prediction weights)."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ClusteringError("labels must be non-empty")
+    return np.bincount(labels, minlength=int(labels.max()) + 1).astype(np.int64)

@@ -1,0 +1,114 @@
+"""Subset persistence: workload subsets as shareable artifacts.
+
+A pathfinding team extracts a subset once and reuses it for months of
+architecture studies.  This module serializes a
+:class:`~repro.core.subsetting.WorkloadSubset` (positions, weights,
+provenance) to JSON, so the subset definition travels separately from
+the (large) trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.core.subsetting import WorkloadSubset
+from repro.errors import SubsetError
+from repro.gfx.trace import Trace
+
+FORMAT_VERSION = 1
+
+
+def write_subset(subset: WorkloadSubset, stream: IO[str]) -> None:
+    """Serialize a subset definition to an open text stream.
+
+    The phase-detection provenance is summarized (parameters and phase
+    sequence), not fully serialized — the subset is reproducible from the
+    parent trace anyway.
+    """
+    record = {
+        "version": FORMAT_VERSION,
+        "parent_name": subset.parent_name,
+        "method": subset.method,
+        "frame_positions": list(subset.frame_positions),
+        "frame_weights": list(subset.frame_weights),
+        "parent_num_frames": subset.parent_num_frames,
+        "parent_num_draws": subset.parent_num_draws,
+        "subset_num_draws": subset.subset_num_draws,
+    }
+    if subset.detection is not None:
+        record["detection"] = {
+            "interval_length": subset.detection.interval_length,
+            "mode": subset.detection.mode,
+            "tolerance": subset.detection.tolerance,
+            "num_phases": subset.detection.num_phases,
+            "phase_ids": list(subset.detection.phase_ids),
+        }
+    json.dump(record, stream, indent=2)
+    stream.write("\n")
+
+
+def read_subset(stream: IO[str]) -> WorkloadSubset:
+    """Parse a subset definition (provenance summary is not restored)."""
+    try:
+        record = json.load(stream)
+    except json.JSONDecodeError as exc:
+        raise SubsetError(f"malformed subset file: {exc}") from exc
+    version = record.get("version")
+    if version != FORMAT_VERSION:
+        raise SubsetError(
+            f"unsupported subset format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    try:
+        return WorkloadSubset(
+            parent_name=record["parent_name"],
+            detection=None,
+            frame_positions=tuple(record["frame_positions"]),
+            frame_weights=tuple(record["frame_weights"]),
+            parent_num_frames=record["parent_num_frames"],
+            parent_num_draws=record["parent_num_draws"],
+            subset_num_draws=record["subset_num_draws"],
+            method=record["method"],
+        )
+    except KeyError as exc:
+        raise SubsetError(f"subset file missing field {exc}") from exc
+
+
+def save_subset(subset: WorkloadSubset, path: Union[str, Path]) -> None:
+    """Write a subset definition to ``path`` (overwrites)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_subset(subset, handle)
+
+
+def load_subset(path: Union[str, Path]) -> WorkloadSubset:
+    """Read a subset definition from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_subset(handle)
+
+
+def check_subset_against(subset: WorkloadSubset, trace: Trace) -> None:
+    """Verify a loaded subset actually fits ``trace``.
+
+    Catches the classic mistake of applying a saved subset to a different
+    capture (or a re-generated one with a different seed).
+    """
+    if subset.parent_name != trace.name:
+        raise SubsetError(
+            f"subset was extracted from {subset.parent_name!r}, "
+            f"trace is {trace.name!r}"
+        )
+    if subset.parent_num_frames != trace.num_frames:
+        raise SubsetError(
+            f"subset expects a {subset.parent_num_frames}-frame parent, "
+            f"trace has {trace.num_frames}"
+        )
+    if subset.parent_num_draws != trace.num_draws:
+        raise SubsetError(
+            f"subset expects {subset.parent_num_draws} parent draws, "
+            f"trace has {trace.num_draws} (different seed or scale?)"
+        )
+    for position in subset.frame_positions:
+        if not 0 <= position < trace.num_frames:
+            raise SubsetError(f"subset frame position {position} out of range")

@@ -1,0 +1,117 @@
+"""Canonical synthetic corpora, reproducible by (name, seed).
+
+The paper's corpus is the BioShock series: 717 frames, ~828K draw-calls
+across three games.  :func:`paper_corpus` regenerates a corpus of exactly
+that shape; :func:`load` fetches one game at any scale for quicker runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.gfx.trace import Trace
+from repro.synth.generator import generate_trace
+from repro.synth.profiles import BIOSHOCK_SERIES
+
+# Frames per game such that the three-game corpus totals the paper's 717.
+PAPER_FRAMES_PER_GAME = 239
+DEFAULT_SEED = 7
+
+# CI-friendly defaults used by the benchmark harness unless
+# REPRO_FULL_SCALE=1 is set.
+CI_FRAMES_PER_GAME = 48
+CI_SCALE = 0.25
+
+FULL_SCALE_ENV = "REPRO_FULL_SCALE"
+
+
+def available() -> tuple:
+    """Names accepted by :func:`load`."""
+    return BIOSHOCK_SERIES
+
+
+def load(
+    name: str,
+    frames: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> Trace:
+    """Generate one canonical game trace.
+
+    Args:
+        name: a profile name from :func:`available`.
+        frames: frame count (defaults to the profile's standard script).
+        seed: corpus seed; the same (name, frames, seed, scale) is always
+            byte-identical.
+        scale: content-volume multiplier (draws per frame).
+    """
+    if name not in BIOSHOCK_SERIES:
+        choices = ", ".join(BIOSHOCK_SERIES)
+        raise ValidationError(f"unknown dataset {name!r}; choose from: {choices}")
+    return generate_trace(name, num_frames=frames, seed=seed, scale=scale)
+
+
+def full_scale_requested() -> bool:
+    """True when the environment asks benchmarks for the paper-scale corpus."""
+    return os.environ.get(FULL_SCALE_ENV, "") == "1"
+
+
+def corpus(
+    frames: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+) -> Dict[str, Trace]:
+    """The three-game corpus at a chosen scale."""
+    return {
+        name: load(name, frames=frames, seed=seed, scale=scale)
+        for name in BIOSHOCK_SERIES
+    }
+
+
+def paper_corpus(seed: int = DEFAULT_SEED) -> Dict[str, Trace]:
+    """The paper-shaped corpus: 3 games x 239 frames = 717 frames, ~828K draws."""
+    return corpus(frames=PAPER_FRAMES_PER_GAME, seed=seed, scale=1.0)
+
+
+def bench_corpus(seed: int = DEFAULT_SEED) -> Dict[str, Trace]:
+    """What the benchmark harness runs on.
+
+    Paper scale when ``REPRO_FULL_SCALE=1``; otherwise a reduced corpus
+    with the same structure (all three games, all pass types, phase
+    scripts intact).
+    """
+    if full_scale_requested():
+        return paper_corpus(seed=seed)
+    return corpus(frames=CI_FRAMES_PER_GAME, seed=seed, scale=CI_SCALE)
+
+
+def corpus_stats(traces: Dict[str, Trace]) -> List[dict]:
+    """Per-game stats rows plus a totals row (for reports)."""
+    rows = []
+    total_frames = 0
+    total_draws = 0
+    for name, trace in traces.items():
+        stats = trace.stats()
+        total_frames += stats.num_frames
+        total_draws += stats.num_draws
+        rows.append(
+            {
+                "game": name,
+                "frames": stats.num_frames,
+                "draws": stats.num_draws,
+                "draws_per_frame": round(stats.draws_per_frame_mean),
+                "shaders": stats.num_shaders,
+            }
+        )
+    rows.append(
+        {
+            "game": "TOTAL",
+            "frames": total_frames,
+            "draws": total_draws,
+            "draws_per_frame": round(total_draws / total_frames),
+            "shaders": "",
+        }
+    )
+    return rows

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses mark which
+subsystem rejected the input; the message always says *what* was wrong and,
+where it helps, what would have been accepted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError):
+    """An argument or data structure failed validation."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed: dangling references, bad ordering, etc."""
+
+
+class TraceFormatError(TraceError):
+    """Serialized trace data could not be parsed or has a bad version."""
+
+
+class ConfigError(ReproError):
+    """A simulator or pipeline configuration is invalid."""
+
+
+class ClusteringError(ReproError):
+    """Clustering could not be performed on the given data."""
+
+
+class PhaseDetectionError(ReproError):
+    """Phase detection was asked to do something impossible."""
+
+
+class SubsetError(ReproError):
+    """Subset construction failed (e.g. empty trace, bad budget)."""
+
+
+class SimulationError(ReproError):
+    """The GPU model could not simulate the given workload."""

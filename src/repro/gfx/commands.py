@@ -1,0 +1,138 @@
+"""API-level command records — the raw form of a captured trace.
+
+A capture tool does not see :class:`~repro.gfx.drawcall.DrawCall`
+records; it sees a stream of state-setting commands punctuated by draws:
+
+    SetRenderTargets, BindShader, SetPipelineState, BindTextures,
+    SetVertexStream, Draw, Draw, BindTextures, Draw, ... EndFrame
+
+This module defines those commands.  The interpreter in
+:mod:`repro.gfx.commandstream` replays a stream through a state machine
+and emits the per-draw records the rest of the library consumes, so
+importing a real capture only requires translating it into these
+commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.gfx.enums import PassType, PrimitiveTopology
+from repro.gfx.state import PipelineState
+from repro.util.validation import check_nonnegative, check_positive, check_type
+
+
+@dataclass(frozen=True)
+class BindShader:
+    """Select the shader program for subsequent draws."""
+
+    shader_id: int
+
+    def __post_init__(self) -> None:
+        check_type("BindShader.shader_id", self.shader_id, int)
+        check_nonnegative("BindShader.shader_id", self.shader_id)
+
+
+@dataclass(frozen=True)
+class SetPipelineState:
+    """Set the fixed-function (depth/blend/cull) state."""
+
+    state: PipelineState
+
+    def __post_init__(self) -> None:
+        check_type("SetPipelineState.state", self.state, PipelineState)
+
+
+@dataclass(frozen=True)
+class BindTextures:
+    """Bind the sampled-texture set (replaces the previous binding)."""
+
+    texture_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        check_type("BindTextures.texture_ids", self.texture_ids, tuple)
+        for tid in self.texture_ids:
+            check_type("BindTextures.texture_ids[*]", tid, int)
+            check_nonnegative("BindTextures.texture_ids[*]", tid)
+
+
+@dataclass(frozen=True)
+class SetRenderTargets:
+    """Bind color attachments and the optional depth attachment.
+
+    Opens a new render pass; ``pass_type`` tags it for reporting.
+    """
+
+    color_target_ids: Tuple[int, ...]
+    depth_target_id: Optional[int] = None
+    pass_type: PassType = PassType.FORWARD
+
+    def __post_init__(self) -> None:
+        check_type("SetRenderTargets.color_target_ids", self.color_target_ids, tuple)
+        for rid in self.color_target_ids:
+            check_type("SetRenderTargets.color_target_ids[*]", rid, int)
+            check_nonnegative("SetRenderTargets.color_target_ids[*]", rid)
+        if self.depth_target_id is not None:
+            check_type(
+                "SetRenderTargets.depth_target_id", self.depth_target_id, int
+            )
+            check_nonnegative(
+                "SetRenderTargets.depth_target_id", self.depth_target_id
+            )
+        if not self.color_target_ids and self.depth_target_id is None:
+            raise ValidationError(
+                "SetRenderTargets needs at least one color or depth target"
+            )
+        check_type("SetRenderTargets.pass_type", self.pass_type, PassType)
+
+
+@dataclass(frozen=True)
+class SetVertexStream:
+    """Configure vertex fetch for subsequent draws."""
+
+    stride_bytes: int
+    topology: PrimitiveTopology
+
+    def __post_init__(self) -> None:
+        check_type("SetVertexStream.stride_bytes", self.stride_bytes, int)
+        check_positive("SetVertexStream.stride_bytes", self.stride_bytes)
+        check_type("SetVertexStream.topology", self.topology, PrimitiveTopology)
+
+
+@dataclass(frozen=True)
+class Draw:
+    """Issue a draw with the currently bound state.
+
+    ``pixels_rasterized``/``pixels_shaded`` carry the coverage statistics
+    a profiling capture records per draw (or an estimator supplies).
+    """
+
+    vertex_count: int
+    pixels_rasterized: int
+    pixels_shaded: int
+    instance_count: int = 1
+
+    def __post_init__(self) -> None:
+        check_type("Draw.vertex_count", self.vertex_count, int)
+        check_positive("Draw.vertex_count", self.vertex_count)
+        check_type("Draw.instance_count", self.instance_count, int)
+        check_positive("Draw.instance_count", self.instance_count)
+        check_type("Draw.pixels_rasterized", self.pixels_rasterized, int)
+        check_nonnegative("Draw.pixels_rasterized", self.pixels_rasterized)
+        check_type("Draw.pixels_shaded", self.pixels_shaded, int)
+        check_nonnegative("Draw.pixels_shaded", self.pixels_shaded)
+        if self.pixels_shaded > self.pixels_rasterized:
+            raise ValidationError(
+                f"Draw.pixels_shaded={self.pixels_shaded} cannot exceed "
+                f"pixels_rasterized={self.pixels_rasterized}"
+            )
+
+
+@dataclass(frozen=True)
+class EndFrame:
+    """Present: close the current frame."""
+
+
+Command = object  # union of the classes above; kept loose for extensibility

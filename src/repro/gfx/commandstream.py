@@ -1,0 +1,211 @@
+"""Command-stream interpreter and builder.
+
+:class:`CommandInterpreter` replays an API command stream through a
+state machine and reconstructs :class:`~repro.gfx.frame.Frame` objects
+(render passes of :class:`~repro.gfx.drawcall.DrawCall` records) — the
+importer path for real captures.  :func:`frames_to_commands` is the
+inverse: it flattens frames back into a minimal command stream, emitting
+a state command only when the state actually changes.
+
+Round-trip guarantee: the *draw sequence* survives exactly —
+``interpret(frames_to_commands(frames))`` yields frames whose flattened
+draws equal the originals draw for draw, so simulation results are
+identical.  Render-pass *grouping* is reconstructed from render-target
+changes (the only signal a raw stream carries), so hand-built pass
+boundaries that do not coincide with target changes are re-derived.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.gfx.commands import (
+    BindShader,
+    BindTextures,
+    Draw,
+    EndFrame,
+    SetPipelineState,
+    SetRenderTargets,
+    SetVertexStream,
+)
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PassType, PrimitiveTopology
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.state import PipelineState
+
+
+class CommandInterpreter:
+    """Replays commands, validating ordering, and emits frames."""
+
+    def __init__(self) -> None:
+        self._shader_id: Optional[int] = None
+        self._state: Optional[PipelineState] = None
+        self._textures: Tuple[int, ...] = ()
+        self._color_targets: Optional[Tuple[int, ...]] = None
+        self._depth_target: Optional[int] = None
+        self._pass_type: PassType = PassType.FORWARD
+        self._stride: int = 32
+        self._topology: PrimitiveTopology = PrimitiveTopology.TRIANGLE_LIST
+        self._current_pass_draws: List[DrawCall] = []
+        self._passes: List[RenderPass] = []
+        self._frames: List[Frame] = []
+        self._position = 0
+
+    # -- the state machine ---------------------------------------------------
+
+    def feed(self, command) -> None:
+        """Process one command."""
+        self._position += 1
+        if isinstance(command, BindShader):
+            self._shader_id = command.shader_id
+        elif isinstance(command, SetPipelineState):
+            self._state = command.state
+        elif isinstance(command, BindTextures):
+            self._textures = command.texture_ids
+        elif isinstance(command, SetVertexStream):
+            self._stride = command.stride_bytes
+            self._topology = command.topology
+        elif isinstance(command, SetRenderTargets):
+            self._close_pass()
+            self._color_targets = command.color_target_ids
+            self._depth_target = command.depth_target_id
+            self._pass_type = command.pass_type
+        elif isinstance(command, Draw):
+            self._draw(command)
+        elif isinstance(command, EndFrame):
+            self._end_frame()
+        else:
+            raise TraceError(
+                f"command {self._position}: unknown command "
+                f"{type(command).__name__}"
+            )
+
+    def run(self, commands: Iterable) -> List[Frame]:
+        """Replay a whole stream and return the completed frames."""
+        for command in commands:
+            self.feed(command)
+        if self._current_pass_draws or self._passes:
+            raise TraceError(
+                "command stream ended mid-frame (missing EndFrame)"
+            )
+        return list(self._frames)
+
+    @property
+    def frames(self) -> List[Frame]:
+        return list(self._frames)
+
+    # -- internals -----------------------------------------------------------
+
+    def _draw(self, command: Draw) -> None:
+        where = f"command {self._position}"
+        if self._shader_id is None:
+            raise TraceError(f"{where}: Draw with no shader bound")
+        if self._state is None:
+            raise TraceError(f"{where}: Draw with no pipeline state set")
+        if self._color_targets is None:
+            raise TraceError(f"{where}: Draw with no render targets set")
+        self._current_pass_draws.append(
+            DrawCall(
+                shader_id=self._shader_id,
+                state=self._state,
+                topology=self._topology,
+                vertex_count=command.vertex_count,
+                instance_count=command.instance_count,
+                pixels_rasterized=command.pixels_rasterized,
+                pixels_shaded=command.pixels_shaded,
+                texture_ids=self._textures,
+                render_target_ids=self._color_targets,
+                depth_target_id=self._depth_target,
+                vertex_stride_bytes=self._stride,
+                pass_type=self._pass_type,
+            )
+        )
+
+    def _close_pass(self) -> None:
+        if self._current_pass_draws:
+            self._passes.append(
+                RenderPass(
+                    pass_type=self._pass_type,
+                    draws=tuple(self._current_pass_draws),
+                )
+            )
+            self._current_pass_draws = []
+
+    def _end_frame(self) -> None:
+        self._close_pass()
+        if not self._passes:
+            raise TraceError(
+                f"command {self._position}: EndFrame with no draws in frame"
+            )
+        self._frames.append(
+            Frame(index=len(self._frames), passes=tuple(self._passes))
+        )
+        self._passes = []
+        # Render-target binding does not survive a present.
+        self._color_targets = None
+        self._depth_target = None
+
+
+def interpret_commands(commands: Iterable) -> List[Frame]:
+    """One-call replay of a command stream into frames."""
+    return CommandInterpreter().run(commands)
+
+
+def frames_to_commands(frames: Sequence[Frame]) -> List:
+    """Flatten frames into a minimal command stream.
+
+    State commands are emitted only on change, mirroring how a real
+    engine (and the simulator's switch-penalty model) sees redundancy.
+    """
+    commands: List = []
+    for frame in frames:
+        shader: Optional[int] = None
+        state: Optional[PipelineState] = None
+        textures: Optional[Tuple[int, ...]] = None
+        stream: Optional[Tuple[int, PrimitiveTopology]] = None
+        targets: Optional[Tuple] = None
+        for render_pass in frame.passes:
+            for draw in render_pass.draws:
+                draw_targets = (
+                    draw.render_target_ids,
+                    draw.depth_target_id,
+                    draw.pass_type,
+                )
+                if draw_targets != targets:
+                    commands.append(
+                        SetRenderTargets(
+                            color_target_ids=draw.render_target_ids,
+                            depth_target_id=draw.depth_target_id,
+                            pass_type=draw.pass_type,
+                        )
+                    )
+                    targets = draw_targets
+                if draw.shader_id != shader:
+                    commands.append(BindShader(draw.shader_id))
+                    shader = draw.shader_id
+                if draw.state != state:
+                    commands.append(SetPipelineState(draw.state))
+                    state = draw.state
+                if draw.texture_ids != textures:
+                    commands.append(BindTextures(draw.texture_ids))
+                    textures = draw.texture_ids
+                draw_stream = (draw.vertex_stride_bytes, draw.topology)
+                if draw_stream != stream:
+                    commands.append(
+                        SetVertexStream(
+                            stride_bytes=draw.vertex_stride_bytes,
+                            topology=draw.topology,
+                        )
+                    )
+                    stream = draw_stream
+                commands.append(
+                    Draw(
+                        vertex_count=draw.vertex_count,
+                        instance_count=draw.instance_count,
+                        pixels_rasterized=draw.pixels_rasterized,
+                        pixels_shaded=draw.pixels_shaded,
+                    )
+                )
+        commands.append(EndFrame())
+    return commands

@@ -1,0 +1,109 @@
+"""The draw-call record — the unit the paper clusters and subsets.
+
+A :class:`DrawCall` captures the API-visible demand of one draw: how much
+geometry it submits, which shader it runs, which textures it samples, how
+many pixels it rasterizes and shades, and its fixed-function state.  All of
+these are observable from an API trace without reference to any GPU, which
+is exactly the paper's requirement for clustering features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.gfx.enums import PassType, PrimitiveTopology
+from repro.gfx.state import PipelineState
+from repro.util.validation import check_nonnegative, check_positive, check_type
+
+
+@dataclass(frozen=True)
+class DrawCall:
+    """One draw command in the API stream.
+
+    Attributes:
+        shader_id: the bound :class:`~repro.gfx.shader.ShaderProgram`.
+        state: fixed-function pipeline state.
+        topology: primitive assembly mode.
+        vertex_count: vertices processed per instance (index count for
+            indexed draws).
+        instance_count: instancing factor.
+        pixels_rasterized: pixels covered by rasterization, before the
+            depth test (includes overdraw).
+        pixels_shaded: pixel-shader invocations after early-Z rejection.
+        texture_ids: bound sampled textures, in bind order.
+        render_target_ids: bound color attachments.
+        depth_target_id: bound depth attachment, if any.
+        vertex_stride_bytes: bytes fetched per vertex.
+        pass_type: metadata tag from the generator (not a feature).
+    """
+
+    shader_id: int
+    state: PipelineState
+    topology: PrimitiveTopology
+    vertex_count: int
+    pixels_rasterized: int
+    pixels_shaded: int
+    instance_count: int = 1
+    texture_ids: Tuple[int, ...] = ()
+    render_target_ids: Tuple[int, ...] = (0,)
+    depth_target_id: Optional[int] = None
+    vertex_stride_bytes: int = 32
+    pass_type: PassType = PassType.FORWARD
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_type("DrawCall.shader_id", self.shader_id, int)
+        check_nonnegative("DrawCall.shader_id", self.shader_id)
+        check_type("DrawCall.state", self.state, PipelineState)
+        check_type("DrawCall.topology", self.topology, PrimitiveTopology)
+        check_type("DrawCall.vertex_count", self.vertex_count, int)
+        check_positive("DrawCall.vertex_count", self.vertex_count)
+        check_type("DrawCall.instance_count", self.instance_count, int)
+        check_positive("DrawCall.instance_count", self.instance_count)
+        check_type("DrawCall.pixels_rasterized", self.pixels_rasterized, int)
+        check_nonnegative("DrawCall.pixels_rasterized", self.pixels_rasterized)
+        check_type("DrawCall.pixels_shaded", self.pixels_shaded, int)
+        check_nonnegative("DrawCall.pixels_shaded", self.pixels_shaded)
+        if self.pixels_shaded > self.pixels_rasterized:
+            raise ValidationError(
+                f"pixels_shaded={self.pixels_shaded} cannot exceed "
+                f"pixels_rasterized={self.pixels_rasterized}"
+            )
+        check_type("DrawCall.texture_ids", self.texture_ids, tuple)
+        for tid in self.texture_ids:
+            check_type("DrawCall.texture_ids[*]", tid, int)
+            check_nonnegative("DrawCall.texture_ids[*]", tid)
+        check_type("DrawCall.render_target_ids", self.render_target_ids, tuple)
+        if not self.render_target_ids and self.depth_target_id is None:
+            raise ValidationError(
+                "a draw must bind at least one render target or a depth target"
+            )
+        for rid in self.render_target_ids:
+            check_type("DrawCall.render_target_ids[*]", rid, int)
+            check_nonnegative("DrawCall.render_target_ids[*]", rid)
+        if self.depth_target_id is not None:
+            check_type("DrawCall.depth_target_id", self.depth_target_id, int)
+            check_nonnegative("DrawCall.depth_target_id", self.depth_target_id)
+        check_type("DrawCall.vertex_stride_bytes", self.vertex_stride_bytes, int)
+        check_positive("DrawCall.vertex_stride_bytes", self.vertex_stride_bytes)
+        check_type("DrawCall.pass_type", self.pass_type, PassType)
+
+    @property
+    def total_vertices(self) -> int:
+        """Vertex-shader invocations: vertices x instances."""
+        return self.vertex_count * self.instance_count
+
+    @property
+    def primitive_count(self) -> int:
+        """Primitives assembled across all instances."""
+        per_instance = self.topology.primitives_for_vertices(self.vertex_count)
+        return per_instance * self.instance_count
+
+    @property
+    def overdraw(self) -> float:
+        """Fraction of rasterized pixels killed by early-Z (0 = none killed)."""
+        if self.pixels_rasterized == 0:
+            return 0.0
+        return 1.0 - self.pixels_shaded / self.pixels_rasterized

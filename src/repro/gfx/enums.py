@@ -1,0 +1,142 @@
+"""Enumerations describing the API-visible state of a draw-call.
+
+These mirror the Direct3D 10+/OpenGL 3+ feature set the paper's workloads
+use, reduced to the properties that influence performance: primitive
+assembly, pixel formats (bytes moved), and the fixed-function depth/blend
+configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PrimitiveTopology(enum.Enum):
+    """How vertices are assembled into primitives."""
+
+    POINT_LIST = "point_list"
+    LINE_LIST = "line_list"
+    TRIANGLE_LIST = "triangle_list"
+    TRIANGLE_STRIP = "triangle_strip"
+
+    def primitives_for_vertices(self, vertex_count: int) -> int:
+        """Number of primitives produced by ``vertex_count`` input vertices."""
+        if vertex_count < 0:
+            raise ValueError(f"vertex_count must be >= 0, got {vertex_count}")
+        if self is PrimitiveTopology.POINT_LIST:
+            return vertex_count
+        if self is PrimitiveTopology.LINE_LIST:
+            return vertex_count // 2
+        if self is PrimitiveTopology.TRIANGLE_LIST:
+            return vertex_count // 3
+        # Triangle strip: n vertices -> n - 2 triangles (0 if degenerate).
+        return max(0, vertex_count - 2)
+
+
+class TextureFormat(enum.Enum):
+    """Texture / render-target storage formats with their cost in bytes.
+
+    Block-compressed formats have sub-byte per-texel cost, which is why
+    ``bytes_per_texel`` is a float.
+    """
+
+    R8 = "r8"
+    RG8 = "rg8"
+    RGBA8 = "rgba8"
+    RGB10A2 = "rgb10a2"
+    R16F = "r16f"
+    RG16F = "rg16f"
+    RGBA16F = "rgba16f"
+    R32F = "r32f"
+    RGBA32F = "rgba32f"
+    BC1 = "bc1"
+    BC3 = "bc3"
+    BC5 = "bc5"
+    DEPTH24S8 = "depth24s8"
+    DEPTH32F = "depth32f"
+
+    @property
+    def bytes_per_texel(self) -> float:
+        return _BYTES_PER_TEXEL[self]
+
+    @property
+    def is_depth(self) -> bool:
+        return self in (TextureFormat.DEPTH24S8, TextureFormat.DEPTH32F)
+
+    @property
+    def is_compressed(self) -> bool:
+        return self in (TextureFormat.BC1, TextureFormat.BC3, TextureFormat.BC5)
+
+
+_BYTES_PER_TEXEL = {
+    TextureFormat.R8: 1.0,
+    TextureFormat.RG8: 2.0,
+    TextureFormat.RGBA8: 4.0,
+    TextureFormat.RGB10A2: 4.0,
+    TextureFormat.R16F: 2.0,
+    TextureFormat.RG16F: 4.0,
+    TextureFormat.RGBA16F: 8.0,
+    TextureFormat.R32F: 4.0,
+    TextureFormat.RGBA32F: 16.0,
+    TextureFormat.BC1: 0.5,
+    TextureFormat.BC3: 1.0,
+    TextureFormat.BC5: 1.0,
+    TextureFormat.DEPTH24S8: 4.0,
+    TextureFormat.DEPTH32F: 4.0,
+}
+
+
+class DepthMode(enum.Enum):
+    """Depth-test configuration of a draw."""
+
+    DISABLED = "disabled"
+    TEST_ONLY = "test_only"
+    TEST_WRITE = "test_write"
+
+    @property
+    def reads_depth(self) -> bool:
+        return self is not DepthMode.DISABLED
+
+    @property
+    def writes_depth(self) -> bool:
+        return self is DepthMode.TEST_WRITE
+
+
+class BlendMode(enum.Enum):
+    """Output-merger blend configuration of a draw."""
+
+    OPAQUE = "opaque"
+    ALPHA = "alpha"
+    ADDITIVE = "additive"
+    MULTIPLY = "multiply"
+
+    @property
+    def reads_destination(self) -> bool:
+        """Blended modes read the destination color before writing."""
+        return self is not BlendMode.OPAQUE
+
+
+class CullMode(enum.Enum):
+    """Back-face culling configuration."""
+
+    NONE = "none"
+    BACK = "back"
+    FRONT = "front"
+
+
+class PassType(enum.Enum):
+    """The role a render pass plays in the frame.
+
+    The generator tags passes so experiments can slice statistics per pass,
+    but nothing in the subsetting methodology depends on the tag — it is
+    metadata, not a feature.
+    """
+
+    SHADOW = "shadow"
+    DEPTH_PREPASS = "depth_prepass"
+    GBUFFER = "gbuffer"
+    LIGHTING = "lighting"
+    FORWARD = "forward"
+    TRANSPARENT = "transparent"
+    POST = "post"
+    UI = "ui"

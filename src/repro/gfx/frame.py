@@ -1,0 +1,85 @@
+"""Frames and render passes: the ordered structure of a rendered image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ValidationError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PassType
+from repro.util.validation import check_nonnegative, check_type
+
+
+@dataclass(frozen=True)
+class RenderPass:
+    """A contiguous group of draws rendering to the same attachments."""
+
+    pass_type: PassType
+    draws: Tuple[DrawCall, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_type("RenderPass.pass_type", self.pass_type, PassType)
+        check_type("RenderPass.draws", self.draws, tuple)
+        for i, draw in enumerate(self.draws):
+            if not isinstance(draw, DrawCall):
+                raise ValidationError(
+                    f"RenderPass.draws[{i}] must be DrawCall, "
+                    f"got {type(draw).__name__}"
+                )
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.draws)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One rendered frame: an ordered sequence of render passes."""
+
+    index: int
+    passes: Tuple[RenderPass, ...]
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_type("Frame.index", self.index, int)
+        check_nonnegative("Frame.index", self.index)
+        check_type("Frame.passes", self.passes, tuple)
+        for i, rp in enumerate(self.passes):
+            if not isinstance(rp, RenderPass):
+                raise ValidationError(
+                    f"Frame.passes[{i}] must be RenderPass, got {type(rp).__name__}"
+                )
+
+    def draws(self) -> Iterator[DrawCall]:
+        """Iterate all draw-calls in submission order."""
+        for render_pass in self.passes:
+            yield from render_pass.draws
+
+    @property
+    def draw_list(self) -> List[DrawCall]:
+        return list(self.draws())
+
+    @property
+    def num_draws(self) -> int:
+        return sum(rp.num_draws for rp in self.passes)
+
+    @property
+    def shader_ids(self) -> Tuple[int, ...]:
+        """Shader id of every draw, in submission order."""
+        return tuple(d.shader_id for d in self.draws())
+
+    def pass_of_type(self, pass_type: PassType) -> Tuple[RenderPass, ...]:
+        """All passes with the given type (possibly several, e.g. shadows)."""
+        return tuple(rp for rp in self.passes if rp.pass_type is pass_type)
+
+
+def frame_from_draws(index: int, draws: List[DrawCall]) -> Frame:
+    """Wrap a flat draw list into a single-pass frame (testing helper)."""
+    if not draws:
+        raise ValidationError("frame_from_draws requires at least one draw")
+    return Frame(
+        index=index,
+        passes=(RenderPass(pass_type=draws[0].pass_type, draws=tuple(draws)),),
+    )

@@ -1,0 +1,112 @@
+"""GPU resource descriptors: textures, buffers, render targets.
+
+Descriptors capture only what the performance model and the feature
+extractor need — dimensions, formats, byte sizes — not contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.gfx.enums import TextureFormat
+from repro.util.validation import check_nonnegative, check_positive, check_type
+
+
+@dataclass(frozen=True)
+class TextureDesc:
+    """A sampled texture (mipmapped 2D)."""
+
+    texture_id: int
+    width: int
+    height: int
+    format: TextureFormat
+    mip_levels: int = 1
+
+    def __post_init__(self) -> None:
+        check_type("TextureDesc.texture_id", self.texture_id, int)
+        check_nonnegative("TextureDesc.texture_id", self.texture_id)
+        for name in ("width", "height", "mip_levels"):
+            value = getattr(self, name)
+            check_type(f"TextureDesc.{name}", value, int)
+            check_positive(f"TextureDesc.{name}", value)
+        check_type("TextureDesc.format", self.format, TextureFormat)
+        max_mips = max(self.width, self.height).bit_length()
+        if self.mip_levels > max_mips:
+            raise ValidationError(
+                f"TextureDesc.mip_levels={self.mip_levels} exceeds the "
+                f"{max_mips} levels a {self.width}x{self.height} texture can have"
+            )
+
+    @property
+    def byte_size(self) -> int:
+        """Total bytes across all mip levels."""
+        total = 0.0
+        w, h = self.width, self.height
+        for _ in range(self.mip_levels):
+            total += w * h * self.format.bytes_per_texel
+            w = max(1, w // 2)
+            h = max(1, h // 2)
+        return int(total)
+
+    def __hash__(self) -> int:
+        return hash(self.texture_id)
+
+
+@dataclass(frozen=True)
+class BufferDesc:
+    """A vertex or index buffer."""
+
+    buffer_id: int
+    byte_size: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        check_type("BufferDesc.buffer_id", self.buffer_id, int)
+        check_nonnegative("BufferDesc.buffer_id", self.buffer_id)
+        check_type("BufferDesc.byte_size", self.byte_size, int)
+        check_positive("BufferDesc.byte_size", self.byte_size)
+        check_type("BufferDesc.stride", self.stride, int)
+        check_positive("BufferDesc.stride", self.stride)
+        if self.stride > self.byte_size:
+            raise ValidationError(
+                f"BufferDesc.stride={self.stride} exceeds byte_size={self.byte_size}"
+            )
+
+    def __hash__(self) -> int:
+        return hash(self.buffer_id)
+
+
+@dataclass(frozen=True)
+class RenderTargetDesc:
+    """A color or depth attachment."""
+
+    target_id: int
+    width: int
+    height: int
+    format: TextureFormat
+    samples: int = 1
+
+    def __post_init__(self) -> None:
+        check_type("RenderTargetDesc.target_id", self.target_id, int)
+        check_nonnegative("RenderTargetDesc.target_id", self.target_id)
+        for name in ("width", "height", "samples"):
+            value = getattr(self, name)
+            check_type(f"RenderTargetDesc.{name}", value, int)
+            check_positive(f"RenderTargetDesc.{name}", value)
+        if self.samples not in (1, 2, 4, 8):
+            raise ValidationError(
+                f"RenderTargetDesc.samples must be 1, 2, 4 or 8, got {self.samples}"
+            )
+        check_type("RenderTargetDesc.format", self.format, TextureFormat)
+
+    @property
+    def pixel_count(self) -> int:
+        return self.width * self.height
+
+    @property
+    def bytes_per_pixel(self) -> float:
+        return self.format.bytes_per_texel * self.samples
+
+    def __hash__(self) -> int:
+        return hash(self.target_id)

@@ -1,0 +1,107 @@
+"""Shader programs and their static instruction statistics.
+
+A :class:`ShaderProgram` carries per-stage :class:`ShaderStats`.  The ALU,
+texture-sample, and interpolant counts are micro-architecture-independent
+(properties of the compiled program's instruction stream) and feed the
+clustering features.  The register count is *excluded* from the features: it
+influences occupancy on a concrete GPU, so it belongs to the
+micro-architecture-dependent residual the clustering must tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative, check_positive, check_type
+
+
+@dataclass(frozen=True)
+class ShaderStats:
+    """Static instruction statistics for one shader stage.
+
+    Attributes:
+        alu_ops: arithmetic instructions executed per invocation.
+        tex_ops: texture-sample instructions per invocation.
+        interpolants: varying components consumed (pixel stage) or
+            produced (vertex stage).
+        registers: temporary registers allocated by the compiler.  Affects
+            occupancy on a real GPU; deliberately not a clustering feature.
+        branch_ops: dynamic-branch instructions per invocation.
+    """
+
+    alu_ops: int
+    tex_ops: int = 0
+    interpolants: int = 8
+    registers: int = 16
+    branch_ops: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("alu_ops", "tex_ops", "interpolants", "registers", "branch_ops"):
+            value = getattr(self, name)
+            check_type(f"ShaderStats.{name}", value, int)
+            check_nonnegative(f"ShaderStats.{name}", value)
+        if self.registers == 0:
+            raise ValidationError("ShaderStats.registers must be >= 1")
+
+    @property
+    def total_ops(self) -> int:
+        return self.alu_ops + self.tex_ops + self.branch_ops
+
+
+@dataclass(frozen=True)
+class ShaderProgram:
+    """A linked vertex+pixel shader program, identified by ``shader_id``.
+
+    ``name`` is a human label emitted by the generator (e.g.
+    ``"gbuffer/metal_rough"``); equality and identity are by ``shader_id``.
+    """
+
+    shader_id: int
+    name: str
+    vertex: ShaderStats
+    pixel: ShaderStats
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_type("ShaderProgram.shader_id", self.shader_id, int)
+        check_nonnegative("ShaderProgram.shader_id", self.shader_id)
+        check_type("ShaderProgram.name", self.name, str)
+        if not self.name:
+            raise ValidationError("ShaderProgram.name must be non-empty")
+        check_type("ShaderProgram.vertex", self.vertex, ShaderStats)
+        check_type("ShaderProgram.pixel", self.pixel, ShaderStats)
+
+    def __hash__(self) -> int:
+        return hash(self.shader_id)
+
+
+def make_shader(
+    shader_id: int,
+    name: str,
+    vs_alu: int,
+    ps_alu: int,
+    ps_tex: int = 0,
+    vs_tex: int = 0,
+    ps_registers: int = 16,
+    vs_registers: int = 16,
+    interpolants: int = 8,
+) -> ShaderProgram:
+    """Convenience constructor used heavily by the generator and tests."""
+    check_positive("interpolants", interpolants)
+    return ShaderProgram(
+        shader_id=shader_id,
+        name=name,
+        vertex=ShaderStats(
+            alu_ops=vs_alu,
+            tex_ops=vs_tex,
+            interpolants=interpolants,
+            registers=vs_registers,
+        ),
+        pixel=ShaderStats(
+            alu_ops=ps_alu,
+            tex_ops=ps_tex,
+            interpolants=interpolants,
+            registers=ps_registers,
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Fixed-function pipeline state attached to a draw-call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gfx.enums import BlendMode, CullMode, DepthMode
+from repro.util.validation import check_type
+
+
+@dataclass(frozen=True)
+class PipelineState:
+    """Depth / blend / cull configuration of a draw.
+
+    Frozen and hashable so the simulator's state tracker can detect state
+    changes between consecutive draws by simple equality.
+    """
+
+    depth: DepthMode = DepthMode.TEST_WRITE
+    blend: BlendMode = BlendMode.OPAQUE
+    cull: CullMode = CullMode.BACK
+
+    def __post_init__(self) -> None:
+        check_type("PipelineState.depth", self.depth, DepthMode)
+        check_type("PipelineState.blend", self.blend, BlendMode)
+        check_type("PipelineState.cull", self.cull, CullMode)
+
+    @property
+    def state_key(self) -> tuple:
+        """A compact hashable key identifying this state configuration."""
+        return (self.depth.value, self.blend.value, self.cull.value)
+
+
+OPAQUE_STATE = PipelineState(
+    depth=DepthMode.TEST_WRITE, blend=BlendMode.OPAQUE, cull=CullMode.BACK
+)
+TRANSPARENT_STATE = PipelineState(
+    depth=DepthMode.TEST_ONLY, blend=BlendMode.ALPHA, cull=CullMode.NONE
+)
+ADDITIVE_STATE = PipelineState(
+    depth=DepthMode.TEST_ONLY, blend=BlendMode.ADDITIVE, cull=CullMode.NONE
+)
+FULLSCREEN_STATE = PipelineState(
+    depth=DepthMode.DISABLED, blend=BlendMode.OPAQUE, cull=CullMode.NONE
+)
+UI_STATE = PipelineState(
+    depth=DepthMode.DISABLED, blend=BlendMode.ALPHA, cull=CullMode.NONE
+)

@@ -1,0 +1,159 @@
+"""The trace: a complete captured workload.
+
+A :class:`Trace` bundles the frames of a workload with the shader and
+resource tables the draws reference.  It is the input to the performance
+model, the feature extractor, and the subsetting pipeline, and the output
+of the synthetic generator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ValidationError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.frame import Frame
+from repro.gfx.resources import BufferDesc, RenderTargetDesc, TextureDesc
+from repro.gfx.shader import ShaderProgram
+from repro.util.validation import check_type
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a trace (used in reports and sanity checks)."""
+
+    num_frames: int
+    num_draws: int
+    num_shaders: int
+    num_textures: int
+    num_render_targets: int
+    draws_per_frame_mean: float
+    draws_per_pass_type: Dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "frames": self.num_frames,
+            "draws": self.num_draws,
+            "shaders": self.num_shaders,
+            "textures": self.num_textures,
+            "render_targets": self.num_render_targets,
+            "draws_per_frame_mean": self.draws_per_frame_mean,
+            "draws_per_pass_type": dict(self.draws_per_pass_type),
+        }
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A captured (or synthesized) 3D workload."""
+
+    name: str
+    frames: Tuple[Frame, ...]
+    shaders: Dict[int, ShaderProgram]
+    textures: Dict[int, TextureDesc] = field(default_factory=dict)
+    render_targets: Dict[int, RenderTargetDesc] = field(default_factory=dict)
+    buffers: Dict[int, BufferDesc] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_type("Trace.name", self.name, str)
+        if not self.name:
+            raise ValidationError("Trace.name must be non-empty")
+        check_type("Trace.frames", self.frames, tuple)
+        if not self.frames:
+            raise ValidationError("Trace.frames must be non-empty")
+        for key, shader in self.shaders.items():
+            if key != shader.shader_id:
+                raise ValidationError(
+                    f"shader table key {key} != shader_id {shader.shader_id}"
+                )
+        for key, tex in self.textures.items():
+            if key != tex.texture_id:
+                raise ValidationError(
+                    f"texture table key {key} != texture_id {tex.texture_id}"
+                )
+        for key, rt in self.render_targets.items():
+            if key != rt.target_id:
+                raise ValidationError(
+                    f"render-target table key {key} != target_id {rt.target_id}"
+                )
+        for key, buf in self.buffers.items():
+            if key != buf.buffer_id:
+                raise ValidationError(
+                    f"buffer table key {key} != buffer_id {buf.buffer_id}"
+                )
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def num_draws(self) -> int:
+        return sum(frame.num_draws for frame in self.frames)
+
+    def draws(self) -> Iterator[DrawCall]:
+        """Iterate every draw-call of every frame, in order."""
+        for frame in self.frames:
+            yield from frame.draws()
+
+    def shader(self, shader_id: int) -> ShaderProgram:
+        try:
+            return self.shaders[shader_id]
+        except KeyError:
+            raise ValidationError(f"unknown shader_id {shader_id}") from None
+
+    def texture(self, texture_id: int) -> TextureDesc:
+        try:
+            return self.textures[texture_id]
+        except KeyError:
+            raise ValidationError(f"unknown texture_id {texture_id}") from None
+
+    def render_target(self, target_id: int) -> RenderTargetDesc:
+        try:
+            return self.render_targets[target_id]
+        except KeyError:
+            raise ValidationError(f"unknown render target_id {target_id}") from None
+
+    def stats(self) -> TraceStats:
+        """Compute aggregate statistics over the whole trace."""
+        pass_counts: Counter = Counter()
+        for frame in self.frames:
+            for render_pass in frame.passes:
+                pass_counts[render_pass.pass_type.value] += render_pass.num_draws
+        num_draws = self.num_draws
+        return TraceStats(
+            num_frames=self.num_frames,
+            num_draws=num_draws,
+            num_shaders=len(self.shaders),
+            num_textures=len(self.textures),
+            num_render_targets=len(self.render_targets),
+            draws_per_frame_mean=num_draws / self.num_frames,
+            draws_per_pass_type=dict(pass_counts),
+        )
+
+    def subset_frames(self, frame_indices: List[int], name_suffix: str = "subset") -> "Trace":
+        """Build a new trace containing only the given frames (by position).
+
+        Shader/resource tables are carried over whole; frame ``index``
+        fields keep their original values so phase provenance is preserved.
+        """
+        if not frame_indices:
+            raise ValidationError("frame_indices must be non-empty")
+        picked = []
+        for pos in frame_indices:
+            if not 0 <= pos < self.num_frames:
+                raise ValidationError(
+                    f"frame position {pos} out of range [0, {self.num_frames})"
+                )
+            picked.append(self.frames[pos])
+        return Trace(
+            name=f"{self.name}.{name_suffix}",
+            frames=tuple(picked),
+            shaders=dict(self.shaders),
+            textures=dict(self.textures),
+            render_targets=dict(self.render_targets),
+            buffers=dict(self.buffers),
+            metadata={**self.metadata, "parent": self.name,
+                      "parent_frames": self.num_frames},
+        )

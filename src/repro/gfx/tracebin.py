@@ -1,0 +1,342 @@
+"""Compact binary trace format.
+
+JSON lines (:mod:`repro.gfx.traceio`) are debuggable but bulky — a
+paper-scale corpus serializes to hundreds of megabytes.  This module
+packs the same information with ``struct``: enum values become one-byte
+codes via per-enum tables, draw records become fixed-width rows plus
+variable-length id lists.  Round-trips are exact (everything stored is
+integral), and both formats read back to equal traces.
+
+Layout (little-endian):
+
+    magic b"RPB1" | section SHDR | section TEXR | section RTGT |
+    section BUFR | section FRMS | magic b"REND"
+
+Each section starts with a 4-byte tag and a u32 record count.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import (
+    BlendMode,
+    CullMode,
+    DepthMode,
+    PassType,
+    PrimitiveTopology,
+    TextureFormat,
+)
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.resources import BufferDesc, RenderTargetDesc, TextureDesc
+from repro.gfx.shader import ShaderProgram, ShaderStats
+from repro.gfx.state import PipelineState
+from repro.gfx.trace import Trace
+
+MAGIC = b"RPB1"
+END_MAGIC = b"REND"
+
+# One-byte codes per enum, assigned by definition order (append-only:
+# extending an enum must append, or the format version must bump).
+_ENUMS = (PrimitiveTopology, TextureFormat, DepthMode, BlendMode, CullMode, PassType)
+_ENCODE: Dict[type, Dict[object, int]] = {
+    enum_type: {member: code for code, member in enumerate(enum_type)}
+    for enum_type in _ENUMS
+}
+_DECODE: Dict[type, Dict[int, object]] = {
+    enum_type: {code: member for member, code in table.items()}
+    for enum_type, table in _ENCODE.items()
+}
+
+_U32 = struct.Struct("<I")
+_SHADER_STATS = struct.Struct("<IIIII")
+_TEXTURE = struct.Struct("<IIIBB")
+_RENDER_TARGET = struct.Struct("<IIIBB")
+_BUFFER = struct.Struct("<III")
+# shader_id, verts, instances, rast, shaded, stride, depth+1, topo, depth
+# mode, blend, cull, pass, n_tex, n_rts
+_DRAW_FIXED = struct.Struct("<IIQQQIIBBBBBBB")
+
+
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    stream.write(_U32.pack(value))
+
+
+def _read_u32(stream: BinaryIO) -> int:
+    data = stream.read(4)
+    if len(data) != 4:
+        raise TraceFormatError("unexpected end of binary trace")
+    return _U32.unpack(data)[0]
+
+
+def _write_str(stream: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    _write_u32(stream, len(raw))
+    stream.write(raw)
+
+
+def _read_str(stream: BinaryIO) -> str:
+    length = _read_u32(stream)
+    data = stream.read(length)
+    if len(data) != length:
+        raise TraceFormatError("unexpected end of binary trace in string")
+    return data.decode("utf-8")
+
+
+def _expect(stream: BinaryIO, tag: bytes) -> None:
+    data = stream.read(len(tag))
+    if data != tag:
+        raise TraceFormatError(
+            f"expected section tag {tag!r}, found {data!r}"
+        )
+
+
+def _write_stats(stream: BinaryIO, stats: ShaderStats) -> None:
+    stream.write(
+        _SHADER_STATS.pack(
+            stats.alu_ops,
+            stats.tex_ops,
+            stats.interpolants,
+            stats.registers,
+            stats.branch_ops,
+        )
+    )
+
+
+def _read_stats(stream: BinaryIO) -> ShaderStats:
+    data = stream.read(_SHADER_STATS.size)
+    alu, tex, interp, regs, branch = _SHADER_STATS.unpack(data)
+    return ShaderStats(
+        alu_ops=alu,
+        tex_ops=tex,
+        interpolants=interp,
+        registers=regs,
+        branch_ops=branch,
+    )
+
+
+def write_trace_binary(trace: Trace, stream: BinaryIO) -> None:
+    """Serialize ``trace`` to an open binary stream."""
+    stream.write(MAGIC)
+    _write_str(stream, trace.name)
+
+    stream.write(b"SHDR")
+    _write_u32(stream, len(trace.shaders))
+    for shader in trace.shaders.values():
+        _write_u32(stream, shader.shader_id)
+        _write_str(stream, shader.name)
+        _write_stats(stream, shader.vertex)
+        _write_stats(stream, shader.pixel)
+
+    stream.write(b"TEXR")
+    _write_u32(stream, len(trace.textures))
+    for tex in trace.textures.values():
+        stream.write(
+            _TEXTURE.pack(
+                tex.texture_id,
+                tex.width,
+                tex.height,
+                _ENCODE[TextureFormat][tex.format],
+                tex.mip_levels,
+            )
+        )
+
+    stream.write(b"RTGT")
+    _write_u32(stream, len(trace.render_targets))
+    for rt in trace.render_targets.values():
+        stream.write(
+            _RENDER_TARGET.pack(
+                rt.target_id,
+                rt.width,
+                rt.height,
+                _ENCODE[TextureFormat][rt.format],
+                rt.samples,
+            )
+        )
+
+    stream.write(b"BUFR")
+    _write_u32(stream, len(trace.buffers))
+    for buf in trace.buffers.values():
+        stream.write(_BUFFER.pack(buf.buffer_id, buf.byte_size, buf.stride))
+
+    stream.write(b"FRMS")
+    _write_u32(stream, len(trace.frames))
+    for frame in trace.frames:
+        _write_u32(stream, frame.index)
+        _write_u32(stream, len(frame.passes))
+        for render_pass in frame.passes:
+            stream.write(
+                bytes([_ENCODE[PassType][render_pass.pass_type]])
+            )
+            _write_str(stream, render_pass.name)
+            _write_u32(stream, len(render_pass.draws))
+            for draw in render_pass.draws:
+                depth_plus_one = (
+                    0 if draw.depth_target_id is None else draw.depth_target_id + 1
+                )
+                stream.write(
+                    _DRAW_FIXED.pack(
+                        draw.shader_id,
+                        draw.vertex_count,
+                        draw.instance_count,
+                        draw.pixels_rasterized,
+                        draw.pixels_shaded,
+                        draw.vertex_stride_bytes,
+                        depth_plus_one,
+                        _ENCODE[PrimitiveTopology][draw.topology],
+                        _ENCODE[DepthMode][draw.state.depth],
+                        _ENCODE[BlendMode][draw.state.blend],
+                        _ENCODE[CullMode][draw.state.cull],
+                        _ENCODE[PassType][draw.pass_type],
+                        len(draw.texture_ids),
+                        len(draw.render_target_ids),
+                    )
+                )
+                for tid in draw.texture_ids:
+                    _write_u32(stream, tid)
+                for rid in draw.render_target_ids:
+                    _write_u32(stream, rid)
+    stream.write(END_MAGIC)
+
+
+def read_trace_binary(stream: BinaryIO) -> Trace:
+    """Parse a trace from an open binary stream."""
+    magic = stream.read(4)
+    if magic != MAGIC:
+        raise TraceFormatError(
+            f"not a binary trace (magic {magic!r}, expected {MAGIC!r})"
+        )
+    name = _read_str(stream)
+
+    _expect(stream, b"SHDR")
+    shaders: Dict[int, ShaderProgram] = {}
+    for _ in range(_read_u32(stream)):
+        shader_id = _read_u32(stream)
+        shader_name = _read_str(stream)
+        vertex = _read_stats(stream)
+        pixel = _read_stats(stream)
+        shaders[shader_id] = ShaderProgram(
+            shader_id=shader_id, name=shader_name, vertex=vertex, pixel=pixel
+        )
+
+    _expect(stream, b"TEXR")
+    textures: Dict[int, TextureDesc] = {}
+    for _ in range(_read_u32(stream)):
+        tid, w, h, fmt, mips = _TEXTURE.unpack(stream.read(_TEXTURE.size))
+        textures[tid] = TextureDesc(
+            texture_id=tid,
+            width=w,
+            height=h,
+            format=_DECODE[TextureFormat][fmt],
+            mip_levels=mips,
+        )
+
+    _expect(stream, b"RTGT")
+    render_targets: Dict[int, RenderTargetDesc] = {}
+    for _ in range(_read_u32(stream)):
+        rid, w, h, fmt, samples = _RENDER_TARGET.unpack(
+            stream.read(_RENDER_TARGET.size)
+        )
+        render_targets[rid] = RenderTargetDesc(
+            target_id=rid,
+            width=w,
+            height=h,
+            format=_DECODE[TextureFormat][fmt],
+            samples=samples,
+        )
+
+    _expect(stream, b"BUFR")
+    buffers: Dict[int, BufferDesc] = {}
+    for _ in range(_read_u32(stream)):
+        bid, size, stride = _BUFFER.unpack(stream.read(_BUFFER.size))
+        buffers[bid] = BufferDesc(buffer_id=bid, byte_size=size, stride=stride)
+
+    _expect(stream, b"FRMS")
+    frames: List[Frame] = []
+    for _ in range(_read_u32(stream)):
+        frame_index = _read_u32(stream)
+        passes: List[RenderPass] = []
+        for _ in range(_read_u32(stream)):
+            pass_code = stream.read(1)
+            if not pass_code:
+                raise TraceFormatError("unexpected end of binary trace in pass")
+            pass_type = _DECODE[PassType][pass_code[0]]
+            pass_name = _read_str(stream)
+            draws: List[DrawCall] = []
+            for _ in range(_read_u32(stream)):
+                row = stream.read(_DRAW_FIXED.size)
+                if len(row) != _DRAW_FIXED.size:
+                    raise TraceFormatError(
+                        "unexpected end of binary trace in draw"
+                    )
+                (
+                    shader_id,
+                    verts,
+                    instances,
+                    rast,
+                    shaded,
+                    stride,
+                    depth_plus_one,
+                    topo,
+                    depth_mode,
+                    blend,
+                    cull,
+                    draw_pass,
+                    n_tex,
+                    n_rts,
+                ) = _DRAW_FIXED.unpack(row)
+                texture_ids = tuple(_read_u32(stream) for _ in range(n_tex))
+                target_ids = tuple(_read_u32(stream) for _ in range(n_rts))
+                draws.append(
+                    DrawCall(
+                        shader_id=shader_id,
+                        state=PipelineState(
+                            depth=_DECODE[DepthMode][depth_mode],
+                            blend=_DECODE[BlendMode][blend],
+                            cull=_DECODE[CullMode][cull],
+                        ),
+                        topology=_DECODE[PrimitiveTopology][topo],
+                        vertex_count=verts,
+                        instance_count=instances,
+                        pixels_rasterized=rast,
+                        pixels_shaded=shaded,
+                        texture_ids=texture_ids,
+                        render_target_ids=target_ids,
+                        depth_target_id=(
+                            None if depth_plus_one == 0 else depth_plus_one - 1
+                        ),
+                        vertex_stride_bytes=stride,
+                        pass_type=_DECODE[PassType][draw_pass],
+                    )
+                )
+            passes.append(
+                RenderPass(pass_type=pass_type, draws=tuple(draws), name=pass_name)
+            )
+        frames.append(Frame(index=frame_index, passes=tuple(passes)))
+
+    if stream.read(4) != END_MAGIC:
+        raise TraceFormatError("binary trace missing end marker (truncated?)")
+    return Trace(
+        name=name,
+        frames=tuple(frames),
+        shaders=shaders,
+        textures=textures,
+        render_targets=render_targets,
+        buffers=buffers,
+    )
+
+
+def save_trace_binary(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the binary format (overwrites)."""
+    with open(path, "wb") as handle:
+        write_trace_binary(trace, handle)
+
+
+def load_trace_binary(path: Union[str, Path]) -> Trace:
+    """Read a binary-format trace from ``path``."""
+    with open(path, "rb") as handle:
+        return read_trace_binary(handle)

@@ -1,0 +1,300 @@
+"""Versioned JSON-lines serialization for traces.
+
+Format: one JSON object per line.  The first line is a header carrying the
+format version and trace name; subsequent lines declare shaders, textures,
+render targets, buffers, then frames.  The format is append-friendly and
+streamable, which matters for paper-scale corpora (828K draw-calls).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Union
+
+from repro.errors import TraceFormatError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import (
+    BlendMode,
+    CullMode,
+    DepthMode,
+    PassType,
+    PrimitiveTopology,
+    TextureFormat,
+)
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.resources import BufferDesc, RenderTargetDesc, TextureDesc
+from repro.gfx.shader import ShaderProgram, ShaderStats
+from repro.gfx.state import PipelineState
+from repro.gfx.trace import Trace
+
+FORMAT_VERSION = 1
+
+
+def _shader_stats_to_dict(stats: ShaderStats) -> dict:
+    return {
+        "alu_ops": stats.alu_ops,
+        "tex_ops": stats.tex_ops,
+        "interpolants": stats.interpolants,
+        "registers": stats.registers,
+        "branch_ops": stats.branch_ops,
+    }
+
+
+def _shader_stats_from_dict(data: dict) -> ShaderStats:
+    return ShaderStats(
+        alu_ops=data["alu_ops"],
+        tex_ops=data["tex_ops"],
+        interpolants=data["interpolants"],
+        registers=data["registers"],
+        branch_ops=data.get("branch_ops", 0),
+    )
+
+
+def _draw_to_dict(draw: DrawCall) -> dict:
+    return {
+        "shader": draw.shader_id,
+        "state": list(draw.state.state_key),
+        "topo": draw.topology.value,
+        "verts": draw.vertex_count,
+        "inst": draw.instance_count,
+        "rast": draw.pixels_rasterized,
+        "shaded": draw.pixels_shaded,
+        "tex": list(draw.texture_ids),
+        "rts": list(draw.render_target_ids),
+        "depth_rt": draw.depth_target_id,
+        "stride": draw.vertex_stride_bytes,
+        "pass": draw.pass_type.value,
+    }
+
+
+def _draw_from_dict(data: dict) -> DrawCall:
+    depth_value, blend_value, cull_value = data["state"]
+    return DrawCall(
+        shader_id=data["shader"],
+        state=PipelineState(
+            depth=DepthMode(depth_value),
+            blend=BlendMode(blend_value),
+            cull=CullMode(cull_value),
+        ),
+        topology=PrimitiveTopology(data["topo"]),
+        vertex_count=data["verts"],
+        instance_count=data["inst"],
+        pixels_rasterized=data["rast"],
+        pixels_shaded=data["shaded"],
+        texture_ids=tuple(data["tex"]),
+        render_target_ids=tuple(data["rts"]),
+        depth_target_id=data["depth_rt"],
+        vertex_stride_bytes=data["stride"],
+        pass_type=PassType(data["pass"]),
+    )
+
+
+def write_trace(trace: Trace, stream: IO[str]) -> None:
+    """Serialize ``trace`` to an open text stream as JSON lines."""
+    header = {
+        "type": "header",
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "metadata": trace.metadata,
+    }
+    stream.write(json.dumps(header) + "\n")
+    for shader in trace.shaders.values():
+        record = {
+            "type": "shader",
+            "id": shader.shader_id,
+            "name": shader.name,
+            "vertex": _shader_stats_to_dict(shader.vertex),
+            "pixel": _shader_stats_to_dict(shader.pixel),
+        }
+        stream.write(json.dumps(record) + "\n")
+    for tex in trace.textures.values():
+        record = {
+            "type": "texture",
+            "id": tex.texture_id,
+            "w": tex.width,
+            "h": tex.height,
+            "fmt": tex.format.value,
+            "mips": tex.mip_levels,
+        }
+        stream.write(json.dumps(record) + "\n")
+    for rt in trace.render_targets.values():
+        record = {
+            "type": "render_target",
+            "id": rt.target_id,
+            "w": rt.width,
+            "h": rt.height,
+            "fmt": rt.format.value,
+            "samples": rt.samples,
+        }
+        stream.write(json.dumps(record) + "\n")
+    for buf in trace.buffers.values():
+        record = {
+            "type": "buffer",
+            "id": buf.buffer_id,
+            "bytes": buf.byte_size,
+            "stride": buf.stride,
+        }
+        stream.write(json.dumps(record) + "\n")
+    for frame in trace.frames:
+        record = {
+            "type": "frame",
+            "index": frame.index,
+            "passes": [
+                {
+                    "pass_type": rp.pass_type.value,
+                    "name": rp.name,
+                    "draws": [_draw_to_dict(d) for d in rp.draws],
+                }
+                for rp in frame.passes
+            ],
+        }
+        stream.write(json.dumps(record) + "\n")
+
+
+def read_trace(stream: IO[str]) -> Trace:
+    """Parse a trace from an open text stream of JSON lines."""
+    first = stream.readline()
+    if not first:
+        raise TraceFormatError("empty trace stream")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed header line: {exc}") from exc
+    if header.get("type") != "header":
+        raise TraceFormatError(
+            f"first record must be a header, got type={header.get('type')!r}"
+        )
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+
+    shaders: Dict[int, ShaderProgram] = {}
+    textures: Dict[int, TextureDesc] = {}
+    render_targets: Dict[int, RenderTargetDesc] = {}
+    buffers: Dict[int, BufferDesc] = {}
+    frames: List[Frame] = []
+
+    for line_number, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"line {line_number}: bad JSON: {exc}") from exc
+        kind = record.get("type")
+        try:
+            if kind == "shader":
+                shaders[record["id"]] = ShaderProgram(
+                    shader_id=record["id"],
+                    name=record["name"],
+                    vertex=_shader_stats_from_dict(record["vertex"]),
+                    pixel=_shader_stats_from_dict(record["pixel"]),
+                )
+            elif kind == "texture":
+                textures[record["id"]] = TextureDesc(
+                    texture_id=record["id"],
+                    width=record["w"],
+                    height=record["h"],
+                    format=TextureFormat(record["fmt"]),
+                    mip_levels=record["mips"],
+                )
+            elif kind == "render_target":
+                render_targets[record["id"]] = RenderTargetDesc(
+                    target_id=record["id"],
+                    width=record["w"],
+                    height=record["h"],
+                    format=TextureFormat(record["fmt"]),
+                    samples=record["samples"],
+                )
+            elif kind == "buffer":
+                buffers[record["id"]] = BufferDesc(
+                    buffer_id=record["id"],
+                    byte_size=record["bytes"],
+                    stride=record["stride"],
+                )
+            elif kind == "frame":
+                passes = tuple(
+                    RenderPass(
+                        pass_type=PassType(p["pass_type"]),
+                        name=p.get("name", ""),
+                        draws=tuple(_draw_from_dict(d) for d in p["draws"]),
+                    )
+                    for p in record["passes"]
+                )
+                frames.append(Frame(index=record["index"], passes=passes))
+            else:
+                raise TraceFormatError(
+                    f"line {line_number}: unknown record type {kind!r}"
+                )
+        except (KeyError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: bad {kind!r} record: {exc}"
+            ) from exc
+
+    return Trace(
+        name=header["name"],
+        frames=tuple(frames),
+        shaders=shaders,
+        textures=textures,
+        render_targets=render_targets,
+        buffers=buffers,
+        metadata=header.get("metadata", {}),
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (overwrites)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_trace(trace, handle)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_trace(handle)
+
+
+BINARY_SUFFIXES = (".rpb", ".bin")
+
+
+def save_trace_auto(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` choosing the format by file suffix.
+
+    ``.rpb``/``.bin`` select the compact binary format
+    (:mod:`repro.gfx.tracebin`); anything else writes JSON lines.
+    """
+    if str(path).endswith(BINARY_SUFFIXES):
+        from repro.gfx.tracebin import save_trace_binary
+
+        save_trace_binary(trace, path)
+    else:
+        save_trace(trace, path)
+
+
+def load_trace_auto(path: Union[str, Path]) -> Trace:
+    """Read a trace detecting the format from the file's first bytes."""
+    from repro.gfx.tracebin import MAGIC, load_trace_binary
+
+    with open(path, "rb") as handle:
+        head = handle.read(4)
+    if head == MAGIC:
+        return load_trace_binary(path)
+    return load_trace(path)
+
+
+def trace_to_string(trace: Trace) -> str:
+    """Serialize a trace to an in-memory string (tests and tooling)."""
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_string(text: str) -> Trace:
+    """Parse a trace from an in-memory string."""
+    return read_trace(io.StringIO(text))

@@ -1,0 +1,193 @@
+"""Workload what-if transformations.
+
+Pathfinding studies routinely ask "what if this workload ran at 1440p?",
+"what if the engine sorted by material?", "what does the frame cost
+without shadows?".  These functions derive modified traces answering
+such questions, keeping all referential integrity intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, Set
+
+from repro.errors import ValidationError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PassType
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.resources import RenderTargetDesc, TextureDesc
+from repro.gfx.trace import Trace
+from repro.util.validation import check_positive
+
+
+def _shadow_target_ids(trace: Trace) -> Set[int]:
+    """Render targets used only as lone depth attachments (shadow maps).
+
+    Screen-resolution scaling must not touch shadow maps: their size is
+    a quality setting independent of display resolution.
+    """
+    lone_depth: Set[int] = set()
+    with_color: Set[int] = set()
+    for draw in trace.draws():
+        if draw.depth_target_id is not None:
+            if draw.render_target_ids:
+                with_color.add(draw.depth_target_id)
+            else:
+                lone_depth.add(draw.depth_target_id)
+        with_color.update(draw.render_target_ids)
+    return lone_depth - with_color
+
+
+def scale_resolution(trace: Trace, factor: float) -> Trace:
+    """The same workload rendered at ``factor`` times the linear resolution.
+
+    Screen render targets (and their sampled aliases) scale by ``factor``
+    per axis; per-draw pixel counts on those targets scale by
+    ``factor**2``.  Geometry, shaders, material textures, and shadow maps
+    are unchanged — exactly what changing the display mode does.
+    """
+    check_positive("factor", factor)
+    shadow_ids = _shadow_target_ids(trace)
+    area = factor * factor
+
+    scaled_targets: Dict[int, RenderTargetDesc] = {}
+    original_dims: Set[tuple] = set()
+    for rid, rt in trace.render_targets.items():
+        if rid in shadow_ids:
+            scaled_targets[rid] = rt
+            continue
+        original_dims.add((rt.width, rt.height))
+        scaled_targets[rid] = dataclasses.replace(
+            rt,
+            width=max(1, round(rt.width * factor)),
+            height=max(1, round(rt.height * factor)),
+        )
+
+    # RT-alias textures (sampled copies of screen targets) track the
+    # resolution; they are identified by matching a screen target's
+    # dimensions exactly with an uncompressed format.
+    scaled_textures: Dict[int, TextureDesc] = {}
+    for tid, tex in trace.textures.items():
+        if (tex.width, tex.height) in original_dims and not tex.format.is_compressed:
+            scaled_textures[tid] = dataclasses.replace(
+                tex,
+                width=max(1, round(tex.width * factor)),
+                height=max(1, round(tex.height * factor)),
+                mip_levels=1,
+            )
+        else:
+            scaled_textures[tid] = tex
+
+    def scale_draw(draw: DrawCall) -> DrawCall:
+        targets_shadow_map = (
+            not draw.render_target_ids and draw.depth_target_id in shadow_ids
+        )
+        if targets_shadow_map:
+            return draw
+        rasterized = int(math.ceil(draw.pixels_rasterized * area))
+        shaded = min(rasterized, int(math.ceil(draw.pixels_shaded * area)))
+        return dataclasses.replace(
+            draw, pixels_rasterized=rasterized, pixels_shaded=shaded
+        )
+
+    frames = tuple(
+        Frame(
+            index=frame.index,
+            passes=tuple(
+                RenderPass(
+                    pass_type=rp.pass_type,
+                    draws=tuple(scale_draw(d) for d in rp.draws),
+                    name=rp.name,
+                )
+                for rp in frame.passes
+            ),
+            metadata=dict(frame.metadata),
+        )
+        for frame in trace.frames
+    )
+    return Trace(
+        name=f"{trace.name}@{factor:g}x",
+        frames=frames,
+        shaders=dict(trace.shaders),
+        textures=scaled_textures,
+        render_targets=scaled_targets,
+        buffers=dict(trace.buffers),
+        metadata={**trace.metadata, "resolution_factor": factor},
+    )
+
+
+def sort_passes_by_material(trace: Trace) -> Trace:
+    """Reorder each pass's draws by (shader, state, textures).
+
+    The classic engine optimization: grouping equal pipeline
+    configurations amortizes switch penalties and keeps caches warm.
+    Applying it to an imported unsorted capture quantifies how much the
+    submission order costs on a candidate architecture.
+    """
+    def sort_key(draw: DrawCall) -> tuple:
+        return (draw.shader_id, draw.state.state_key, draw.texture_ids)
+
+    frames = tuple(
+        Frame(
+            index=frame.index,
+            passes=tuple(
+                RenderPass(
+                    pass_type=rp.pass_type,
+                    draws=tuple(sorted(rp.draws, key=sort_key)),
+                    name=rp.name,
+                )
+                for rp in frame.passes
+            ),
+            metadata=dict(frame.metadata),
+        )
+        for frame in trace.frames
+    )
+    return Trace(
+        name=f"{trace.name}.sorted",
+        frames=frames,
+        shaders=dict(trace.shaders),
+        textures=dict(trace.textures),
+        render_targets=dict(trace.render_targets),
+        buffers=dict(trace.buffers),
+        metadata=dict(trace.metadata),
+    )
+
+
+def filter_passes(trace: Trace, keep: Iterable[PassType]) -> Trace:
+    """Keep only the given pass types ("what does the frame cost without
+    shadows / post / UI?").
+
+    Raises if any frame would end up empty.
+    """
+    keep_set = set(keep)
+    if not keep_set:
+        raise ValidationError("keep must name at least one pass type")
+    for pass_type in keep_set:
+        if not isinstance(pass_type, PassType):
+            raise ValidationError(
+                f"keep entries must be PassType, got {type(pass_type).__name__}"
+            )
+    frames = []
+    for frame in trace.frames:
+        passes = tuple(
+            rp for rp in frame.passes if rp.pass_type in keep_set
+        )
+        if not passes or sum(rp.num_draws for rp in passes) == 0:
+            raise ValidationError(
+                f"frame {frame.index} has no draws left after filtering to "
+                f"{sorted(p.value for p in keep_set)}"
+            )
+        frames.append(
+            Frame(index=frame.index, passes=passes, metadata=dict(frame.metadata))
+        )
+    kept_names = "+".join(sorted(p.value for p in keep_set))
+    return Trace(
+        name=f"{trace.name}[{kept_names}]",
+        frames=tuple(frames),
+        shaders=dict(trace.shaders),
+        textures=dict(trace.textures),
+        render_targets=dict(trace.render_targets),
+        buffers=dict(trace.buffers),
+        metadata=dict(trace.metadata),
+    )

@@ -1,0 +1,89 @@
+"""Referential-integrity validation for traces.
+
+Dataclass constructors already enforce local invariants (non-negative
+counts, shaded <= rasterized, ...).  This module checks the *cross-object*
+invariants a trace must satisfy before simulation: every id a draw
+references must resolve in the trace's tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TraceError
+from repro.gfx.trace import Trace
+
+
+def validate_trace(trace: Trace, max_errors: int = 20) -> None:
+    """Raise :class:`TraceError` listing all integrity violations found.
+
+    Collects up to ``max_errors`` problems before raising so a broken
+    generator is diagnosed in one pass rather than one error at a time.
+    """
+    problems: List[str] = []
+
+    def note(problem: str) -> None:
+        if len(problems) < max_errors:
+            problems.append(problem)
+
+    for frame_pos, frame in enumerate(trace.frames):
+        for pass_pos, render_pass in enumerate(frame.passes):
+            for draw_pos, draw in enumerate(render_pass.draws):
+                where = f"frame[{frame_pos}].pass[{pass_pos}].draw[{draw_pos}]"
+                if draw.shader_id not in trace.shaders:
+                    note(f"{where}: unknown shader_id {draw.shader_id}")
+                for tid in draw.texture_ids:
+                    if tid not in trace.textures:
+                        note(f"{where}: unknown texture_id {tid}")
+                for rid in draw.render_target_ids:
+                    if rid not in trace.render_targets:
+                        note(f"{where}: unknown render target_id {rid}")
+                if (
+                    draw.depth_target_id is not None
+                    and draw.depth_target_id not in trace.render_targets
+                ):
+                    note(f"{where}: unknown depth target_id {draw.depth_target_id}")
+                if draw.depth_target_id is not None:
+                    depth_rt = trace.render_targets.get(draw.depth_target_id)
+                    if depth_rt is not None and not depth_rt.format.is_depth:
+                        note(
+                            f"{where}: depth target {draw.depth_target_id} has "
+                            f"non-depth format {depth_rt.format.value}"
+                        )
+                if draw.state.depth.reads_depth and draw.depth_target_id is None:
+                    note(f"{where}: depth test enabled but no depth target bound")
+                for rid in draw.render_target_ids:
+                    rt = trace.render_targets.get(rid)
+                    if rt is not None and rt.format.is_depth:
+                        note(
+                            f"{where}: color target {rid} has depth format "
+                            f"{rt.format.value}"
+                        )
+                if rt_pixel_bound_exceeded(trace, draw):
+                    note(
+                        f"{where}: pixels_rasterized={draw.pixels_rasterized} "
+                        "exceeds 16x the bound render-target area"
+                    )
+
+    if problems:
+        shown = "\n  ".join(problems)
+        more = "" if len(problems) < max_errors else "\n  ... (truncated)"
+        raise TraceError(f"trace {trace.name!r} failed validation:\n  {shown}{more}")
+
+
+def rt_pixel_bound_exceeded(trace: Trace, draw) -> bool:
+    """True when a draw claims to rasterize far more pixels than its target has.
+
+    Overdraw within a draw (a draw covering the same pixel multiple times)
+    is real, so the bound is deliberately loose: 16x the target area.
+    """
+    areas = [
+        trace.render_targets[rid].pixel_count
+        for rid in draw.render_target_ids
+        if rid in trace.render_targets
+    ]
+    if draw.depth_target_id is not None and draw.depth_target_id in trace.render_targets:
+        areas.append(trace.render_targets[draw.depth_target_id].pixel_count)
+    if not areas:
+        return False
+    return draw.pixels_rasterized > 16 * max(areas)

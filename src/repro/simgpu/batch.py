@@ -1,0 +1,333 @@
+"""Vectorized simulation path for paper-scale corpora.
+
+Reimplements exactly the model in :mod:`repro.simgpu.cost` over numpy
+arrays, one frame at a time.  Only the order-dependent context (texture
+warmth, switch penalties) runs as a light per-draw loop via the same
+:class:`~repro.simgpu.state_tracker.StateTracker` the sequential
+simulator uses, so the two paths agree bit-for-bit up to float rounding.
+
+The config-independent per-draw arrays are precomputed once per trace
+(:func:`precompute_trace`) and reused across architecture points, which
+is what makes DVFS sweeps over 828K-draw corpora tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gfx.trace import Trace
+from repro.simgpu import raster, rop, shadercore, texture
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.simulator import FrameResult, TraceResult
+from repro.simgpu.state_tracker import StateTracker
+from repro.util.rng import stable_unit
+
+
+@dataclass
+class FramePrecomp:
+    """Config-independent per-draw arrays for one frame."""
+
+    frame_index: int
+    verts: np.ndarray
+    prims: np.ndarray
+    cull_none: np.ndarray
+    pix_rast: np.ndarray
+    pix_shaded: np.ndarray
+    stride: np.ndarray
+    vs_alu: np.ndarray
+    vs_tex: np.ndarray
+    vs_branch: np.ndarray
+    vs_regs: np.ndarray
+    ps_alu: np.ndarray
+    ps_tex: np.ndarray
+    ps_branch: np.ndarray
+    ps_regs: np.ndarray
+    footprint: np.ndarray
+    color_bpp: np.ndarray
+    n_color: np.ndarray
+    blend_dest: np.ndarray
+    depth_reads: np.ndarray
+    depth_writes: np.ndarray
+    depth_bpp: np.ndarray  # 0 when no depth target bound
+    noise_units: np.ndarray
+    pass_spans: List[Tuple[str, int, int]]
+    draws: list  # DrawCall refs, for the tracker loop
+    textures_by_draw: list  # resolved TextureDesc lists, for the tracker loop
+
+
+@dataclass
+class TracePrecomp:
+    """Precomputed arrays for a whole trace, plus a context cache."""
+
+    trace: Trace
+    frames: List[FramePrecomp]
+    _context_cache: Dict[tuple, List[Tuple[np.ndarray, np.ndarray]]] = field(
+        default_factory=dict
+    )
+
+    def context_arrays(
+        self, config: GpuConfig
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(warm_fraction, switch_cycles) arrays per frame for ``config``.
+
+        Cached by the config fields that influence them, so a DVFS sweep
+        (same capacities/penalties, different clocks) computes them once.
+        """
+        key = (
+            config.tex_cache_kb,
+            config.l2_cache_kb,
+            config.shader_switch_cycles,
+            config.state_switch_cycles,
+            config.rt_switch_cycles,
+        )
+        cached = self._context_cache.get(key)
+        if cached is not None:
+            return cached
+        per_frame = []
+        for fp in self.frames:
+            tracker = StateTracker(config)
+            tracker.begin_frame()
+            warm = np.empty(len(fp.draws))
+            switch = np.empty(len(fp.draws))
+            for i, (draw, textures) in enumerate(zip(fp.draws, fp.textures_by_draw)):
+                effects = tracker.observe(draw, textures)
+                warm[i] = effects.warm_fraction
+                switch[i] = effects.switch_cycles
+            per_frame.append((warm, switch))
+        self._context_cache[key] = per_frame
+        return per_frame
+
+
+def precompute_trace(trace: Trace) -> TracePrecomp:
+    """Resolve tables and build the per-draw arrays for every frame."""
+    frames = []
+    for frame in trace.frames:
+        draws = frame.draw_list
+        n = len(draws)
+        fp = FramePrecomp(
+            frame_index=frame.index,
+            verts=np.empty(n),
+            prims=np.empty(n),
+            cull_none=np.empty(n, dtype=bool),
+            pix_rast=np.empty(n),
+            pix_shaded=np.empty(n),
+            stride=np.empty(n),
+            vs_alu=np.empty(n),
+            vs_tex=np.empty(n),
+            vs_branch=np.empty(n),
+            vs_regs=np.empty(n),
+            ps_alu=np.empty(n),
+            ps_tex=np.empty(n),
+            ps_branch=np.empty(n),
+            ps_regs=np.empty(n),
+            footprint=np.empty(n),
+            color_bpp=np.empty(n),
+            n_color=np.empty(n),
+            blend_dest=np.empty(n, dtype=bool),
+            depth_reads=np.empty(n, dtype=bool),
+            depth_writes=np.empty(n, dtype=bool),
+            depth_bpp=np.empty(n),
+            noise_units=np.empty(n),
+            pass_spans=[],
+            draws=draws,
+            textures_by_draw=[],
+        )
+        position = 0
+        for render_pass in frame.passes:
+            start = position
+            for draw in render_pass.draws:
+                shader = trace.shader(draw.shader_id)
+                textures = [trace.texture(tid) for tid in draw.texture_ids]
+                fp.textures_by_draw.append(textures)
+                color_targets = [
+                    trace.render_target(rid) for rid in draw.render_target_ids
+                ]
+                i = position
+                fp.verts[i] = draw.total_vertices
+                fp.prims[i] = draw.primitive_count
+                fp.cull_none[i] = draw.state.cull.value == "none"
+                fp.pix_rast[i] = draw.pixels_rasterized
+                fp.pix_shaded[i] = draw.pixels_shaded
+                fp.stride[i] = draw.vertex_stride_bytes
+                fp.vs_alu[i] = shader.vertex.alu_ops
+                fp.vs_tex[i] = shader.vertex.tex_ops
+                fp.vs_branch[i] = shader.vertex.branch_ops
+                fp.vs_regs[i] = shader.vertex.registers
+                fp.ps_alu[i] = shader.pixel.alu_ops
+                fp.ps_tex[i] = shader.pixel.tex_ops
+                fp.ps_branch[i] = shader.pixel.branch_ops
+                fp.ps_regs[i] = shader.pixel.registers
+                fp.footprint[i] = texture.texture_footprint_bytes(textures)
+                fp.color_bpp[i] = sum(rt.bytes_per_pixel for rt in color_targets)
+                fp.n_color[i] = max(1, len(color_targets))
+                fp.blend_dest[i] = draw.state.blend.reads_destination
+                fp.depth_reads[i] = draw.state.depth.reads_depth
+                fp.depth_writes[i] = draw.state.depth.writes_depth
+                if draw.depth_target_id is not None:
+                    depth_rt = trace.render_target(draw.depth_target_id)
+                    fp.depth_bpp[i] = depth_rt.bytes_per_pixel
+                else:
+                    fp.depth_bpp[i] = 0.0
+                fp.noise_units[i] = stable_unit(
+                    "simgpu-noise", frame.index, position
+                )
+                position += 1
+            fp.pass_spans.append((render_pass.pass_type.value, start, position))
+        frames.append(fp)
+    return TracePrecomp(trace=trace, frames=frames)
+
+
+def _throughput(regs: np.ndarray, config: GpuConfig) -> np.ndarray:
+    occ = np.minimum(1.0, config.max_full_occupancy_registers / regs)
+    return shadercore.MIN_THROUGHPUT_FACTOR + (
+        1.0 - shadercore.MIN_THROUGHPUT_FACTOR
+    ) * occ
+
+
+@dataclass(frozen=True)
+class BatchFrameOutput:
+    """Vectorized per-frame result with per-draw detail arrays."""
+
+    frame_index: int
+    time_ns: float
+    core_cycles: float
+    dram_cycles: float
+    draw_times_ns: np.ndarray
+    draw_core_cycles: np.ndarray
+    pass_times_ns: Dict[str, float]
+
+
+def simulate_frame_arrays(
+    fp: FramePrecomp,
+    warm: np.ndarray,
+    switch: np.ndarray,
+    config: GpuConfig,
+) -> BatchFrameOutput:
+    """Evaluate the cost model over one frame's arrays."""
+    vs_ops = (
+        fp.vs_alu
+        + shadercore.TEX_OP_ALU_COST * fp.vs_tex
+        + shadercore.BRANCH_OP_ALU_COST * fp.vs_branch
+    )
+    ps_ops = (
+        fp.ps_alu
+        + shadercore.TEX_OP_ALU_COST * fp.ps_tex
+        + shadercore.BRANCH_OP_ALU_COST * fp.ps_branch
+    )
+    lanes = config.alu_lanes
+    vertex_cycles = fp.verts * vs_ops / (lanes * _throughput(fp.vs_regs, config))
+    pixel_cycles = fp.pix_shaded * ps_ops / (lanes * _throughput(fp.ps_regs, config))
+
+    vertex_bytes = fp.verts * fp.stride
+    fetch_cycles = vertex_bytes / config.vertex_fetch_bytes_per_cycle
+
+    setup_prims = np.where(fp.cull_none, fp.prims, fp.prims * raster.CULL_SURVIVAL)
+    raster_cycles = (
+        setup_prims / config.raster_prims_per_cycle
+        + fp.pix_rast / config.raster_pixels_per_cycle
+    )
+
+    samples = fp.pix_shaded * fp.ps_tex + fp.verts * fp.vs_tex
+    tex_cycles = samples / (config.tex_units_total * config.tex_rate_per_unit)
+    pressure = fp.footprint / (config.tex_cache_kb * 1024)
+    cold = np.minimum(
+        texture.MAX_MISS, texture.BASE_MISS + texture.CAPACITY_MISS_SCALE * pressure
+    )
+    miss = np.where(
+        fp.footprint == 0,
+        0.0,
+        cold * (warm * texture.WARM_MISS_MULTIPLIER + (1.0 - warm)),
+    )
+    tex_bytes = np.minimum(
+        samples * miss * config.cacheline_bytes,
+        texture.FOOTPRINT_OVERFETCH_CAP * fp.footprint,
+    )
+
+    writes = fp.pix_shaded * fp.n_color
+    rop_rate = config.rop_pixels_total_per_cycle * np.where(
+        fp.blend_dest, rop.BLEND_THROUGHPUT_FACTOR, 1.0
+    )
+    depth_tests = np.where(fp.depth_reads, fp.pix_rast, 0.0)
+    rop_cycles = (writes + 0.25 * depth_tests) / rop_rate
+
+    color_write = fp.pix_shaded * fp.color_bpp
+    rt_bytes = color_write + np.where(fp.blend_dest, color_write, 0.0)
+    depth_pp = fp.depth_bpp * config.depth_compression
+    rt_bytes = rt_bytes + np.where(fp.depth_reads, fp.pix_rast * depth_pp, 0.0)
+    rt_bytes = rt_bytes + np.where(fp.depth_writes, fp.pix_shaded * depth_pp, 0.0)
+
+    stages = np.stack(
+        [vertex_cycles, fetch_cycles, raster_cycles, pixel_cycles, tex_cycles, rop_cycles]
+    )
+    slowest = stages.max(axis=0)
+    residual = config.serial_fraction * (stages.sum(axis=0) - slowest)
+    core = slowest + residual + switch + config.draw_overhead_cycles
+    core = core * (1.0 + config.noise_amplitude * (2.0 * fp.noise_units - 1.0))
+
+    dram_bytes = (
+        vertex_bytes * (1.0 - config.l2_hit_vertex)
+        + tex_bytes * (1.0 - config.l2_hit_tex)
+        + rt_bytes * (1.0 - config.l2_hit_rt)
+    )
+    dram = dram_bytes / config.dram_bytes_per_mem_cycle
+
+    core_ns = 1e3 * core / config.core_clock_mhz
+    mem_ns = 1e3 * dram / config.memory_clock_mhz
+    times = np.maximum(core_ns, mem_ns) + config.mem_overlap_residual * np.minimum(
+        core_ns, mem_ns
+    )
+
+    pass_times = {}
+    for pass_name, start, end in fp.pass_spans:
+        total = float(times[start:end].sum())
+        pass_times[pass_name] = pass_times.get(pass_name, 0.0) + total
+
+    return BatchFrameOutput(
+        frame_index=fp.frame_index,
+        time_ns=float(times.sum()),
+        core_cycles=float(core.sum()),
+        dram_cycles=float(dram.sum()),
+        draw_times_ns=times,
+        draw_core_cycles=core,
+        pass_times_ns=pass_times,
+    )
+
+
+def simulate_frames_batch(
+    trace: Trace, config: GpuConfig, precomp: Optional[TracePrecomp] = None
+) -> List[BatchFrameOutput]:
+    """Vectorized simulation of every frame; returns per-draw detail."""
+    if precomp is None:
+        precomp = precompute_trace(trace)
+    contexts = precomp.context_arrays(config)
+    return [
+        simulate_frame_arrays(fp, warm, switch, config)
+        for fp, (warm, switch) in zip(precomp.frames, contexts)
+    ]
+
+
+def simulate_trace_batch(
+    trace: Trace, config: GpuConfig, precomp: Optional[TracePrecomp] = None
+) -> TraceResult:
+    """Vectorized equivalent of :meth:`GpuSimulator.simulate_trace`."""
+    outputs = simulate_frames_batch(trace, config, precomp)
+    frame_results = tuple(
+        FrameResult(
+            frame_index=out.frame_index,
+            num_draws=len(out.draw_times_ns),
+            time_ns=out.time_ns,
+            core_cycles=out.core_cycles,
+            dram_cycles=out.dram_cycles,
+            pass_times_ns=out.pass_times_ns,
+            draw_costs=None,
+        )
+        for out in outputs
+    )
+    return TraceResult(
+        trace_name=trace.name,
+        config_name=config.name,
+        frame_results=frame_results,
+    )

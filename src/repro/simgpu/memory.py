@@ -1,0 +1,44 @@
+"""Memory system: L2 filtering and DRAM bandwidth.
+
+Traffic is classified (vertex fetch, texture miss, render target) because
+each class has a different L2 hit profile; what survives L2 is divided by
+DRAM bytes-per-cycle to get memory-clock cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simgpu.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes requested per traffic class, before L2 filtering."""
+
+    vertex_bytes: float = 0.0
+    texture_bytes: float = 0.0
+    rt_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.vertex_bytes + self.texture_bytes + self.rt_bytes
+
+
+def dram_bytes(traffic: TrafficBreakdown, config: GpuConfig) -> float:
+    """Bytes reaching DRAM after per-class L2 filtering."""
+    return (
+        traffic.vertex_bytes * (1.0 - config.l2_hit_vertex)
+        + traffic.texture_bytes * (1.0 - config.l2_hit_tex)
+        + traffic.rt_bytes * (1.0 - config.l2_hit_rt)
+    )
+
+
+def dram_cycles(traffic: TrafficBreakdown, config: GpuConfig) -> float:
+    """Memory-clock cycles to move the post-L2 traffic."""
+    return dram_bytes(traffic, config) / config.dram_bytes_per_mem_cycle
+
+
+def vertex_fetch_cycles(vertex_bytes: float, config: GpuConfig) -> float:
+    """Core cycles of vertex-fetch front-end throughput."""
+    return vertex_bytes / config.vertex_fetch_bytes_per_cycle

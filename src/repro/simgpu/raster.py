@@ -1,0 +1,31 @@
+"""Rasterizer model: primitive setup plus coarse pixel coverage."""
+
+from __future__ import annotations
+
+from repro.gfx.enums import CullMode
+from repro.simgpu.config import GpuConfig
+
+# Fraction of primitives surviving back-face culling for typical closed
+# meshes; applied only to setup (coverage counts are API-observed).
+CULL_SURVIVAL = 0.55
+
+
+def primitives_after_cull(primitive_count: int, cull: CullMode) -> float:
+    """Primitives reaching triangle setup after the cull stage."""
+    if primitive_count < 0:
+        raise ValueError(f"primitive_count must be >= 0, got {primitive_count}")
+    if cull is CullMode.NONE:
+        return float(primitive_count)
+    return primitive_count * CULL_SURVIVAL
+
+
+def raster_cycles(
+    primitive_count: int,
+    pixels_rasterized: int,
+    cull: CullMode,
+    config: GpuConfig,
+) -> float:
+    """Core cycles spent in triangle setup and coverage generation."""
+    setup = primitives_after_cull(primitive_count, cull) / config.raster_prims_per_cycle
+    coverage = pixels_rasterized / config.raster_pixels_per_cycle
+    return setup + coverage

@@ -1,0 +1,45 @@
+"""ROP (raster output / output-merger) model: fill-rate and RT traffic."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.resources import RenderTargetDesc
+from repro.simgpu.config import GpuConfig
+
+# Blending is read-modify-write; it halves effective ROP throughput.
+BLEND_THROUGHPUT_FACTOR = 0.5
+
+
+def rop_cycles(draw: DrawCall, num_color_targets: int, config: GpuConfig) -> float:
+    """Core cycles of output-merger throughput for one draw."""
+    writes = draw.pixels_shaded * max(1, num_color_targets)
+    rate = config.rop_pixels_total_per_cycle
+    if draw.state.blend.reads_destination:
+        rate *= BLEND_THROUGHPUT_FACTOR
+    # Depth-tested-but-killed pixels still occupy the depth ROP.
+    depth_tests = draw.pixels_rasterized if draw.state.depth.reads_depth else 0
+    return (writes + 0.25 * depth_tests) / rate
+
+
+def color_traffic_bytes(
+    draw: DrawCall, color_targets: Sequence[RenderTargetDesc]
+) -> float:
+    """Color read+write bytes at the output merger."""
+    bytes_per_pixel = sum(rt.bytes_per_pixel for rt in color_targets)
+    write = draw.pixels_shaded * bytes_per_pixel
+    read = write if draw.state.blend.reads_destination else 0.0
+    return write + read
+
+
+def depth_traffic_bytes(
+    draw: DrawCall,
+    depth_target: RenderTargetDesc,
+    config: GpuConfig,
+) -> float:
+    """Depth read+write bytes, after on-chip depth compression."""
+    bytes_per_pixel = depth_target.bytes_per_pixel * config.depth_compression
+    read = draw.pixels_rasterized * bytes_per_pixel if draw.state.depth.reads_depth else 0.0
+    write = draw.pixels_shaded * bytes_per_pixel if draw.state.depth.writes_depth else 0.0
+    return read + write

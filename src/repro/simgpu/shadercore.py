@@ -1,0 +1,69 @@
+"""Shader-array model: SIMD throughput with occupancy-limited latency hiding.
+
+A shader stage's cycle count is its total instruction work divided by the
+array's lane throughput, derated when register pressure limits the number
+of threads in flight (poor latency hiding).  Register pressure is a
+compiler/micro-architecture interaction, so it is deliberately *not* part
+of the clustering feature vector — it contributes intra-cluster variance.
+"""
+
+from __future__ import annotations
+
+from repro.simgpu.config import GpuConfig
+
+# A stage with zero occupancy headroom still streams instructions; the
+# floor models in-order issue with no latency hiding at all.
+MIN_THROUGHPUT_FACTOR = 0.55
+
+# Texture-sample instructions occupy the ALU pipe for address generation
+# before the texture unit takes over; this is their ALU-visible cost.
+TEX_OP_ALU_COST = 4.0
+
+# Dynamic branches serialize a SIMD batch briefly.
+BRANCH_OP_ALU_COST = 2.0
+
+
+def occupancy(registers: int, config: GpuConfig) -> float:
+    """Fraction of maximum threads in flight given register allocation.
+
+    Full occupancy at or below ``max_full_occupancy_registers``; inverse
+    scaling beyond it (doubling registers halves resident threads).
+    """
+    if registers <= 0:
+        raise ValueError(f"registers must be >= 1, got {registers}")
+    if registers <= config.max_full_occupancy_registers:
+        return 1.0
+    return config.max_full_occupancy_registers / registers
+
+
+def throughput_factor(occupancy_fraction: float) -> float:
+    """Effective issue-rate multiplier achieved at a given occupancy.
+
+    Latency hiding degrades sub-linearly: halving occupancy does not halve
+    throughput because some latency is still covered.
+    """
+    occ = min(1.0, max(0.0, occupancy_fraction))
+    return MIN_THROUGHPUT_FACTOR + (1.0 - MIN_THROUGHPUT_FACTOR) * occ
+
+
+def stage_ops(alu_ops: int, tex_ops: int, branch_ops: int) -> float:
+    """ALU-visible instruction cost of one shader invocation."""
+    return alu_ops + TEX_OP_ALU_COST * tex_ops + BRANCH_OP_ALU_COST * branch_ops
+
+
+def shader_stage_cycles(
+    invocations: int,
+    alu_ops: int,
+    tex_ops: int,
+    branch_ops: int,
+    registers: int,
+    config: GpuConfig,
+) -> float:
+    """Core cycles to execute ``invocations`` of a shader stage."""
+    if invocations == 0:
+        return 0.0
+    work = invocations * stage_ops(alu_ops, tex_ops, branch_ops)
+    effective_lanes = config.alu_lanes * throughput_factor(
+        occupancy(registers, config)
+    )
+    return work / effective_lanes

@@ -1,0 +1,109 @@
+"""Order-dependent execution context: cache warmth and pipeline switches.
+
+The tracker walks the draws of a frame in submission order and reports,
+for each draw, (a) how warm its bound texture set is — earlier draws may
+already have streamed the same textures through the cache hierarchy — and
+(b) how many cycles of pipeline reconfiguration the draw pays for shader,
+fixed-function-state, and render-target changes.
+
+Both effects depend on *where* a draw sits in the frame, not on the draw
+alone.  They are therefore invisible to the paper's micro-architecture-
+independent clustering features and form the intra-cluster variance that
+experiments E1/E2 measure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.resources import TextureDesc
+from repro.simgpu.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class TrackerEffects:
+    """Per-draw context effects fed into the cost model."""
+
+    warm_fraction: float
+    switch_cycles: float
+
+
+class StateTracker:
+    """Tracks residency and binding state across the draws of a frame.
+
+    Texture residency is an LRU over texture byte footprints with capacity
+    equal to the config's texture-cache + L2 capacity.  Binding state is
+    the previous draw's shader id, fixed-function state key, and render
+    target binding.
+    """
+
+    def __init__(self, config: GpuConfig) -> None:
+        self._config = config
+        self._capacity = config.warm_capacity_bytes
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._prev_shader: Optional[int] = None
+        self._prev_state_key: Optional[tuple] = None
+        self._prev_rt_key: Optional[Tuple[object, ...]] = None
+
+    def begin_frame(self) -> None:
+        """Reset all context at a frame boundary.
+
+        Frames are treated as independent: the swap-chain flip and RT
+        round-robin flush useful residency in practice, and independence
+        makes per-frame prediction well defined.
+        """
+        self._resident.clear()
+        self._prev_shader = None
+        self._prev_state_key = None
+        self._prev_rt_key = None
+
+    def observe(
+        self, draw: DrawCall, textures: Sequence[TextureDesc]
+    ) -> TrackerEffects:
+        """Account for ``draw`` and return its context effects.
+
+        Must be called once per draw, in submission order.
+        """
+        warm = self._warm_fraction(textures)
+        self._touch(textures)
+        switch = self._switch_cycles(draw)
+        self._prev_shader = draw.shader_id
+        self._prev_state_key = draw.state.state_key
+        self._prev_rt_key = (draw.render_target_ids, draw.depth_target_id)
+        return TrackerEffects(warm_fraction=warm, switch_cycles=switch)
+
+    # -- internals -----------------------------------------------------------
+
+    def _warm_fraction(self, textures: Sequence[TextureDesc]) -> float:
+        total = sum(tex.byte_size for tex in textures)
+        if total == 0:
+            return 0.0
+        warm = sum(
+            tex.byte_size for tex in textures if tex.texture_id in self._resident
+        )
+        return warm / total
+
+    def _touch(self, textures: Sequence[TextureDesc]) -> None:
+        for tex in textures:
+            if tex.texture_id in self._resident:
+                self._resident.move_to_end(tex.texture_id)
+            else:
+                self._resident[tex.texture_id] = tex.byte_size
+        used = sum(self._resident.values())
+        while used > self._capacity and self._resident:
+            _, evicted_bytes = self._resident.popitem(last=False)
+            used -= evicted_bytes
+
+    def _switch_cycles(self, draw: DrawCall) -> float:
+        cycles = 0.0
+        if draw.shader_id != self._prev_shader:
+            cycles += self._config.shader_switch_cycles
+        if draw.state.state_key != self._prev_state_key:
+            cycles += self._config.state_switch_cycles
+        rt_key = (draw.render_target_ids, draw.depth_target_id)
+        if rt_key != self._prev_rt_key:
+            cycles += self._config.rt_switch_cycles
+        return cycles

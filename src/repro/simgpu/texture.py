@@ -1,0 +1,79 @@
+"""Texture subsystem: sample throughput and cache-miss traffic.
+
+The miss-rate model is a capacity curve: the larger the bound texture
+footprint relative to cache capacity, the more samples miss.  Warmth —
+whether previous draws already streamed the same textures — halves the
+cold compulsory component.  Warmth is order-dependent and therefore part
+of the micro-architecture-dependent residual the clustering cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gfx.resources import TextureDesc
+from repro.simgpu.config import GpuConfig
+
+# Compulsory floor: even an infinitely large cache misses on first touch.
+BASE_MISS = 0.02
+# Capacity slope: how fast misses grow as footprint exceeds cache.
+CAPACITY_MISS_SCALE = 0.35
+MAX_MISS = 0.90
+# Warm textures keep their hot mip levels resident.
+WARM_MISS_MULTIPLIER = 0.45
+# Spatial locality bound: one draw's streaming read cannot fetch much
+# more than the bound textures' contents (adjacent samples share
+# cachelines), however many samples it issues.  The headroom covers
+# partial-line waste and boundary overfetch.
+FOOTPRINT_OVERFETCH_CAP = 1.5
+
+
+def texture_footprint_bytes(textures: Sequence[TextureDesc]) -> int:
+    """Total byte footprint of the bound texture set."""
+    return sum(tex.byte_size for tex in textures)
+
+
+def miss_rate(
+    footprint_bytes: int, warm_fraction: float, config: GpuConfig
+) -> float:
+    """Per-sample miss probability for a draw.
+
+    ``warm_fraction`` is the fraction of the footprint already resident
+    from earlier draws (0 = cold, 1 = fully warm).
+    """
+    if footprint_bytes < 0:
+        raise ValueError(f"footprint_bytes must be >= 0, got {footprint_bytes}")
+    if not 0.0 <= warm_fraction <= 1.0:
+        raise ValueError(f"warm_fraction must be in [0, 1], got {warm_fraction}")
+    if footprint_bytes == 0:
+        return 0.0
+    capacity = config.tex_cache_kb * 1024
+    pressure = footprint_bytes / capacity
+    cold = min(MAX_MISS, BASE_MISS + CAPACITY_MISS_SCALE * pressure)
+    warm = cold * WARM_MISS_MULTIPLIER
+    return warm * warm_fraction + cold * (1.0 - warm_fraction)
+
+
+def texture_cycles(samples: int, config: GpuConfig) -> float:
+    """Core cycles of texture-unit throughput for ``samples`` lookups."""
+    if samples == 0:
+        return 0.0
+    rate = config.tex_units_total * config.tex_rate_per_unit
+    return samples / rate
+
+
+def texture_miss_bytes(
+    samples: int,
+    sample_miss_rate: float,
+    footprint_bytes: float,
+    config: GpuConfig,
+) -> float:
+    """Bytes fetched from beyond the texture cache for a draw's samples.
+
+    Per-sample misses each pull a cacheline, but spatial locality bounds
+    the total at :data:`FOOTPRINT_OVERFETCH_CAP` times the bound
+    footprint — a full-screen pass over a texture streams the texture,
+    not cacheline-per-pixel.
+    """
+    demand = samples * sample_miss_rate * config.cacheline_bytes
+    return min(demand, FOOTPRINT_OVERFETCH_CAP * footprint_bytes)

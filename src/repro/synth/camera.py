@@ -1,0 +1,59 @@
+"""Camera behaviour per segment kind.
+
+The camera determines what fraction of a zone's objects are on screen and
+how large they appear.  Each segment kind has a characteristic regime:
+vistas see many small objects, combat swings the view quickly, cutscenes
+frame few large subjects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.synth.phasescript import SegmentKind
+
+
+@dataclass(frozen=True)
+class CameraState:
+    """Per-frame view parameters."""
+
+    visibility_fraction: float  # fraction of zone objects on screen
+    zoom: float  # multiplies per-object screen area
+    overdraw: float  # opaque depth complexity this frame
+
+
+_BASE = {
+    SegmentKind.MENU: (0.0, 1.0, 1.0),
+    SegmentKind.EXPLORE: (0.62, 1.0, 1.9),
+    SegmentKind.COMBAT: (0.68, 1.1, 2.2),
+    SegmentKind.CUTSCENE: (0.30, 1.8, 1.6),
+    SegmentKind.VISTA: (0.88, 0.55, 1.5),
+}
+
+_SWING = {
+    SegmentKind.MENU: 0.0,
+    SegmentKind.EXPLORE: 0.05,
+    SegmentKind.COMBAT: 0.10,
+    SegmentKind.CUTSCENE: 0.03,
+    SegmentKind.VISTA: 0.04,
+}
+
+
+def camera_state(kind: SegmentKind, local_frame: int) -> CameraState:
+    """Camera parameters for frame ``local_frame`` of a segment.
+
+    Deterministic and smooth in ``local_frame``: the visibility fraction
+    and zoom follow slow sinusoids whose amplitude depends on how fast
+    the segment kind moves the camera.
+    """
+    base_vis, base_zoom, overdraw = _BASE[kind]
+    swing = _SWING[kind]
+    angle = 2.0 * math.pi * local_frame / 32.0
+    vis = base_vis + swing * math.sin(angle)
+    zoom = base_zoom * (1.0 + 0.5 * swing * math.cos(angle * 0.7))
+    return CameraState(
+        visibility_fraction=min(1.0, max(0.0, vis)),
+        zoom=max(0.05, zoom),
+        overdraw=overdraw,
+    )

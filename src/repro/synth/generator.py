@@ -1,0 +1,115 @@
+"""Trace generation: profile + seed -> complete, validated Trace."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.gfx.trace import Trace
+from repro.gfx.validate import validate_trace
+from repro.synth.materials import MaterialTables, build_tables
+from repro.synth.passes import build_frame
+from repro.synth.phasescript import PhaseScript, default_script
+from repro.synth.profiles import GameProfile
+from repro.synth.scene import SceneObject, build_zone
+from repro.util.validation import check_positive, check_type
+
+
+class TraceGenerator:
+    """Deterministically expands a :class:`GameProfile` into traces.
+
+    One generator instance owns the game's static world (shader, texture,
+    and render-target tables; zone populations); :meth:`generate` renders
+    any number of frames from it.  The same (profile, seed) pair always
+    produces byte-identical traces.
+    """
+
+    def __init__(self, profile: GameProfile, seed: int = 0) -> None:
+        check_type("profile", profile, GameProfile)
+        check_type("seed", seed, int)
+        self.profile = profile
+        self.seed = seed
+        self.tables: MaterialTables = build_tables(profile, seed)
+        self._zones: Dict[int, List[SceneObject]] = {}
+
+    def zone_objects(self, zone: int) -> List[SceneObject]:
+        """The (lazily built, cached) object population of a zone."""
+        if zone not in self._zones:
+            self._zones[zone] = build_zone(self.profile, self.tables, zone, self.seed)
+        return self._zones[zone]
+
+    def generate(
+        self,
+        num_frames: Optional[int] = None,
+        script: Optional[PhaseScript] = None,
+        validate: bool = True,
+    ) -> Trace:
+        """Render a trace.
+
+        Args:
+            num_frames: total frames; defaults to one full pass of the
+                script.  Longer requests loop the script (gameplay
+                revisits phases).
+            script: segment structure; defaults to the profile-standard
+                gameplay arc over all zones.
+            validate: run referential-integrity validation on the result.
+        """
+        if script is None:
+            script = default_script(list(range(self.profile.num_zones)))
+        if num_frames is not None:
+            check_positive("num_frames", num_frames)
+            script = script.truncated(num_frames)
+        for segment in script.segments:
+            if segment.zone >= self.profile.num_zones:
+                raise ValidationError(
+                    f"script references zone {segment.zone} but profile "
+                    f"{self.profile.name!r} has {self.profile.num_zones} zones"
+                )
+
+        frames = []
+        for frame_index, segment, local in script.frame_segments():
+            frames.append(
+                build_frame(
+                    profile=self.profile,
+                    tables=self.tables,
+                    zone_objects=self.zone_objects(segment.zone),
+                    segment=segment,
+                    local_frame=local,
+                    frame_index=frame_index,
+                    seed=self.seed,
+                )
+            )
+        trace = Trace(
+            name=self.profile.name,
+            frames=tuple(frames),
+            shaders=dict(self.tables.shaders),
+            textures=dict(self.tables.textures),
+            render_targets=dict(self.tables.render_targets),
+            metadata={
+                "generator": "repro.synth",
+                "profile": self.profile.name,
+                "renderer": self.profile.renderer,
+                "seed": self.seed,
+                "segments": script.boundaries(),
+            },
+        )
+        if validate:
+            validate_trace(trace)
+        return trace
+
+
+def generate_trace(
+    profile_name: str,
+    num_frames: Optional[int] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Trace:
+    """One-call generation from a preset profile name.
+
+    ``scale`` multiplies content volume (draws per frame) without changing
+    the rendering architecture — used to shrink corpora to CI scale.
+    """
+    profile = GameProfile.preset(profile_name)
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return TraceGenerator(profile, seed=seed).generate(num_frames=num_frames)

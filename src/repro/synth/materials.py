@@ -1,0 +1,267 @@
+"""Material, shader, and resource library synthesis for one game.
+
+Builds the id-indexed tables a trace needs: one opaque shader per
+material class, the fixed special shaders (depth-only, deferred lighting,
+particles, post stages, UI), per-material texture sets, and the render
+targets the frame graph binds.  Everything is derived deterministically
+from the profile and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.gfx.enums import TextureFormat
+from repro.gfx.resources import RenderTargetDesc, TextureDesc
+from repro.gfx.shader import ShaderProgram, ShaderStats
+from repro.synth.profiles import GameProfile
+from repro.util.rng import make_rng
+
+# Render-target id layout (fixed, per game)
+RT_BACKBUFFER = 0
+RT_DEPTH = 1
+RT_HDR0 = 2
+RT_HDR1 = 3
+RT_SHADOW_BASE = 10  # RT_SHADOW_BASE + light index
+RT_GBUFFER_BASE = 20  # deferred only: 3 MRTs
+
+# Texture id layout
+TEX_MATERIAL_BASE = 100  # MATERIAL_ID_STRIDE slots per material class
+MATERIAL_ID_STRIDE = 12  # up to MAX_ALBEDO_VARIANTS albedos + normal + spec
+MAX_ALBEDO_VARIANTS = 8
+TEX_PARTICLE_BASE = 50  # a few shared particle sheets
+TEX_RT_ALIAS_BASE = 60  # RT contents sampled by later passes
+
+MAX_SHADOWED_LIGHTS = 3
+GBUFFER_TARGET_COUNT = 3
+
+
+@dataclass(frozen=True)
+class SpecialShaders:
+    """Fixed-function-role shader ids shared by all materials."""
+
+    depth_only: int
+    lighting_directional: int
+    lighting_point: int
+    particle_additive: int
+    particle_alpha: int
+    ui: int
+    post: Tuple[int, ...]  # one per post-chain stage
+
+
+@dataclass(frozen=True)
+class MaterialTables:
+    """All id-indexed tables and the material->resource mappings."""
+
+    shaders: Dict[int, ShaderProgram]
+    textures: Dict[int, TextureDesc]
+    render_targets: Dict[int, RenderTargetDesc]
+    material_shader: Dict[int, int]  # material class -> opaque shader id
+    # material class -> per-variant texture bind tuples.  Variants share
+    # formats and sizes (so the micro-architecture-independent features
+    # cannot tell them apart) but are distinct textures (so the cache can).
+    material_texture_sets: Dict[int, Tuple[Tuple[int, ...], ...]]
+    zone_materials: Dict[int, Tuple[int, ...]]  # zone -> usable material classes
+    special: SpecialShaders
+    shadowed_lights: int
+    gbuffer_texture_ids: Tuple[int, ...]
+    scene_color_texture_id: int
+
+    def material_textures_for(self, material: int, variant: int) -> Tuple[int, ...]:
+        """Texture binding of one material variant (wraps the variant index)."""
+        variants = self.material_texture_sets[material]
+        return variants[variant % len(variants)]
+
+
+def _pick_texture_size(rng, profile: GameProfile) -> int:
+    """A power-of-two size within the profile's range."""
+    sizes = []
+    size = profile.texture_size_min
+    while size <= profile.texture_size_max:
+        sizes.append(size)
+        size *= 2
+    return int(sizes[rng.integers(0, len(sizes))])
+
+
+def build_tables(profile: GameProfile, seed: int) -> MaterialTables:
+    """Synthesize the full shader/texture/render-target world of a game."""
+    rng = make_rng(seed, "materials", profile.name)
+    shaders: Dict[int, ShaderProgram] = {}
+    textures: Dict[int, TextureDesc] = {}
+    next_shader = 1
+
+    def add_shader(name: str, vertex: ShaderStats, pixel: ShaderStats) -> int:
+        nonlocal next_shader
+        sid = next_shader
+        next_shader += 1
+        shaders[sid] = ShaderProgram(
+            shader_id=sid, name=name, vertex=vertex, pixel=pixel
+        )
+        return sid
+
+    # -- material shaders and textures ------------------------------------
+    material_shader: Dict[int, int] = {}
+    material_texture_sets: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+    deferred = profile.renderer == "deferred"
+    for material in range(profile.material_classes):
+        complexity = float(rng.lognormal(mean=0.0, sigma=0.30))
+        ps_alu = max(8, round(profile.ps_alu_base * complexity))
+        vs_alu = max(6, round(profile.vs_alu_base * (0.8 + 0.4 * rng.random())))
+        has_spec = rng.random() < 0.5
+        ps_tex = 3 if has_spec else 2
+        # Register pressure loosely follows ALU count (compiler behaviour);
+        # it is micro-architecture-relevant but NOT a clustering feature.
+        ps_regs = min(64, 12 + ps_alu // 4 + int(rng.integers(0, 8)))
+        stage_prefix = "gbuffer" if deferred else "forward"
+        material_shader[material] = add_shader(
+            f"{stage_prefix}/mat{material:02d}",
+            vertex=ShaderStats(alu_ops=vs_alu, interpolants=10, registers=20),
+            pixel=ShaderStats(
+                alu_ops=ps_alu, tex_ops=ps_tex, interpolants=10, registers=ps_regs
+            ),
+        )
+        size = _pick_texture_size(rng, profile)
+        base_id = TEX_MATERIAL_BASE + MATERIAL_ID_STRIDE * material
+        mip = max(1, size.bit_length() - 2)
+        # Albedo variants: same size/format (feature-identical), distinct
+        # textures (cache-distinct).  Normal/spec maps are shared.
+        num_variants = 2 + int(rng.integers(0, MAX_ALBEDO_VARIANTS - 1))
+        for variant in range(num_variants):
+            vid = base_id + variant
+            textures[vid] = TextureDesc(vid, size, size, TextureFormat.BC1, mip)
+        normal_id = base_id + MAX_ALBEDO_VARIANTS
+        textures[normal_id] = TextureDesc(
+            normal_id, size, size, TextureFormat.BC5, mip
+        )
+        shared = [normal_id]
+        if has_spec:
+            spec_id = base_id + MAX_ALBEDO_VARIANTS + 1
+            spec = max(profile.texture_size_min, size // 2)
+            textures[spec_id] = TextureDesc(
+                spec_id, spec, spec, TextureFormat.BC1, max(1, spec.bit_length() - 2)
+            )
+            shared.append(spec_id)
+        material_texture_sets[material] = tuple(
+            (base_id + variant, *shared) for variant in range(num_variants)
+        )
+
+    # -- zone material subsets ------------------------------------------------
+    zone_materials: Dict[int, Tuple[int, ...]] = {}
+    all_materials = list(range(profile.material_classes))
+    subset_size = max(3, round(0.6 * profile.material_classes))
+    for zone in range(profile.num_zones):
+        zone_rng = make_rng(seed, "zone-materials", profile.name, zone)
+        picked = sorted(
+            zone_rng.choice(all_materials, size=subset_size, replace=False).tolist()
+        )
+        zone_materials[zone] = tuple(int(m) for m in picked)
+
+    # -- special shaders ------------------------------------------------
+    special = SpecialShaders(
+        depth_only=add_shader(
+            "shadow/depth_only",
+            vertex=ShaderStats(alu_ops=10, interpolants=1, registers=8),
+            pixel=ShaderStats(alu_ops=1, interpolants=1, registers=4),
+        ),
+        lighting_directional=add_shader(
+            "lighting/directional",
+            vertex=ShaderStats(alu_ops=4, interpolants=2, registers=6),
+            pixel=ShaderStats(alu_ops=90, tex_ops=5, interpolants=2, registers=40),
+        ),
+        lighting_point=add_shader(
+            "lighting/point_volume",
+            vertex=ShaderStats(alu_ops=12, interpolants=4, registers=10),
+            pixel=ShaderStats(alu_ops=70, tex_ops=4, interpolants=4, registers=36),
+        ),
+        particle_additive=add_shader(
+            "fx/particle_additive",
+            vertex=ShaderStats(alu_ops=14, interpolants=6, registers=12),
+            pixel=ShaderStats(alu_ops=12, tex_ops=1, interpolants=6, registers=10),
+        ),
+        particle_alpha=add_shader(
+            "fx/particle_alpha",
+            vertex=ShaderStats(alu_ops=14, interpolants=6, registers=12),
+            pixel=ShaderStats(alu_ops=18, tex_ops=2, interpolants=6, registers=12),
+        ),
+        ui=add_shader(
+            "ui/quad",
+            vertex=ShaderStats(alu_ops=4, interpolants=4, registers=6),
+            pixel=ShaderStats(alu_ops=6, tex_ops=1, interpolants=4, registers=6),
+        ),
+        post=tuple(
+            add_shader(
+                f"post/stage{i}",
+                vertex=ShaderStats(alu_ops=3, interpolants=2, registers=4),
+                pixel=ShaderStats(
+                    alu_ops=16 + 14 * (i % 3),
+                    tex_ops=2 + (i % 3),
+                    interpolants=2,
+                    registers=16,
+                ),
+            )
+            for i in range(profile.post_chain_length)
+        ),
+    )
+
+    # -- particle sheets (0..2) and the HUD atlas (3) ---------------------------
+    for i in range(4):
+        tid = TEX_PARTICLE_BASE + i
+        textures[tid] = TextureDesc(tid, 256, 256, TextureFormat.BC3, 7)
+
+    # -- render targets and their sampled aliases ------------------------------
+    render_targets: Dict[int, RenderTargetDesc] = {
+        RT_BACKBUFFER: RenderTargetDesc(
+            RT_BACKBUFFER, profile.width, profile.height, TextureFormat.RGBA8
+        ),
+        RT_DEPTH: RenderTargetDesc(
+            RT_DEPTH, profile.width, profile.height, TextureFormat.DEPTH24S8
+        ),
+        RT_HDR0: RenderTargetDesc(
+            RT_HDR0, profile.width, profile.height, TextureFormat.RGBA16F
+        ),
+        RT_HDR1: RenderTargetDesc(
+            RT_HDR1, profile.width // 2, profile.height // 2, TextureFormat.RGBA16F
+        ),
+    }
+    shadowed = min(profile.num_lights, MAX_SHADOWED_LIGHTS)
+    for light in range(shadowed):
+        rid = RT_SHADOW_BASE + light
+        render_targets[rid] = RenderTargetDesc(
+            rid,
+            profile.shadow_map_size,
+            profile.shadow_map_size,
+            TextureFormat.DEPTH32F,
+        )
+    gbuffer_texture_ids: List[int] = []
+    if deferred:
+        gbuffer_formats = (
+            TextureFormat.RGBA8,
+            TextureFormat.RGBA8,
+            TextureFormat.RGB10A2,
+        )
+        for i, fmt in enumerate(gbuffer_formats):
+            rid = RT_GBUFFER_BASE + i
+            render_targets[rid] = RenderTargetDesc(
+                rid, profile.width, profile.height, fmt
+            )
+            tid = TEX_RT_ALIAS_BASE + i
+            textures[tid] = TextureDesc(tid, profile.width, profile.height, fmt)
+            gbuffer_texture_ids.append(tid)
+    scene_color_tid = TEX_RT_ALIAS_BASE + 5
+    textures[scene_color_tid] = TextureDesc(
+        scene_color_tid, profile.width, profile.height, TextureFormat.RGBA16F
+    )
+
+    return MaterialTables(
+        shaders=shaders,
+        textures=textures,
+        render_targets=render_targets,
+        material_shader=material_shader,
+        material_texture_sets=material_texture_sets,
+        zone_materials=zone_materials,
+        special=special,
+        shadowed_lights=shadowed,
+        gbuffer_texture_ids=tuple(gbuffer_texture_ids),
+        scene_color_texture_id=scene_color_tid,
+    )

@@ -1,0 +1,378 @@
+"""Render-pass generation: expands a frame's scene state into draw-calls.
+
+Each function emits one engine pass; :func:`build_frame` assembles a full
+frame in the order a real engine submits them (shadows, opaque/G-buffer,
+deferred lighting, transparents, post chain, HUD).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PassType, PrimitiveTopology
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.state import (
+    ADDITIVE_STATE,
+    FULLSCREEN_STATE,
+    OPAQUE_STATE,
+    TRANSPARENT_STATE,
+    UI_STATE,
+)
+from repro.synth.camera import CameraState, camera_state
+from repro.synth.materials import (
+    MaterialTables,
+    RT_BACKBUFFER,
+    RT_DEPTH,
+    RT_GBUFFER_BASE,
+    RT_HDR0,
+    RT_HDR1,
+    RT_SHADOW_BASE,
+    TEX_PARTICLE_BASE,
+    GBUFFER_TARGET_COUNT,
+)
+from repro.synth.phasescript import Segment, SegmentKind
+from repro.synth.profiles import GameProfile
+from repro.synth.scene import SceneObject, coverage_factor, visible_objects
+from repro.util.rng import make_rng, stable_unit
+
+UI_ATLAS_TEX = TEX_PARTICLE_BASE + 3
+
+# Early-Z efficiency ramp across an opaque pass sorted roughly
+# front-to-back: the first draws shade almost everything they rasterize,
+# the last draws are mostly occluded.
+_EARLY_Z_FIRST = 0.95
+_EARLY_Z_LAST = 0.55
+
+_FULLSCREEN_TRI = dict(
+    topology=PrimitiveTopology.TRIANGLE_LIST,
+    vertex_count=3,
+    vertex_stride_bytes=16,
+)
+
+
+def _pixel_shares(weights: Sequence[float], budget: int) -> List[int]:
+    """Split a pixel budget across draws proportionally to weights."""
+    total = float(sum(weights))
+    if total <= 0.0 or budget <= 0:
+        return [0 for _ in weights]
+    return [int(budget * w / total) for w in weights]
+
+
+def _early_z_fraction(position: int, count: int) -> float:
+    if count <= 1:
+        return _EARLY_Z_FIRST
+    t = position / (count - 1)
+    return _EARLY_Z_FIRST + (_EARLY_Z_LAST - _EARLY_Z_FIRST) * t
+
+
+def _scene_weights(
+    objects: Sequence[SceneObject], camera: CameraState, local_frame: int
+) -> List[float]:
+    return [
+        obj.size_weight * coverage_factor(obj, local_frame) * camera.zoom
+        for obj in objects
+    ]
+
+
+def shadow_passes(
+    profile: GameProfile,
+    tables: MaterialTables,
+    visible: Sequence[SceneObject],
+    weights: Sequence[float],
+) -> List[RenderPass]:
+    """One depth-only pass per shadowed light over the visible casters."""
+    caster_pairs = [
+        (obj, w) for obj, w in zip(visible, weights) if obj.caster
+    ]
+    if not caster_pairs:
+        return []
+    passes = []
+    budget = int(profile.shadow_map_size**2 * 1.2)
+    shares = _pixel_shares([w for _, w in caster_pairs], budget)
+    for light in range(tables.shadowed_lights):
+        draws = []
+        for (obj, _), rast in zip(caster_pairs, shares):
+            shaded = int(rast * 0.85)
+            draws.append(
+                DrawCall(
+                    shader_id=tables.special.depth_only,
+                    state=OPAQUE_STATE,
+                    topology=PrimitiveTopology.TRIANGLE_LIST,
+                    vertex_count=obj.mesh_vertices,
+                    pixels_rasterized=rast,
+                    pixels_shaded=shaded,
+                    texture_ids=(),
+                    render_target_ids=(),
+                    depth_target_id=RT_SHADOW_BASE + light,
+                    vertex_stride_bytes=16,
+                    pass_type=PassType.SHADOW,
+                )
+            )
+        passes.append(
+            RenderPass(pass_type=PassType.SHADOW, draws=tuple(draws), name=f"shadow{light}")
+        )
+    return passes
+
+
+def opaque_pass(
+    profile: GameProfile,
+    tables: MaterialTables,
+    visible: Sequence[SceneObject],
+    weights: Sequence[float],
+    camera: CameraState,
+) -> RenderPass:
+    """The main geometry pass: forward-lit or G-buffer fill."""
+    deferred = profile.renderer == "deferred"
+    # Engines sort opaque geometry by material to amortize pipeline
+    # switches, then big-to-small within a material for early-Z.
+    order = sorted(
+        range(len(visible)), key=lambda i: (visible[i].material, -weights[i])
+    )
+    # Depth-kill efficiency follows screen-size rank (a proxy for the
+    # front-to-back order the depth buffer effectively enforces), not
+    # submission position.
+    size_rank = {
+        i: rank
+        for rank, i in enumerate(sorted(range(len(visible)), key=lambda i: -weights[i]))
+    }
+    budget = int(profile.pixel_budget * camera.overdraw)
+    shares = _pixel_shares([weights[i] for i in order], budget)
+    if deferred:
+        pass_type = PassType.GBUFFER
+        target_ids = tuple(RT_GBUFFER_BASE + i for i in range(GBUFFER_TARGET_COUNT))
+    else:
+        pass_type = PassType.FORWARD
+        target_ids = (RT_HDR0,)
+    draws = []
+    count = len(order)
+    for index, rast in zip(order, shares):
+        obj = visible[index]
+        shaded = int(rast * _early_z_fraction(size_rank[index], count))
+        draws.append(
+            DrawCall(
+                shader_id=tables.material_shader[obj.material],
+                state=OPAQUE_STATE,
+                topology=PrimitiveTopology.TRIANGLE_LIST,
+                vertex_count=obj.mesh_vertices,
+                pixels_rasterized=rast,
+                pixels_shaded=shaded,
+                texture_ids=tables.material_textures_for(
+                    obj.material, obj.texture_variant
+                ),
+                render_target_ids=target_ids,
+                depth_target_id=RT_DEPTH,
+                vertex_stride_bytes=32,
+                pass_type=pass_type,
+            )
+        )
+    return RenderPass(pass_type=pass_type, draws=tuple(draws), name="opaque")
+
+
+def lighting_pass(
+    profile: GameProfile, tables: MaterialTables, zone: int
+) -> RenderPass:
+    """Deferred shading: one directional resolve plus point-light volumes."""
+    pixels = profile.pixel_budget
+    draws = [
+        DrawCall(
+            shader_id=tables.special.lighting_directional,
+            state=FULLSCREEN_STATE,
+            pixels_rasterized=pixels,
+            pixels_shaded=pixels,
+            texture_ids=tables.gbuffer_texture_ids,
+            render_target_ids=(RT_HDR0,),
+            depth_target_id=None,
+            pass_type=PassType.LIGHTING,
+            **_FULLSCREEN_TRI,
+        )
+    ]
+    for light in range(profile.num_lights):
+        # Each light's screen share is a stable property of the zone layout.
+        share = 0.02 + 0.18 * stable_unit("light-share", zone, light)
+        rast = int(pixels * share)
+        draws.append(
+            DrawCall(
+                shader_id=tables.special.lighting_point,
+                state=ADDITIVE_STATE,
+                topology=PrimitiveTopology.TRIANGLE_LIST,
+                vertex_count=720,
+                pixels_rasterized=rast,
+                pixels_shaded=int(rast * 0.9),
+                texture_ids=tables.gbuffer_texture_ids,
+                render_target_ids=(RT_HDR0,),
+                depth_target_id=RT_DEPTH,
+                vertex_stride_bytes=16,
+                pass_type=PassType.LIGHTING,
+            )
+        )
+    return RenderPass(pass_type=PassType.LIGHTING, draws=tuple(draws), name="lighting")
+
+
+def transparent_pass(
+    profile: GameProfile,
+    tables: MaterialTables,
+    kind: SegmentKind,
+    zone: int,
+    local_frame: int,
+    rng: np.random.Generator,
+) -> RenderPass:
+    """Particles and other blended effects."""
+    intensity = {"combat": 2.0, "explore": 1.0, "vista": 0.6, "cutscene": 0.8}.get(
+        kind.value, 0.0
+    )
+    systems = int(round(profile.particle_systems * intensity))
+    draws = []
+    for system in range(systems):
+        additive = stable_unit("particle-mode", zone, system) < 0.6
+        instances = 16 + int(
+            48 * stable_unit("particle-count", zone, system) * (1 + 0.2 * rng.random())
+        )
+        share = 0.01 + 0.05 * stable_unit("particle-share", zone, system)
+        rast = int(profile.pixel_budget * share)
+        draws.append(
+            DrawCall(
+                shader_id=(
+                    tables.special.particle_additive
+                    if additive
+                    else tables.special.particle_alpha
+                ),
+                state=ADDITIVE_STATE if additive else TRANSPARENT_STATE,
+                topology=PrimitiveTopology.TRIANGLE_STRIP,
+                vertex_count=4,
+                instance_count=instances,
+                pixels_rasterized=rast,
+                pixels_shaded=int(rast * 0.95),
+                texture_ids=(TEX_PARTICLE_BASE + system % 3,),
+                render_target_ids=(RT_HDR0,),
+                depth_target_id=RT_DEPTH,
+                vertex_stride_bytes=20,
+                pass_type=PassType.TRANSPARENT,
+            )
+        )
+    return RenderPass(
+        pass_type=PassType.TRANSPARENT, draws=tuple(draws), name="transparent"
+    )
+
+
+def post_pass(
+    profile: GameProfile, tables: MaterialTables, extra_stages: int = 0
+) -> RenderPass:
+    """The post-processing chain: fullscreen stages ping-ponging HDR targets."""
+    draws = []
+    stages = list(tables.special.post)
+    stages += stages[-1:] * extra_stages  # e.g. cutscene depth-of-field reuse
+    for i, shader_id in enumerate(stages):
+        last = i == len(stages) - 1
+        half_res = not last and i % 2 == 1
+        pixels = profile.pixel_budget // (4 if half_res else 1)
+        draws.append(
+            DrawCall(
+                shader_id=shader_id,
+                state=FULLSCREEN_STATE,
+                pixels_rasterized=pixels,
+                pixels_shaded=pixels,
+                texture_ids=(tables.scene_color_texture_id,),
+                render_target_ids=(
+                    RT_BACKBUFFER if last else (RT_HDR1 if half_res else RT_HDR0),
+                ),
+                depth_target_id=None,
+                pass_type=PassType.POST,
+                **_FULLSCREEN_TRI,
+            )
+        )
+    return RenderPass(pass_type=PassType.POST, draws=tuple(draws), name="post")
+
+
+def ui_pass(
+    profile: GameProfile,
+    tables: MaterialTables,
+    kind: SegmentKind,
+    rng: np.random.Generator,
+) -> RenderPass:
+    """HUD / menu quads."""
+    count = profile.ui_draws * (2 if kind is SegmentKind.MENU else 1)
+    if kind is SegmentKind.CUTSCENE:
+        count = max(1, count // 4)  # letterboxed: most HUD hidden
+    draws = []
+    for i in range(count):
+        share = 0.001 + 0.008 * stable_unit("ui-share", i)
+        rast = max(64, int(profile.pixel_budget * share * (1 + 0.1 * rng.random())))
+        draws.append(
+            DrawCall(
+                shader_id=tables.special.ui,
+                state=UI_STATE,
+                topology=PrimitiveTopology.TRIANGLE_STRIP,
+                vertex_count=4,
+                pixels_rasterized=rast,
+                pixels_shaded=rast,
+                texture_ids=(UI_ATLAS_TEX,),
+                render_target_ids=(RT_BACKBUFFER,),
+                depth_target_id=None,
+                vertex_stride_bytes=16,
+                pass_type=PassType.UI,
+            )
+        )
+    return RenderPass(pass_type=PassType.UI, draws=tuple(draws), name="ui")
+
+
+def menu_background_pass(profile: GameProfile, tables: MaterialTables) -> RenderPass:
+    """A menu's animated fullscreen backdrop."""
+    draw = DrawCall(
+        shader_id=tables.special.post[0],
+        state=FULLSCREEN_STATE,
+        pixels_rasterized=profile.pixel_budget,
+        pixels_shaded=profile.pixel_budget,
+        texture_ids=(tables.scene_color_texture_id,),
+        render_target_ids=(RT_BACKBUFFER,),
+        depth_target_id=None,
+        pass_type=PassType.POST,
+        **_FULLSCREEN_TRI,
+    )
+    return RenderPass(pass_type=PassType.POST, draws=(draw,), name="menu_bg")
+
+
+def build_frame(
+    profile: GameProfile,
+    tables: MaterialTables,
+    zone_objects: Sequence[SceneObject],
+    segment: Segment,
+    local_frame: int,
+    frame_index: int,
+    seed: int,
+) -> Frame:
+    """Assemble one complete frame for a segment."""
+    rng = make_rng(seed, "frame", profile.name, frame_index)
+    kind = segment.kind
+    camera = camera_state(kind, local_frame)
+    passes: List[RenderPass] = []
+
+    if kind is SegmentKind.MENU:
+        passes.append(menu_background_pass(profile, tables))
+        passes.append(ui_pass(profile, tables, kind, rng))
+    else:
+        visible = visible_objects(list(zone_objects), camera.visibility_fraction)
+        weights = _scene_weights(visible, camera, local_frame)
+        passes.extend(shadow_passes(profile, tables, visible, weights))
+        if visible:
+            passes.append(opaque_pass(profile, tables, visible, weights, camera))
+        if profile.renderer == "deferred":
+            passes.append(lighting_pass(profile, tables, segment.zone))
+        transparent = transparent_pass(
+            profile, tables, kind, segment.zone, local_frame, rng
+        )
+        if transparent.num_draws:
+            passes.append(transparent)
+        extra_post = 2 if kind is SegmentKind.CUTSCENE else 0
+        passes.append(post_pass(profile, tables, extra_stages=extra_post))
+        passes.append(ui_pass(profile, tables, kind, rng))
+
+    metadata = {
+        "segment": segment.phase_label,
+        "kind": kind.value,
+        "zone": segment.zone,
+        "local_frame": local_frame,
+    }
+    return Frame(index=frame_index, passes=tuple(passes), metadata=metadata)

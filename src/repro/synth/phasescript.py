@@ -1,0 +1,137 @@
+"""Phase scripts: the segment structure of a gameplay capture.
+
+A captured game run is a sequence of *segments* — stretches of frames with
+homogeneous rendering behaviour (a menu, exploring one level zone, a
+firefight, a scripted cutscene).  Segments of the same kind in the same
+zone render with the same shader population, which is precisely the
+repetitive structure the paper's shader-vector phase detection exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.util.validation import check_nonnegative, check_positive, check_type
+
+
+class SegmentKind(enum.Enum):
+    """Gameplay situation a segment represents."""
+
+    MENU = "menu"
+    EXPLORE = "explore"
+    COMBAT = "combat"
+    CUTSCENE = "cutscene"
+    VISTA = "vista"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A stretch of frames with homogeneous rendering behaviour."""
+
+    kind: SegmentKind
+    zone: int
+    frames: int
+
+    def __post_init__(self) -> None:
+        check_type("Segment.kind", self.kind, SegmentKind)
+        check_type("Segment.zone", self.zone, int)
+        check_nonnegative("Segment.zone", self.zone)
+        check_type("Segment.frames", self.frames, int)
+        check_positive("Segment.frames", self.frames)
+
+    @property
+    def phase_label(self) -> str:
+        """Ground-truth phase identity: same kind + zone = same phase."""
+        return f"{self.kind.value}/z{self.zone}"
+
+
+@dataclass(frozen=True)
+class PhaseScript:
+    """An ordered list of segments covering a capture."""
+
+    segments: Tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        check_type("PhaseScript.segments", self.segments, tuple)
+        if not self.segments:
+            raise ValidationError("PhaseScript.segments must be non-empty")
+        for i, segment in enumerate(self.segments):
+            if not isinstance(segment, Segment):
+                raise ValidationError(
+                    f"PhaseScript.segments[{i}] must be Segment, "
+                    f"got {type(segment).__name__}"
+                )
+
+    @property
+    def total_frames(self) -> int:
+        return sum(s.frames for s in self.segments)
+
+    def frame_segments(self) -> Iterator[Tuple[int, Segment, int]]:
+        """Yield (absolute_frame_index, segment, frame_within_segment)."""
+        index = 0
+        for segment in self.segments:
+            for local in range(segment.frames):
+                yield index, segment, local
+                index += 1
+
+    def truncated(self, num_frames: int) -> "PhaseScript":
+        """A script covering exactly ``num_frames``, cycling if needed.
+
+        Shorter targets cut the script mid-segment; longer targets repeat
+        it from the beginning (gameplay loops revisit earlier phases,
+        which only strengthens the phase structure).
+        """
+        check_positive("num_frames", num_frames)
+        out: List[Segment] = []
+        remaining = num_frames
+        while remaining > 0:
+            for segment in self.segments:
+                if remaining <= 0:
+                    break
+                take = min(segment.frames, remaining)
+                out.append(
+                    Segment(kind=segment.kind, zone=segment.zone, frames=take)
+                )
+                remaining -= take
+        return PhaseScript(segments=tuple(out))
+
+    def boundaries(self) -> List[dict]:
+        """Segment table for trace metadata (JSON-serializable)."""
+        table = []
+        start = 0
+        for segment in self.segments:
+            table.append(
+                {
+                    "kind": segment.kind.value,
+                    "zone": segment.zone,
+                    "start": start,
+                    "end": start + segment.frames,
+                    "phase": segment.phase_label,
+                }
+            )
+            start += segment.frames
+        return table
+
+
+def default_script(zones: Sequence[int]) -> PhaseScript:
+    """A gameplay arc over the given zones.
+
+    Menu, then per zone: explore -> combat -> explore (backtrack), with a
+    cutscene between zones and a vista on entering each new zone.  The
+    re-visits create the repeating shader-vector patterns the paper finds
+    in the BioShock games.
+    """
+    if not zones:
+        raise ValidationError("zones must be non-empty")
+    segments: List[Segment] = [Segment(SegmentKind.MENU, zones[0], 8)]
+    for i, zone in enumerate(zones):
+        segments.append(Segment(SegmentKind.VISTA, zone, 6))
+        segments.append(Segment(SegmentKind.EXPLORE, zone, 20))
+        segments.append(Segment(SegmentKind.COMBAT, zone, 14))
+        segments.append(Segment(SegmentKind.EXPLORE, zone, 16))
+        if i + 1 < len(zones):
+            segments.append(Segment(SegmentKind.CUTSCENE, zone, 8))
+    return PhaseScript(segments=tuple(segments))

@@ -1,0 +1,194 @@
+"""Game profiles: the content and renderer statistics of a synthetic game.
+
+The three BioShock-like presets track the series' real rendering
+evolution: a 2007 forward renderer with modest draw counts, a 2010
+refresh with heavier scenes, and a 2013 deferred renderer with multiple
+render targets, more dynamic lights, and much higher draw counts.  None
+of this reproduces the games' *content* — only the workload statistics
+the subsetting methodology consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigError
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_positive,
+    check_type,
+)
+
+RENDERERS = ("forward", "deferred")
+
+
+@dataclass(frozen=True)
+class GameProfile:
+    """Statistics describing one game's rendering workload."""
+
+    name: str
+    renderer: str = "forward"
+    width: int = 1280
+    height: int = 720
+
+    # Content
+    num_zones: int = 3
+    objects_per_zone: int = 420
+    mesh_classes: int = 12
+    material_classes: int = 16
+    texture_size_min: int = 256
+    texture_size_max: int = 1024
+
+    # Lighting / shadows
+    num_lights: int = 2
+    shadow_caster_fraction: float = 0.35
+    shadow_map_size: int = 1024
+
+    # Effects
+    particle_systems: int = 6
+    post_chain_length: int = 4
+    ui_draws: int = 14
+
+    # Shader complexity (pixel-shader ALU midpoint per material family)
+    ps_alu_base: int = 40
+    vs_alu_base: int = 24
+
+    # Per-frame jitter: fraction of visible objects that churn frame to frame
+    visibility_churn: float = 0.06
+
+    def __post_init__(self) -> None:
+        check_type("GameProfile.name", self.name, str)
+        if not self.name:
+            raise ConfigError("GameProfile.name must be non-empty")
+        check_in("GameProfile.renderer", self.renderer, RENDERERS)
+        for field_name in (
+            "width",
+            "height",
+            "num_zones",
+            "objects_per_zone",
+            "mesh_classes",
+            "material_classes",
+            "texture_size_min",
+            "texture_size_max",
+            "num_lights",
+            "shadow_map_size",
+            "particle_systems",
+            "post_chain_length",
+            "ui_draws",
+            "ps_alu_base",
+            "vs_alu_base",
+        ):
+            value = getattr(self, field_name)
+            check_type(f"GameProfile.{field_name}", value, int)
+            check_positive(f"GameProfile.{field_name}", value)
+        check_fraction("GameProfile.shadow_caster_fraction", self.shadow_caster_fraction)
+        check_fraction("GameProfile.visibility_churn", self.visibility_churn)
+        if self.texture_size_min > self.texture_size_max:
+            raise ConfigError(
+                f"texture_size_min={self.texture_size_min} exceeds "
+                f"texture_size_max={self.texture_size_max}"
+            )
+
+    @property
+    def pixel_budget(self) -> int:
+        return self.width * self.height
+
+    def scaled(self, factor: float) -> "GameProfile":
+        """Scale content volume (draw counts) by ``factor``.
+
+        Used to shrink profiles to CI scale or grow them to paper scale
+        without touching their rendering architecture.
+        """
+        check_positive("factor", factor)
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}x{factor:g}",
+            objects_per_zone=max(8, round(self.objects_per_zone * factor)),
+            particle_systems=max(1, round(self.particle_systems * factor)),
+            ui_draws=max(2, round(self.ui_draws * factor)),
+        )
+
+    @classmethod
+    def preset(cls, name: str) -> "GameProfile":
+        try:
+            return _PRESETS[name]
+        except KeyError:
+            choices = ", ".join(sorted(_PRESETS))
+            raise ConfigError(
+                f"unknown game profile {name!r}; choose from: {choices}"
+            ) from None
+
+    @classmethod
+    def preset_names(cls) -> Tuple[str, ...]:
+        return tuple(sorted(_PRESETS))
+
+
+_PRESETS = {
+    # 2007-era forward renderer: modest scenes, few lights, smaller textures.
+    "bioshock1_like": GameProfile(
+        name="bioshock1_like",
+        renderer="forward",
+        width=1280,
+        height=720,
+        num_zones=3,
+        objects_per_zone=790,
+        mesh_classes=10,
+        material_classes=12,
+        texture_size_min=128,
+        texture_size_max=512,
+        num_lights=2,
+        shadow_caster_fraction=0.30,
+        particle_systems=5,
+        post_chain_length=3,
+        ui_draws=10,
+        ps_alu_base=32,
+        vs_alu_base=20,
+    ),
+    # 2010 sequel: same architecture, heavier content.
+    "bioshock2_like": GameProfile(
+        name="bioshock2_like",
+        renderer="forward",
+        width=1280,
+        height=720,
+        num_zones=3,
+        objects_per_zone=890,
+        mesh_classes=12,
+        material_classes=16,
+        texture_size_min=256,
+        texture_size_max=1024,
+        num_lights=3,
+        shadow_caster_fraction=0.35,
+        particle_systems=8,
+        post_chain_length=4,
+        ui_draws=12,
+        ps_alu_base=44,
+        vs_alu_base=24,
+    ),
+    # 2013 deferred renderer: G-buffer MRT, more lights, big draw counts.
+    "bioshock_infinite_like": GameProfile(
+        name="bioshock_infinite_like",
+        renderer="deferred",
+        width=1920,
+        height=1080,
+        num_zones=4,
+        objects_per_zone=1060,
+        mesh_classes=14,
+        material_classes=20,
+        texture_size_min=256,
+        texture_size_max=2048,
+        num_lights=6,
+        shadow_caster_fraction=0.40,
+        shadow_map_size=2048,
+        particle_systems=10,
+        post_chain_length=6,
+        ui_draws=16,
+        ps_alu_base=56,
+        vs_alu_base=30,
+    ),
+}
+
+BIOSHOCK_SERIES = ("bioshock1_like", "bioshock2_like", "bioshock_infinite_like")

@@ -1,0 +1,101 @@
+"""Plain-text charts for figure-style experiment output.
+
+The paper's evaluation has figures as well as tables; these renderers
+draw them in a terminal: horizontal bar charts for per-category values
+and multi-series line charts for trends (e.g. the E3 error/efficiency
+trade-off or the E6 improvement curves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ValidationError
+
+_SERIES_GLYPHS = "*o+x#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        raise ValidationError("bar_chart needs at least one row")
+    if width < 5:
+        raise ValidationError(f"width must be >= 5, got {width}")
+    peak = max(values)
+    if peak < 0:
+        raise ValidationError("bar_chart requires non-negative values")
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValidationError(f"negative value for {label!r}")
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Multi-series line (scatter) chart on a character grid.
+
+    Each series gets a glyph; a legend follows the plot.  Intended for
+    monotone curves with a handful of points (sweep outputs), not dense
+    signals.
+    """
+    if not series:
+        raise ValidationError("line_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ValidationError("line_chart needs width >= 10 and height >= 4")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValidationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs"
+            )
+    if len(xs) < 2:
+        raise ValidationError("line_chart needs at least two x points")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        raise ValidationError("x values must not all be equal")
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = _SERIES_GLYPHS[index % len(_SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:>10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

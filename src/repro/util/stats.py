@@ -1,0 +1,127 @@
+"""Small statistics toolkit used by the metrics and analysis layers.
+
+Implemented directly on numpy (no scipy dependency in the library proper)
+so the core package runs anywhere numpy does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _as_1d(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson product-moment correlation coefficient of two sequences.
+
+    Raises :class:`ValidationError` on mismatched lengths, fewer than two
+    points, or a zero-variance input (where the coefficient is undefined).
+    """
+    x = _as_1d(xs, "xs")
+    y = _as_1d(ys, "ys")
+    if x.size != y.size:
+        raise ValidationError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValidationError("correlation needs at least two points")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = math.sqrt(float(xd @ xd) * float(yd @ yd))
+    if denom == 0.0:
+        raise ValidationError("correlation undefined for zero-variance input")
+    return float(xd @ yd) / denom
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson correlation of ranks)."""
+    x = _as_1d(xs, "xs")
+    y = _as_1d(ys, "ys")
+    if x.size != y.size:
+        raise ValidationError(f"length mismatch: {x.size} vs {y.size}")
+    return pearson_correlation(_rank(x), _rank(y))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = _as_1d(values, "values")
+    if np.any(arr <= 0):
+        raise ValidationError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def mean_absolute_percentage_error(
+    actual: Sequence[float], predicted: Sequence[float]
+) -> float:
+    """Mean |predicted - actual| / actual, as a fraction (0.01 == 1%)."""
+    a = _as_1d(actual, "actual")
+    p = _as_1d(predicted, "predicted")
+    if a.size != p.size:
+        raise ValidationError(f"length mismatch: {a.size} vs {p.size}")
+    if np.any(a == 0):
+        raise ValidationError("actual values must be non-zero")
+    return float(np.mean(np.abs(p - a) / np.abs(a)))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sequence of finite floats."""
+    arr = _as_1d(values, "values")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

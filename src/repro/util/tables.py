@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned ascii tables so the output is readable in a
+terminal and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ascii table.
+
+    Floats are rendered with ``precision`` decimal places; booleans as
+    yes/no.  Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_format_cell(v, precision) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Argument-validation helpers.
+
+Public constructors across the library validate eagerly and raise
+:class:`~repro.errors.ValidationError` with messages that name the offending
+argument, so user mistakes fail at the boundary instead of deep inside a
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.errors import ValidationError
+
+
+def check_type(name: str, value: object, expected: type) -> None:
+    """Raise unless ``value`` is an instance of ``expected``.
+
+    ``bool`` is rejected where an int is expected, since ``True`` silently
+    behaving as ``1`` hides bugs in counts and seeds.
+    """
+    if expected is int and isinstance(value, bool):
+        raise ValidationError(f"{name} must be int, got bool")
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is a finite number > 0."""
+    _check_real(name, value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise unless ``value`` is a finite number >= 0."""
+    _check_real(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value: float, inclusive: bool = True) -> None:
+    """Raise unless ``value`` lies in [0, 1] (or (0, 1) when not inclusive)."""
+    _check_real(name, value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValidationError(f"{name} must be in (0, 1), got {value!r}")
+
+
+def check_in(name: str, value: object, allowed: Collection[object]) -> None:
+    """Raise unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        choices = ", ".join(sorted(repr(a) for a in allowed))
+        raise ValidationError(f"{name} must be one of {choices}, got {value!r}")
+
+
+def _check_real(name: str, value: float) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValidationError(f"{name} must be finite, got {value!r}")

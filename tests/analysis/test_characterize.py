@@ -1,0 +1,51 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.analysis.characterize import characterize_trace
+from repro.simgpu.config import GpuConfig
+from repro.synth.generator import TraceGenerator
+from repro.synth.profiles import GameProfile
+
+CFG = GpuConfig.preset("mainstream")
+
+
+@pytest.fixture(scope="module")
+def profile_result():
+    from repro.synth.phasescript import PhaseScript, Segment, SegmentKind
+
+    game = GameProfile.preset("bioshock_infinite_like").scaled(0.05)
+    script = PhaseScript((Segment(SegmentKind.EXPLORE, 0, 6),))
+    trace = TraceGenerator(game, seed=2).generate(script=script)
+    return characterize_trace(trace, CFG)
+
+
+class TestCharacterize:
+    def test_shares_sum_to_one(self, profile_result):
+        assert sum(profile_result.pass_time_share.values()) == pytest.approx(1.0)
+        assert sum(profile_result.bottleneck_share.values()) == pytest.approx(1.0)
+        assert sum(profile_result.bottleneck_time_share.values()) == pytest.approx(
+            1.0
+        )
+        assert sum(profile_result.traffic_share.values()) == pytest.approx(1.0)
+
+    def test_deferred_engine_shape(self, profile_result):
+        # The deferred renderer spends real time in G-buffer + lighting.
+        shares = profile_result.pass_time_share
+        assert "gbuffer" in shares and shares["gbuffer"] > 0.05
+        assert "lighting" in shares
+        assert shares.get("ui", 0.0) < 0.3
+
+    def test_bottleneck_names_valid(self, profile_result):
+        valid = {"vertex", "fetch", "raster", "pixel", "texture", "rop", "memory"}
+        assert set(profile_result.bottleneck_share) <= valid
+
+    def test_report_renders(self, profile_result):
+        text = profile_result.report()
+        assert "Workload profile" in text
+        assert "bottleneck" in text
+        assert "traffic class" in text
+
+    def test_totals_positive(self, profile_result):
+        assert profile_result.total_time_ms > 0
+        assert profile_result.mean_fps > 0

@@ -1,0 +1,70 @@
+"""Tests for ExperimentResult rendering, figures, and serialization."""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="EX",
+        title="Example",
+        headers=("game", "value %"),
+        rows=(("a", 1.234), ("b", 5.678)),
+        paper_values=(("claim", "about 1%"),),
+        notes="a note",
+        figure="FIGURE-BODY",
+    )
+
+
+class TestRender:
+    def test_contains_all_sections(self, result):
+        text = result.render()
+        assert "[EX] Example" in text
+        assert "FIGURE-BODY" in text
+        assert "paper reference:" in text
+        assert "about 1%" in text
+        assert "note: a note" in text
+
+    def test_figure_between_table_and_refs(self, result):
+        text = result.render()
+        assert text.index("FIGURE-BODY") > text.index("Example")
+        assert text.index("FIGURE-BODY") < text.index("paper reference:")
+
+    def test_no_optional_sections(self):
+        bare = ExperimentResult(
+            experiment_id="EY",
+            title="Bare",
+            headers=("x",),
+            rows=((1,),),
+        )
+        text = bare.render()
+        assert "paper reference" not in text
+        assert "note:" not in text
+
+    def test_precision_respected(self):
+        fine = ExperimentResult(
+            experiment_id="EZ",
+            title="P",
+            headers=("v",),
+            rows=((0.123456,),),
+            precision=5,
+        )
+        assert "0.12346" in fine.render()
+
+
+class TestAccessors:
+    def test_column(self, result):
+        assert result.column("game") == ["a", "b"]
+        assert result.column("value %") == [1.234, 5.678]
+
+    def test_unknown_column_raises(self, result):
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_as_dict_round(self, result):
+        data = result.as_dict()
+        assert data["experiment"] == "EX"
+        assert data["paper_values"] == {"claim": "about 1%"}
+        assert data["rows"] == [["a", 1.234], ["b", 5.678]]

@@ -1,0 +1,163 @@
+"""Tests for the per-frame clustering driver, representatives, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_frame import cluster_frame
+from repro.core.features import FeatureExtractor
+from repro.core.metrics import (
+    cluster_outlier_rate,
+    cluster_quality,
+    clustering_efficiency,
+    frame_prediction_error,
+)
+from repro.core.representatives import cluster_sizes, representative_indices
+from repro.errors import ClusteringError, ValidationError
+
+
+@pytest.fixture
+def frame_features(simple_trace):
+    return FeatureExtractor(simple_trace).frame_matrix(simple_trace.frames[0])
+
+
+class TestClusterFrame:
+    def test_leader_default(self, frame_features):
+        clustering = cluster_frame(frame_features)
+        assert clustering.num_draws == frame_features.shape[0]
+        assert 1 <= clustering.num_clusters <= clustering.num_draws
+        assert clustering.weights.sum() == clustering.num_draws
+
+    def test_groups_by_shader_family(self, frame_features, simple_trace):
+        # The fixture frame has 8 similar shader-1 draws, 4 shader-2 draws
+        # and 1 fullscreen draw; a moderate radius should group families.
+        clustering = cluster_frame(frame_features, radius=1.5)
+        labels = clustering.labels
+        shader_ids = [d.shader_id for d in simple_trace.frames[0].draws()]
+        by_shader = {}
+        for label, sid in zip(labels, shader_ids):
+            by_shader.setdefault(sid, set()).add(label)
+        # Draws of different shader families never share a cluster.
+        all_label_sets = list(by_shader.values())
+        for i, a in enumerate(all_label_sets):
+            for b in all_label_sets[i + 1 :]:
+                assert not (a & b)
+
+    def test_all_methods_run(self, frame_features):
+        for method, kwargs in [
+            ("leader", {}),
+            ("kmeans", {"k": 4}),
+            ("kmeans_bic", {}),
+            ("agglomerative", {}),
+        ]:
+            clustering = cluster_frame(frame_features, method=method, **kwargs)
+            assert clustering.method == method
+            assert clustering.weights.sum() == frame_features.shape[0]
+
+    def test_kmeans_requires_k(self, frame_features):
+        with pytest.raises(ClusteringError, match="requires k"):
+            cluster_frame(frame_features, method="kmeans")
+
+    def test_labels_contiguous_and_reps_belong(self, frame_features):
+        clustering = cluster_frame(frame_features, radius=0.5)
+        assert set(clustering.labels) == set(range(clustering.num_clusters))
+        for cluster, rep in enumerate(clustering.representatives):
+            assert clustering.labels[rep] == cluster
+
+    def test_efficiency_definition(self, frame_features):
+        clustering = cluster_frame(frame_features)
+        expected = 1.0 - clustering.num_clusters / clustering.num_draws
+        assert clustering.efficiency == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            cluster_frame(np.empty((0, 5)))
+
+
+class TestRepresentatives:
+    def test_medoid_is_nearest_to_centroid(self):
+        matrix = np.array([[0.0], [1.0], [2.0], [10.0]])
+        labels = np.array([0, 0, 0, 1])
+        reps = representative_indices(matrix, labels)
+        assert reps[0] == 1  # centroid of {0,1,2} is 1.0
+        assert reps[1] == 3
+
+    def test_non_contiguous_labels_rejected(self):
+        with pytest.raises(ClusteringError, match="contiguous"):
+            representative_indices(np.ones((3, 1)), np.array([0, 2, 2]))
+
+    def test_cluster_sizes(self):
+        sizes = cluster_sizes(np.array([0, 0, 1, 2, 2, 2]))
+        np.testing.assert_array_equal(sizes, [2, 1, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ClusteringError, match="rows"):
+            representative_indices(np.ones((3, 1)), np.array([0, 0]))
+
+
+class TestMetrics:
+    def test_efficiency_bounds(self):
+        assert clustering_efficiency(100, 34) == pytest.approx(0.66)
+        assert clustering_efficiency(10, 10) == 0.0
+        with pytest.raises(ValidationError):
+            clustering_efficiency(10, 0)
+        with pytest.raises(ValidationError):
+            clustering_efficiency(10, 11)
+
+    def test_prediction_error(self):
+        assert frame_prediction_error(100.0, 101.0) == pytest.approx(0.01)
+        assert frame_prediction_error(100.0, 99.0) == pytest.approx(0.01)
+        with pytest.raises(ValidationError):
+            frame_prediction_error(0.0, 1.0)
+
+    def test_cluster_quality_perfect(self):
+        matrix = np.zeros((4, 2))
+        labels = np.array([0, 0, 1, 1])
+        from repro.core.cluster_frame import FrameClustering
+
+        clustering = FrameClustering(
+            labels=labels,
+            representatives=np.array([0, 2]),
+            weights=np.array([2, 2]),
+            method="test",
+        )
+        quality = cluster_quality(clustering, [5.0, 5.0, 7.0, 7.0])
+        assert quality.intra_cluster_errors == (0.0, 0.0)
+        assert quality.outlier_rate == 0.0
+
+    def test_cluster_quality_outlier(self):
+        from repro.core.cluster_frame import FrameClustering
+
+        clustering = FrameClustering(
+            labels=np.array([0, 0]),
+            representatives=np.array([0]),
+            weights=np.array([2]),
+            method="test",
+        )
+        # rep time 1.0, member times (1.0, 3.0): estimate 2.0 vs true 4.0
+        quality = cluster_quality(clustering, [1.0, 3.0])
+        assert quality.intra_cluster_errors[0] == pytest.approx(0.5)
+        assert quality.num_outliers == 1
+        assert cluster_outlier_rate(clustering, [1.0, 3.0]) == 1.0
+
+    def test_threshold_respected(self):
+        from repro.core.cluster_frame import FrameClustering
+
+        clustering = FrameClustering(
+            labels=np.array([0, 0]),
+            representatives=np.array([0]),
+            weights=np.array([2]),
+            method="test",
+        )
+        assert cluster_outlier_rate(clustering, [1.0, 1.2], outlier_threshold=0.2) == 0.0
+
+    def test_time_length_mismatch_rejected(self):
+        from repro.core.cluster_frame import FrameClustering
+
+        clustering = FrameClustering(
+            labels=np.array([0]),
+            representatives=np.array([0]),
+            weights=np.array([1]),
+            method="test",
+        )
+        with pytest.raises(ValidationError):
+            cluster_quality(clustering, [1.0, 2.0])

@@ -1,0 +1,94 @@
+"""Tests for feature extraction."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, NUM_FEATURES, FeatureExtractor
+from repro.errors import ValidationError
+from repro.gfx.frame import Frame
+
+from tests.conftest import make_draw, make_world
+
+
+@pytest.fixture
+def extractor(simple_trace):
+    return FeatureExtractor(simple_trace)
+
+
+class TestExtract:
+    def test_vector_shape_and_names(self, extractor, simple_trace):
+        draw = simple_trace.frames[0].draw_list[0]
+        vector = extractor.extract(draw)
+        assert vector.shape == (NUM_FEATURES,)
+        assert len(FEATURE_NAMES) == NUM_FEATURES
+        assert np.all(np.isfinite(vector))
+
+    def test_identical_draws_identical_features(self, extractor):
+        a = make_draw(shader_id=1)
+        b = make_draw(shader_id=1)
+        assert np.array_equal(extractor.extract(a), extractor.extract(b))
+
+    def test_feature_values_spot_check(self, extractor):
+        draw = make_draw(shader_id=1, vertex_count=99, pixels=1000,
+                         shaded_fraction=0.5)
+        vector = extractor.extract(draw)
+        index = dict(zip(FEATURE_NAMES, range(NUM_FEATURES)))
+        assert vector[index["log_vertices"]] == pytest.approx(np.log1p(99))
+        assert vector[index["log_pixels_shaded"]] == pytest.approx(np.log1p(500))
+        assert vector[index["num_textures"]] == 1.0
+        assert vector[index["depth_reads"]] == 1.0
+        assert vector[index["blend_reads_dest"]] == 0.0
+
+    def test_microarch_independence(self, simple_trace):
+        # Features must not change when only micro-architecture-relevant
+        # shader properties (registers) change.
+        trace_a = simple_trace
+        shaders = dict(trace_a.shaders)
+        s = shaders[1]
+        shaders[1] = dataclasses.replace(
+            s, vertex=dataclasses.replace(s.vertex, registers=64),
+            pixel=dataclasses.replace(s.pixel, registers=64),
+        )
+        trace_b = dataclasses.replace(trace_a, shaders=shaders)
+        draw = trace_a.frames[0].draw_list[0]
+        va = FeatureExtractor(trace_a).extract(draw)
+        vb = FeatureExtractor(trace_b).extract(draw)
+        assert np.array_equal(va, vb)
+
+    def test_instancing_visible_in_features(self, extractor):
+        flat = make_draw(vertex_count=400, instance_count=1)
+        inst = make_draw(vertex_count=100, instance_count=4)
+        index = dict(zip(FEATURE_NAMES, range(NUM_FEATURES)))
+        va, vb = extractor.extract(flat), extractor.extract(inst)
+        # Same total vertex work...
+        assert va[index["log_vertices"]] == pytest.approx(vb[index["log_vertices"]])
+        # ...but instancing is still distinguishable.
+        assert va[index["log_instances"]] != vb[index["log_instances"]]
+
+
+class TestMatrices:
+    def test_frame_matrix_shape(self, extractor, simple_trace):
+        frame = simple_trace.frames[0]
+        matrix = extractor.frame_matrix(frame)
+        assert matrix.shape == (frame.num_draws, NUM_FEATURES)
+
+    def test_empty_frame_rejected(self, extractor):
+        with pytest.raises(ValidationError, match="no draws"):
+            extractor.frame_matrix(Frame(index=0, passes=()))
+
+    def test_trace_matrices_cover_all_frames(self, extractor, simple_trace):
+        matrices = extractor.trace_matrices()
+        assert len(matrices) == simple_trace.num_frames
+
+    def test_unknown_shader_raises(self, simple_trace):
+        extractor = FeatureExtractor(simple_trace)
+        with pytest.raises(ValidationError, match="unknown shader"):
+            extractor.extract(make_draw(shader_id=404))
+
+    def test_caching_consistent(self, extractor):
+        draw = make_draw(shader_id=2, texture_ids=(11, 12))
+        first = extractor.extract(draw)
+        second = extractor.extract(draw)
+        assert np.array_equal(first, second)

@@ -1,0 +1,92 @@
+"""Tests for streaming phase detection."""
+
+import pytest
+
+from repro.core.online import OnlinePhaseDetector
+from repro.core.phasedetect import detect_phases
+from repro.errors import PhaseDetectionError
+from repro.synth.generator import TraceGenerator
+from repro.synth.phasescript import PhaseScript, Segment, SegmentKind
+from repro.synth.profiles import GameProfile
+
+SMALL = GameProfile.preset("bioshock1_like").scaled(0.06)
+
+
+@pytest.fixture(scope="module")
+def game_trace():
+    script = PhaseScript(
+        (
+            Segment(SegmentKind.EXPLORE, 0, 8),
+            Segment(SegmentKind.COMBAT, 0, 8),
+            Segment(SegmentKind.EXPLORE, 0, 8),
+            Segment(SegmentKind.COMBAT, 0, 6),  # partial tail interval
+        )
+    )
+    return TraceGenerator(SMALL, seed=23).generate(script=script)
+
+
+class TestOnlineDetector:
+    def test_matches_offline_phase_sequence(self, game_trace):
+        offline = detect_phases(
+            game_trace, interval_length=4, mode="similarity", tolerance=0.10
+        )
+        online = OnlinePhaseDetector(interval_length=4, tolerance=0.10)
+        for frame in game_trace.frames:
+            online.feed(frame)
+        online.finish()
+        online_phases = tuple(d.phase for d in online.decisions)
+        assert online_phases == offline.phase_ids
+
+    def test_keep_policy_keeps_first_occurrence_only(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=4)
+        for frame in game_trace.frames:
+            online.feed(frame)
+        online.finish()
+        kept_phases = [d.phase for d in online.decisions if d.keep]
+        assert len(kept_phases) == len(set(kept_phases)) == online.num_phases
+
+    def test_decisions_cover_all_frames(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=4)
+        for frame in game_trace.frames:
+            online.feed(frame)
+        online.finish()
+        covered = sum(d.end_frame - d.start_frame for d in online.decisions)
+        assert covered == game_trace.num_frames
+
+    def test_feed_returns_decision_at_interval_boundary(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=4)
+        outcomes = [online.feed(f) for f in game_trace.frames[:8]]
+        assert outcomes[:3] == [None, None, None]
+        assert outcomes[3] is not None
+        assert outcomes[3].interval_index == 0
+        assert outcomes[7].interval_index == 1
+
+    def test_frames_kept_shrinks_relative_to_seen(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=4)
+        for frame in game_trace.frames:
+            online.feed(frame)
+        online.finish()
+        assert online.frames_kept < game_trace.num_frames
+
+    def test_finish_handles_partial_interval(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=4)
+        for frame in game_trace.frames[:6]:
+            online.feed(frame)
+        tail = online.finish()
+        assert tail is not None
+        assert tail.end_frame - tail.start_frame == 2
+
+    def test_finish_idempotent_when_empty(self, game_trace):
+        online = OnlinePhaseDetector(interval_length=2)
+        online.feed(game_trace.frames[0])
+        online.feed(game_trace.frames[1])
+        assert online.finish() is None
+
+    def test_bad_args_rejected(self, game_trace):
+        with pytest.raises(Exception):
+            OnlinePhaseDetector(interval_length=0)
+        with pytest.raises(PhaseDetectionError):
+            OnlinePhaseDetector(tolerance=-1.0)
+        online = OnlinePhaseDetector()
+        with pytest.raises(PhaseDetectionError, match="Frame"):
+            online.feed("not a frame")

@@ -1,0 +1,174 @@
+"""Tests for shader vectors and phase detection."""
+
+import pytest
+
+from repro.core.phasedetect import PhaseDetection, detect_phases, phase_purity
+from repro.core.shadervector import (
+    interval_signature,
+    partition_intervals,
+    quantize_count,
+    relative_l1_distance,
+    shader_vector,
+)
+from repro.errors import PhaseDetectionError
+from repro.synth.generator import TraceGenerator
+from repro.synth.phasescript import PhaseScript, Segment, SegmentKind
+from repro.synth.profiles import GameProfile
+
+from tests.conftest import make_draw, make_world
+
+SMALL = GameProfile.preset("bioshock1_like").scaled(0.06)
+
+
+def repeating_trace(seed=3):
+    """explore(8) combat(8) explore(8): phase 0 recurs at the end."""
+    script = PhaseScript(
+        (
+            Segment(SegmentKind.EXPLORE, 0, 8),
+            Segment(SegmentKind.COMBAT, 0, 8),
+            Segment(SegmentKind.EXPLORE, 0, 8),
+        )
+    )
+    return TraceGenerator(SMALL, seed=seed).generate(script=script)
+
+
+class TestShaderVector:
+    def test_counts_draws_per_shader(self):
+        trace = make_world([
+            [make_draw(shader_id=1), make_draw(shader_id=1), make_draw(shader_id=2)]
+        ])
+        vector = shader_vector([trace.frames[0]])
+        assert vector == {1: 2, 2: 1}
+
+    def test_accumulates_across_frames(self):
+        trace = make_world([[make_draw(shader_id=1)], [make_draw(shader_id=1)]])
+        vector = shader_vector(list(trace.frames))
+        assert vector == {1: 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(PhaseDetectionError):
+            shader_vector([])
+
+
+class TestQuantize:
+    def test_zero_tolerance_identity(self):
+        for count in (0, 1, 7, 1000):
+            assert quantize_count(count, 0.0) == count
+
+    def test_close_counts_same_level(self):
+        assert quantize_count(100, 0.2) == quantize_count(105, 0.2)
+
+    def test_far_counts_different_level(self):
+        assert quantize_count(100, 0.1) != quantize_count(200, 0.1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PhaseDetectionError):
+            quantize_count(-1, 0.1)
+        with pytest.raises(PhaseDetectionError):
+            quantize_count(1, -0.1)
+
+
+class TestRelativeL1:
+    def test_identical_is_zero(self):
+        assert relative_l1_distance({1: 5, 2: 3}, {1: 5, 2: 3}) == 0.0
+
+    def test_disjoint_is_large(self):
+        assert relative_l1_distance({1: 5}, {2: 5}) == 2.0
+
+    def test_small_count_jitter_small_distance(self):
+        d = relative_l1_distance({1: 100, 2: 50}, {1: 103, 2: 49})
+        assert d < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(PhaseDetectionError):
+            relative_l1_distance({}, {})
+
+
+class TestPartition:
+    def test_exact_division(self):
+        intervals = partition_intervals(12, 4)
+        assert [(i.start, i.end) for i in intervals] == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_interval(self):
+        intervals = partition_intervals(10, 4)
+        assert intervals[-1].num_frames == 2
+        assert sum(i.num_frames for i in intervals) == 10
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(PhaseDetectionError):
+            partition_intervals(0, 4)
+        with pytest.raises(PhaseDetectionError):
+            partition_intervals(10, 0)
+
+
+class TestDetectPhases:
+    @pytest.mark.parametrize("mode", ["similarity", "equality"])
+    def test_finds_repetition(self, mode):
+        trace = repeating_trace()
+        tolerance = 0.15 if mode == "similarity" else 0.25
+        detection = detect_phases(
+            trace, interval_length=4, mode=mode, tolerance=tolerance
+        )
+        assert detection.has_repetition
+        # First and last intervals are both 'explore zone 0'.
+        assert detection.phase_ids[0] == detection.phase_ids[-1]
+
+    def test_phase_ids_first_occurrence_ordered(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=4)
+        seen = []
+        for phase in detection.phase_ids:
+            if phase not in seen:
+                seen.append(phase)
+        assert seen == sorted(seen)
+
+    def test_members_and_representatives(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=4)
+        members = detection.phase_members()
+        reps = detection.representative_intervals()
+        assert set(members) == set(reps)
+        for phase, rep in reps.items():
+            assert rep == members[phase][0]
+
+    def test_frame_counts_cover_trace(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=4)
+        assert sum(detection.phase_frame_counts().values()) == trace.num_frames
+
+    def test_retained_fraction_below_one_with_repetition(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=4)
+        assert detection.retained_frame_fraction < 1.0
+
+    def test_interval_length_one(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=1)
+        assert detection.num_intervals == trace.num_frames
+
+    def test_zero_tolerance_equality_is_strict(self):
+        trace = repeating_trace()
+        detection = detect_phases(
+            trace, interval_length=4, mode="equality", tolerance=0.0
+        )
+        # Raw-count equality rarely matches exactly across camera jitter:
+        # strictly more phases than the tolerant similarity mode.
+        loose = detect_phases(trace, interval_length=4, mode="similarity",
+                              tolerance=0.15)
+        assert detection.num_phases >= loose.num_phases
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(Exception):
+            detect_phases(repeating_trace(), mode="psychic")
+
+
+class TestPhasePurity:
+    def test_high_purity_on_script(self):
+        trace = repeating_trace()
+        detection = detect_phases(trace, interval_length=4)
+        assert phase_purity(detection, trace) >= 0.75
+
+    def test_requires_ground_truth(self, simple_trace):
+        detection = detect_phases(simple_trace, interval_length=1)
+        with pytest.raises(PhaseDetectionError, match="ground-truth"):
+            phase_purity(detection, simple_trace)

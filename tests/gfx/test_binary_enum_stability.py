@@ -1,0 +1,53 @@
+"""Binary-format enum code stability.
+
+The binary trace format assigns one-byte codes by enum definition order.
+These tests pin today's assignments so that reordering or inserting enum
+members (which would silently corrupt existing files) fails loudly —
+extending an enum must append, or the format version must bump.
+"""
+
+from repro.gfx.enums import (
+    BlendMode,
+    CullMode,
+    DepthMode,
+    PassType,
+    PrimitiveTopology,
+    TextureFormat,
+)
+from repro.gfx.tracebin import _ENCODE
+
+
+class TestEnumCodeStability:
+    def test_primitive_topology_codes(self):
+        table = _ENCODE[PrimitiveTopology]
+        assert table[PrimitiveTopology.POINT_LIST] == 0
+        assert table[PrimitiveTopology.LINE_LIST] == 1
+        assert table[PrimitiveTopology.TRIANGLE_LIST] == 2
+        assert table[PrimitiveTopology.TRIANGLE_STRIP] == 3
+
+    def test_texture_format_codes(self):
+        table = _ENCODE[TextureFormat]
+        assert table[TextureFormat.R8] == 0
+        assert table[TextureFormat.RGBA8] == 2
+        assert table[TextureFormat.BC1] == 9
+        assert table[TextureFormat.DEPTH24S8] == 12
+        assert table[TextureFormat.DEPTH32F] == 13
+
+    def test_state_codes(self):
+        assert _ENCODE[DepthMode][DepthMode.DISABLED] == 0
+        assert _ENCODE[DepthMode][DepthMode.TEST_WRITE] == 2
+        assert _ENCODE[BlendMode][BlendMode.OPAQUE] == 0
+        assert _ENCODE[CullMode][CullMode.NONE] == 0
+
+    def test_pass_type_codes(self):
+        table = _ENCODE[PassType]
+        assert table[PassType.SHADOW] == 0
+        assert table[PassType.UI] == 7
+
+    def test_codes_fit_one_byte(self):
+        for table in _ENCODE.values():
+            assert all(0 <= code <= 255 for code in table.values())
+
+    def test_codes_bijective(self):
+        for enum_type, table in _ENCODE.items():
+            assert len(set(table.values())) == len(enum_type)

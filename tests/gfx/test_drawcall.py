@@ -1,0 +1,88 @@
+"""Tests for the DrawCall record."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PrimitiveTopology
+from repro.gfx.state import FULLSCREEN_STATE, OPAQUE_STATE
+
+from tests.conftest import make_draw
+
+
+class TestConstruction:
+    def test_valid_draw(self, simple_draw):
+        assert simple_draw.vertex_count == 300
+        assert simple_draw.instance_count == 1
+
+    def test_shaded_exceeding_rasterized_rejected(self):
+        with pytest.raises(ValidationError, match="pixels_shaded"):
+            DrawCall(
+                shader_id=1,
+                state=FULLSCREEN_STATE,
+                topology=PrimitiveTopology.TRIANGLE_LIST,
+                vertex_count=3,
+                pixels_rasterized=10,
+                pixels_shaded=11,
+            )
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValidationError, match="vertex_count"):
+            make_draw(vertex_count=0)
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(ValidationError, match="render target"):
+            DrawCall(
+                shader_id=1,
+                state=FULLSCREEN_STATE,
+                topology=PrimitiveTopology.TRIANGLE_LIST,
+                vertex_count=3,
+                pixels_rasterized=10,
+                pixels_shaded=10,
+                render_target_ids=(),
+                depth_target_id=None,
+            )
+
+    def test_depth_only_draw_allowed(self):
+        # Shadow-map rendering binds only a depth target.
+        draw = DrawCall(
+            shader_id=1,
+            state=OPAQUE_STATE,
+            topology=PrimitiveTopology.TRIANGLE_LIST,
+            vertex_count=30,
+            pixels_rasterized=100,
+            pixels_shaded=100,
+            render_target_ids=(),
+            depth_target_id=4,
+        )
+        assert draw.render_target_ids == ()
+
+    def test_texture_ids_must_be_tuple(self):
+        with pytest.raises(ValidationError, match="texture_ids"):
+            make_draw(texture_ids=[1, 2])  # type: ignore[arg-type]
+
+    def test_frozen(self, simple_draw):
+        with pytest.raises(AttributeError):
+            simple_draw.vertex_count = 5  # type: ignore[misc]
+
+
+class TestDerivedProperties:
+    def test_total_vertices_with_instancing(self):
+        draw = make_draw(vertex_count=30, instance_count=4)
+        assert draw.total_vertices == 120
+
+    def test_primitive_count_with_instancing(self):
+        draw = make_draw(vertex_count=30, instance_count=4)
+        assert draw.primitive_count == 40  # 10 triangles x 4 instances
+
+    def test_overdraw(self):
+        draw = make_draw(pixels=1000, shaded_fraction=0.75)
+        assert draw.overdraw == pytest.approx(0.25)
+
+    def test_overdraw_zero_pixels(self):
+        draw = make_draw(pixels=0, shaded_fraction=0.0)
+        assert draw.overdraw == 0.0
+
+    def test_strip_primitives(self):
+        draw = make_draw(vertex_count=10, topology=PrimitiveTopology.TRIANGLE_STRIP)
+        assert draw.primitive_count == 8

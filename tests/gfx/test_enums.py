@@ -1,0 +1,71 @@
+"""Tests for graphics enumerations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gfx.enums import (
+    BlendMode,
+    DepthMode,
+    PrimitiveTopology,
+    TextureFormat,
+)
+
+
+class TestPrimitiveTopology:
+    @pytest.mark.parametrize(
+        "topo,verts,prims",
+        [
+            (PrimitiveTopology.TRIANGLE_LIST, 9, 3),
+            (PrimitiveTopology.TRIANGLE_LIST, 10, 3),
+            (PrimitiveTopology.TRIANGLE_STRIP, 5, 3),
+            (PrimitiveTopology.TRIANGLE_STRIP, 2, 0),
+            (PrimitiveTopology.TRIANGLE_STRIP, 0, 0),
+            (PrimitiveTopology.LINE_LIST, 7, 3),
+            (PrimitiveTopology.POINT_LIST, 4, 4),
+        ],
+    )
+    def test_primitive_counts(self, topo, verts, prims):
+        assert topo.primitives_for_vertices(verts) == prims
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            PrimitiveTopology.TRIANGLE_LIST.primitives_for_vertices(-1)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_primitives_never_exceed_vertices(self, verts):
+        for topo in PrimitiveTopology:
+            assert 0 <= topo.primitives_for_vertices(verts) <= max(verts, 0)
+
+
+class TestTextureFormat:
+    def test_bytes_per_texel_known(self):
+        assert TextureFormat.RGBA8.bytes_per_texel == 4.0
+        assert TextureFormat.BC1.bytes_per_texel == 0.5
+        assert TextureFormat.RGBA16F.bytes_per_texel == 8.0
+
+    def test_every_format_has_bytes(self):
+        for fmt in TextureFormat:
+            assert fmt.bytes_per_texel > 0
+
+    def test_depth_flags(self):
+        assert TextureFormat.DEPTH24S8.is_depth
+        assert TextureFormat.DEPTH32F.is_depth
+        assert not TextureFormat.RGBA8.is_depth
+
+    def test_compressed_flags(self):
+        assert TextureFormat.BC1.is_compressed
+        assert not TextureFormat.R32F.is_compressed
+
+
+class TestModes:
+    def test_depth_read_write(self):
+        assert not DepthMode.DISABLED.reads_depth
+        assert DepthMode.TEST_ONLY.reads_depth
+        assert not DepthMode.TEST_ONLY.writes_depth
+        assert DepthMode.TEST_WRITE.writes_depth
+
+    def test_blend_reads_destination(self):
+        assert not BlendMode.OPAQUE.reads_destination
+        for mode in (BlendMode.ALPHA, BlendMode.ADDITIVE, BlendMode.MULTIPLY):
+            assert mode.reads_destination

@@ -1,0 +1,107 @@
+"""Tests for Frame, RenderPass, Trace and TraceStats."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gfx.enums import PassType
+from repro.gfx.frame import Frame, RenderPass, frame_from_draws
+from repro.gfx.trace import Trace
+
+from tests.conftest import make_draw, make_world
+
+
+class TestFrame:
+    def test_draw_iteration_order(self):
+        d1 = make_draw(shader_id=1)
+        d2 = make_draw(shader_id=2)
+        d3 = make_draw(shader_id=3)
+        frame = Frame(
+            index=0,
+            passes=(
+                RenderPass(PassType.GBUFFER, (d1, d2)),
+                RenderPass(PassType.POST, (d3,)),
+            ),
+        )
+        assert frame.shader_ids == (1, 2, 3)
+        assert frame.num_draws == 3
+
+    def test_pass_of_type(self):
+        frame = Frame(
+            index=0,
+            passes=(
+                RenderPass(PassType.SHADOW, (make_draw(),)),
+                RenderPass(PassType.SHADOW, (make_draw(),)),
+                RenderPass(PassType.POST, (make_draw(),)),
+            ),
+        )
+        assert len(frame.pass_of_type(PassType.SHADOW)) == 2
+        assert frame.pass_of_type(PassType.UI) == ()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            Frame(index=-1, passes=())
+
+    def test_frame_from_draws_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            frame_from_draws(0, [])
+
+    def test_bad_pass_type_rejected(self):
+        with pytest.raises(ValidationError, match="RenderPass"):
+            Frame(index=0, passes=("not a pass",))  # type: ignore[arg-type]
+
+
+class TestTrace:
+    def test_stats(self, simple_trace):
+        stats = simple_trace.stats()
+        assert stats.num_frames == 3
+        assert stats.num_draws == 3 * 13
+        assert stats.draws_per_frame_mean == pytest.approx(13.0)
+        assert stats.num_shaders == 3
+
+    def test_lookup_helpers(self, simple_trace):
+        shader = simple_trace.shader(1)
+        assert shader.shader_id == 1
+        with pytest.raises(ValidationError, match="unknown shader_id"):
+            simple_trace.shader(999)
+        with pytest.raises(ValidationError, match="unknown texture_id"):
+            simple_trace.texture(999)
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            Trace(name="x", frames=(), shaders={})
+
+    def test_mismatched_shader_key_rejected(self, simple_trace):
+        shaders = dict(simple_trace.shaders)
+        shader = shaders.pop(1)
+        shaders[99] = shader  # key != shader.shader_id
+        with pytest.raises(ValidationError, match="shader table key"):
+            Trace(name="x", frames=simple_trace.frames, shaders=shaders)
+
+    def test_draws_iterates_all(self, simple_trace):
+        assert sum(1 for _ in simple_trace.draws()) == simple_trace.num_draws
+
+
+class TestSubsetFrames:
+    def test_subset_preserves_frame_identity(self, simple_trace):
+        subset = simple_trace.subset_frames([2, 0])
+        assert subset.num_frames == 2
+        assert subset.frames[0].index == 2  # original index kept
+        assert subset.frames[1].index == 0
+        assert subset.metadata["parent"] == simple_trace.name
+
+    def test_subset_shares_tables(self, simple_trace):
+        subset = simple_trace.subset_frames([1])
+        assert subset.shaders.keys() == simple_trace.shaders.keys()
+
+    def test_out_of_range_rejected(self, simple_trace):
+        with pytest.raises(ValidationError, match="out of range"):
+            simple_trace.subset_frames([5])
+
+    def test_empty_rejected(self, simple_trace):
+        with pytest.raises(ValidationError, match="non-empty"):
+            simple_trace.subset_frames([])
+
+    def test_make_world_helper(self):
+        trace = make_world([[make_draw()], [make_draw(), make_draw()]])
+        assert trace.num_frames == 2
+        assert trace.num_draws == 3

@@ -1,0 +1,61 @@
+"""Tests for resource descriptors."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gfx.enums import TextureFormat
+from repro.gfx.resources import BufferDesc, RenderTargetDesc, TextureDesc
+
+
+class TestTextureDesc:
+    def test_byte_size_single_mip(self):
+        tex = TextureDesc(1, 16, 16, TextureFormat.RGBA8)
+        assert tex.byte_size == 16 * 16 * 4
+
+    def test_byte_size_mip_chain(self):
+        tex = TextureDesc(1, 4, 4, TextureFormat.RGBA8, mip_levels=3)
+        # 4x4 + 2x2 + 1x1 texels = 21 texels * 4 bytes
+        assert tex.byte_size == 21 * 4
+
+    def test_compressed_subbyte(self):
+        tex = TextureDesc(1, 8, 8, TextureFormat.BC1)
+        assert tex.byte_size == 32
+
+    def test_too_many_mips_rejected(self):
+        with pytest.raises(ValidationError, match="mip_levels"):
+            TextureDesc(1, 4, 4, TextureFormat.RGBA8, mip_levels=10)
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            TextureDesc(1, 0, 4, TextureFormat.RGBA8)
+
+    def test_mip_of_nonsquare(self):
+        tex = TextureDesc(1, 8, 2, TextureFormat.R8, mip_levels=4)
+        # 8x2 + 4x1 + 2x1 + 1x1 = 16 + 4 + 2 + 1 = 23 texels
+        assert tex.byte_size == 23
+
+
+class TestBufferDesc:
+    def test_valid(self):
+        buf = BufferDesc(1, byte_size=1024, stride=32)
+        assert buf.byte_size == 1024
+
+    def test_stride_exceeding_size_rejected(self):
+        with pytest.raises(ValidationError, match="stride"):
+            BufferDesc(1, byte_size=16, stride=32)
+
+
+class TestRenderTargetDesc:
+    def test_pixel_count_and_bpp(self):
+        rt = RenderTargetDesc(0, 1920, 1080, TextureFormat.RGBA8, samples=4)
+        assert rt.pixel_count == 1920 * 1080
+        assert rt.bytes_per_pixel == 16.0
+
+    def test_bad_sample_count_rejected(self):
+        with pytest.raises(ValidationError, match="samples"):
+            RenderTargetDesc(0, 64, 64, TextureFormat.RGBA8, samples=3)
+
+    def test_hash_by_id(self):
+        a = RenderTargetDesc(5, 64, 64, TextureFormat.RGBA8)
+        b = RenderTargetDesc(5, 32, 32, TextureFormat.R8)
+        assert hash(a) == hash(b)

@@ -1,0 +1,61 @@
+"""Tests for shader programs and stats."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gfx.shader import ShaderProgram, ShaderStats, make_shader
+
+
+class TestShaderStats:
+    def test_defaults(self):
+        stats = ShaderStats(alu_ops=10)
+        assert stats.tex_ops == 0
+        assert stats.registers == 16
+
+    def test_total_ops(self):
+        stats = ShaderStats(alu_ops=10, tex_ops=3, branch_ops=2)
+        assert stats.total_ops == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ShaderStats(alu_ops=-1)
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(ValidationError, match="registers"):
+            ShaderStats(alu_ops=1, registers=0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValidationError):
+            ShaderStats(alu_ops=1.5)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        stats = ShaderStats(alu_ops=1)
+        with pytest.raises(AttributeError):
+            stats.alu_ops = 2  # type: ignore[misc]
+
+
+class TestShaderProgram:
+    def test_make_shader(self):
+        s = make_shader(3, "gbuffer/stone", vs_alu=25, ps_alu=60, ps_tex=4)
+        assert s.shader_id == 3
+        assert s.pixel.tex_ops == 4
+        assert s.vertex.alu_ops == 25
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            make_shader(1, "", vs_alu=1, ps_alu=1)
+
+    def test_hash_by_id(self):
+        a = make_shader(7, "a", vs_alu=1, ps_alu=1)
+        b = make_shader(7, "b", vs_alu=2, ps_alu=2)
+        assert hash(a) == hash(b)
+
+    def test_metadata_not_compared(self):
+        a = make_shader(1, "x", vs_alu=1, ps_alu=1)
+        b = make_shader(1, "x", vs_alu=1, ps_alu=1)
+        a.metadata["k"] = "v"
+        assert a == b
+
+    def test_wrong_stage_type_rejected(self):
+        with pytest.raises(ValidationError):
+            ShaderProgram(shader_id=1, name="x", vertex="nope", pixel=ShaderStats(1))

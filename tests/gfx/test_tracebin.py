@@ -1,0 +1,111 @@
+"""Tests for the compact binary trace format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.gfx.tracebin import (
+    load_trace_binary,
+    read_trace_binary,
+    save_trace_binary,
+    write_trace_binary,
+)
+from repro.gfx.traceio import trace_to_string
+
+from tests.conftest import make_draw, make_world
+from tests.test_properties import draw_strategy
+
+
+def roundtrip(trace):
+    buffer = io.BytesIO()
+    write_trace_binary(trace, buffer)
+    buffer.seek(0)
+    return read_trace_binary(buffer)
+
+
+class TestRoundTrip:
+    def test_fixture_trace(self, simple_trace):
+        back = roundtrip(simple_trace)
+        assert back.name == simple_trace.name
+        assert back.frames == simple_trace.frames
+        assert back.shaders == simple_trace.shaders
+        assert back.textures == simple_trace.textures
+        assert back.render_targets == simple_trace.render_targets
+
+    def test_file_roundtrip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.rpb"
+        save_trace_binary(simple_trace, path)
+        back = load_trace_binary(path)
+        assert back.frames == simple_trace.frames
+
+    def test_synth_trace(self):
+        from repro.synth.generator import TraceGenerator
+        from repro.synth.profiles import GameProfile
+
+        profile = GameProfile.preset("bioshock_infinite_like").scaled(0.04)
+        trace = TraceGenerator(profile, seed=3).generate(num_frames=4)
+        back = roundtrip(trace)
+        assert back.frames == trace.frames
+        assert back.render_targets == trace.render_targets
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.lists(draw_strategy, min_size=1, max_size=6),
+                    min_size=1, max_size=3))
+    def test_random_traces(self, draw_lists):
+        trace = make_world(draw_lists)
+        back = roundtrip(trace)
+        assert back.frames == trace.frames
+
+    def test_depth_only_draw_preserved(self):
+        import dataclasses
+
+        draw = dataclasses.replace(
+            make_draw(), render_target_ids=(), depth_target_id=1
+        )
+        trace = make_world([[draw]])
+        back = roundtrip(trace)
+        rebuilt = back.frames[0].draw_list[0]
+        assert rebuilt.render_target_ids == ()
+        assert rebuilt.depth_target_id == 1
+
+
+class TestCompactness:
+    def test_smaller_than_json(self):
+        trace = make_world([[make_draw() for _ in range(50)] for _ in range(4)])
+        json_size = len(trace_to_string(trace).encode())
+        buffer = io.BytesIO()
+        write_trace_binary(trace, buffer)
+        binary_size = buffer.tell()
+        assert binary_size < json_size / 3
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace_binary(io.BytesIO(b"NOPE" + b"\x00" * 64))
+
+    def test_truncated_stream(self, simple_trace):
+        buffer = io.BytesIO()
+        write_trace_binary(simple_trace, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(io.BytesIO(data[: len(data) // 2]))
+
+    def test_missing_end_marker(self, simple_trace):
+        buffer = io.BytesIO()
+        write_trace_binary(simple_trace, buffer)
+        data = buffer.getvalue()[:-4]
+        with pytest.raises(TraceFormatError, match="end marker"):
+            read_trace_binary(io.BytesIO(data))
+
+    def test_wrong_section_tag(self, simple_trace):
+        buffer = io.BytesIO()
+        write_trace_binary(simple_trace, buffer)
+        data = bytearray(buffer.getvalue())
+        shdr = data.find(b"SHDR")
+        data[shdr : shdr + 4] = b"XXXX"
+        with pytest.raises(TraceFormatError, match="section tag"):
+            read_trace_binary(io.BytesIO(bytes(data)))

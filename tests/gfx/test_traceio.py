@@ -1,0 +1,99 @@
+"""Tests for trace serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.gfx.traceio import (
+    FORMAT_VERSION,
+    load_trace,
+    save_trace,
+    trace_from_string,
+    trace_to_string,
+)
+
+from tests.conftest import make_draw, make_world
+
+
+class TestRoundTrip:
+    def test_string_roundtrip_equal(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        back = trace_from_string(text)
+        assert back.name == simple_trace.name
+        assert back.frames == simple_trace.frames
+        assert back.shaders == simple_trace.shaders
+        assert back.textures == simple_trace.textures
+        assert back.render_targets == simple_trace.render_targets
+
+    def test_file_roundtrip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(simple_trace, path)
+        back = load_trace(path)
+        assert back.frames == simple_trace.frames
+
+    def test_metadata_preserved(self):
+        trace = make_world([[make_draw()]])
+        trace.metadata["game"] = "bioshock1_like"
+        back = trace_from_string(trace_to_string(trace))
+        assert back.metadata["game"] == "bioshock1_like"
+
+    def test_double_roundtrip_stable(self, simple_trace):
+        once = trace_to_string(simple_trace)
+        twice = trace_to_string(trace_from_string(once))
+        assert once == twice
+
+
+class TestFormatErrors:
+    def test_empty_stream(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            trace_from_string("")
+
+    def test_missing_header(self):
+        line = json.dumps({"type": "shader", "id": 1})
+        with pytest.raises(TraceFormatError, match="header"):
+            trace_from_string(line + "\n")
+
+    def test_bad_version(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        header = json.loads(text.splitlines()[0])
+        header["version"] = FORMAT_VERSION + 1
+        body = "\n".join(text.splitlines()[1:])
+        with pytest.raises(TraceFormatError, match="version"):
+            trace_from_string(json.dumps(header) + "\n" + body)
+
+    def test_malformed_json_line(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        broken = text + "{not json\n"
+        with pytest.raises(TraceFormatError, match="bad JSON"):
+            trace_from_string(broken)
+
+    def test_unknown_record_type(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        extra = json.dumps({"type": "mystery"})
+        with pytest.raises(TraceFormatError, match="unknown record type"):
+            trace_from_string(text + extra + "\n")
+
+    def test_truncated_record_reports_line(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        extra = json.dumps({"type": "texture", "id": 1})  # missing fields
+        with pytest.raises(TraceFormatError, match="line"):
+            trace_from_string(text + extra + "\n")
+
+    def test_blank_lines_ignored(self, simple_trace):
+        text = trace_to_string(simple_trace)
+        lines = text.splitlines()
+        padded = lines[0] + "\n\n" + "\n".join(lines[1:]) + "\n\n"
+        back = trace_from_string(padded)
+        assert back.num_frames == simple_trace.num_frames
+
+
+class TestStreamBehaviour:
+    def test_write_is_json_lines(self, simple_trace):
+        buffer = io.StringIO()
+        from repro.gfx.traceio import write_trace
+
+        write_trace(simple_trace, buffer)
+        for line in buffer.getvalue().splitlines():
+            json.loads(line)  # every line independently parseable

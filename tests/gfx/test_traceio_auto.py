@@ -1,0 +1,52 @@
+"""Tests for format auto-detection in trace IO."""
+
+from repro.gfx.traceio import load_trace_auto, save_trace_auto
+
+from tests.conftest import make_draw, make_world
+
+
+class TestAutoIO:
+    def test_json_by_default(self, tmp_path, simple_trace):
+        path = tmp_path / "t.jsonl"
+        save_trace_auto(simple_trace, path)
+        assert path.read_bytes().startswith(b"{")
+        back = load_trace_auto(path)
+        assert back.frames == simple_trace.frames
+
+    def test_binary_by_suffix(self, tmp_path, simple_trace):
+        path = tmp_path / "t.rpb"
+        save_trace_auto(simple_trace, path)
+        assert path.read_bytes().startswith(b"RPB1")
+        back = load_trace_auto(path)
+        assert back.frames == simple_trace.frames
+
+    def test_load_sniffs_content_not_suffix(self, tmp_path):
+        # A binary trace saved with a .jsonl name still loads.
+        from repro.gfx.tracebin import save_trace_binary
+
+        trace = make_world([[make_draw()]])
+        path = tmp_path / "mislabeled.jsonl"
+        save_trace_binary(trace, path)
+        back = load_trace_auto(path)
+        assert back.frames == trace.frames
+
+    def test_cli_generates_binary(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "t.rpb"
+        code = main(
+            [
+                "generate",
+                "--game",
+                "bioshock1_like",
+                "--frames",
+                "4",
+                "--scale",
+                "0.05",
+                "-o",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.read_bytes().startswith(b"RPB1")
+        assert main(["info", str(path)]) == 0

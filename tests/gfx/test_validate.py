@@ -1,0 +1,112 @@
+"""Tests for cross-object trace validation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.gfx.drawcall import DrawCall
+from repro.gfx.enums import PrimitiveTopology
+from repro.gfx.frame import Frame, RenderPass
+from repro.gfx.enums import PassType
+from repro.gfx.state import FULLSCREEN_STATE, OPAQUE_STATE
+from repro.gfx.trace import Trace
+from repro.gfx.validate import validate_trace
+
+from tests.conftest import COLOR_RT, DEPTH_RT, make_draw, make_world
+
+
+def rebuild_with_draw(trace: Trace, draw: DrawCall) -> Trace:
+    """Replace the first frame with a frame containing only ``draw``."""
+    frame = Frame(index=0, passes=(RenderPass(PassType.FORWARD, (draw,)),))
+    return Trace(
+        name=trace.name,
+        frames=(frame,) + trace.frames[1:],
+        shaders=trace.shaders,
+        textures=trace.textures,
+        render_targets=trace.render_targets,
+    )
+
+
+class TestValidateTrace:
+    def test_valid_trace_passes(self, simple_trace):
+        validate_trace(simple_trace)
+
+    def test_dangling_shader(self, simple_trace):
+        bad = rebuild_with_draw(simple_trace, make_draw(shader_id=777))
+        with pytest.raises(TraceError, match="unknown shader_id 777"):
+            validate_trace(bad)
+
+    def test_dangling_texture(self, simple_trace):
+        bad = rebuild_with_draw(simple_trace, make_draw(texture_ids=(888,)))
+        with pytest.raises(TraceError, match="unknown texture_id 888"):
+            validate_trace(bad)
+
+    def test_depth_test_without_depth_target(self, simple_trace):
+        draw = DrawCall(
+            shader_id=1,
+            state=OPAQUE_STATE,  # depth test enabled
+            topology=PrimitiveTopology.TRIANGLE_LIST,
+            vertex_count=3,
+            pixels_rasterized=10,
+            pixels_shaded=10,
+            texture_ids=(10,),
+            render_target_ids=(COLOR_RT,),
+            depth_target_id=None,
+        )
+        bad = rebuild_with_draw(simple_trace, draw)
+        with pytest.raises(TraceError, match="no depth target"):
+            validate_trace(bad)
+
+    def test_color_target_with_depth_format(self, simple_trace):
+        draw = DrawCall(
+            shader_id=1,
+            state=FULLSCREEN_STATE,
+            topology=PrimitiveTopology.TRIANGLE_LIST,
+            vertex_count=3,
+            pixels_rasterized=10,
+            pixels_shaded=10,
+            texture_ids=(10,),
+            render_target_ids=(DEPTH_RT,),  # depth format bound as color
+            depth_target_id=None,
+        )
+        bad = rebuild_with_draw(simple_trace, draw)
+        with pytest.raises(TraceError, match="non-depth|depth format"):
+            validate_trace(bad)
+
+    def test_absurd_pixel_count_flagged(self, simple_trace):
+        draw = DrawCall(
+            shader_id=1,
+            state=FULLSCREEN_STATE,
+            topology=PrimitiveTopology.TRIANGLE_LIST,
+            vertex_count=3,
+            pixels_rasterized=1280 * 720 * 17,
+            pixels_shaded=100,
+            texture_ids=(10,),
+            render_target_ids=(COLOR_RT,),
+        )
+        bad = rebuild_with_draw(simple_trace, draw)
+        with pytest.raises(TraceError, match="exceeds 16x"):
+            validate_trace(bad)
+
+    def test_multiple_errors_collected(self, simple_trace):
+        bad_draw = make_draw(shader_id=777, texture_ids=(888, 889))
+        bad = rebuild_with_draw(simple_trace, bad_draw)
+        try:
+            validate_trace(bad)
+        except TraceError as exc:
+            message = str(exc)
+            assert "777" in message and "888" in message and "889" in message
+        else:
+            pytest.fail("expected TraceError")
+
+    def test_error_cap_respected(self, simple_trace):
+        draws = tuple(make_draw(shader_id=700 + i) for i in range(30))
+        frame = Frame(index=0, passes=(RenderPass(PassType.FORWARD, draws),))
+        bad = Trace(
+            name="bad",
+            frames=(frame,),
+            shaders=simple_trace.shaders,
+            textures=simple_trace.textures,
+            render_targets=simple_trace.render_targets,
+        )
+        with pytest.raises(TraceError, match="truncated"):
+            validate_trace(bad, max_errors=5)

@@ -1,0 +1,94 @@
+"""Batch path equivalence: the vectorized simulator must match the
+sequential reference exactly (up to float rounding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gfx.enums import PrimitiveTopology
+from repro.gfx.state import (
+    ADDITIVE_STATE,
+    FULLSCREEN_STATE,
+    OPAQUE_STATE,
+    TRANSPARENT_STATE,
+)
+from repro.simgpu.batch import precompute_trace, simulate_frames_batch, simulate_trace_batch
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.simulator import GpuSimulator
+
+from tests.conftest import make_draw, make_world
+
+CFG = GpuConfig()
+
+STATES = [OPAQUE_STATE, TRANSPARENT_STATE, ADDITIVE_STATE, FULLSCREEN_STATE]
+
+
+draw_strategy = st.builds(
+    make_draw,
+    shader_id=st.integers(min_value=1, max_value=5),
+    vertex_count=st.integers(min_value=1, max_value=100000),
+    pixels=st.integers(min_value=0, max_value=500000),
+    shaded_fraction=st.floats(min_value=0.0, max_value=1.0),
+    texture_ids=st.sampled_from([(), (10,), (11, 12), (10, 11, 12)]),
+    state=st.sampled_from(STATES),
+    topology=st.sampled_from(list(PrimitiveTopology)),
+    instance_count=st.integers(min_value=1, max_value=8),
+)
+
+
+class TestEquivalence:
+    def test_matches_sequential_on_fixture(self, simple_trace):
+        seq = GpuSimulator(CFG).simulate_trace(simple_trace, keep_draw_costs=True)
+        bat = simulate_trace_batch(simple_trace, CFG)
+        assert bat.total_time_ns == pytest.approx(seq.total_time_ns, rel=1e-12)
+        for fs, fb in zip(seq.frame_results, bat.frame_results):
+            assert fb.time_ns == pytest.approx(fs.time_ns, rel=1e-12)
+            assert fb.core_cycles == pytest.approx(fs.core_cycles, rel=1e-12)
+            assert fb.dram_cycles == pytest.approx(fs.dram_cycles, rel=1e-12)
+            for key in fs.pass_times_ns:
+                assert fb.pass_times_ns[key] == pytest.approx(
+                    fs.pass_times_ns[key], rel=1e-12
+                )
+
+    def test_per_draw_times_match(self, simple_trace):
+        seq = GpuSimulator(CFG).simulate_trace(simple_trace, keep_draw_costs=True)
+        outputs = simulate_frames_batch(simple_trace, CFG)
+        for fs, out in zip(seq.frame_results, outputs):
+            np.testing.assert_allclose(
+                out.draw_times_ns, np.array(fs.draw_times_ns()), rtol=1e-12
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        draws=st.lists(draw_strategy, min_size=1, max_size=12),
+        preset=st.sampled_from(["lowpower", "mainstream", "highend"]),
+    )
+    def test_random_traces_match(self, draws, preset):
+        trace = make_world([draws])
+        config = GpuConfig.preset(preset)
+        seq = GpuSimulator(config).simulate_trace(trace)
+        bat = simulate_trace_batch(trace, config)
+        assert bat.total_time_ns == pytest.approx(seq.total_time_ns, rel=1e-9)
+
+
+class TestPrecompCache:
+    def test_reuse_across_clocks(self, simple_trace):
+        precomp = precompute_trace(simple_trace)
+        a = simulate_trace_batch(simple_trace, CFG.with_core_clock(800.0), precomp)
+        b = simulate_trace_batch(simple_trace, CFG.with_core_clock(800.0), precomp)
+        assert a.total_time_ns == b.total_time_ns
+        # Cache populated once for the shared capacity/penalty key.
+        assert len(precomp._context_cache) == 1
+
+    def test_cache_key_differs_with_capacity(self, simple_trace):
+        precomp = precompute_trace(simple_trace)
+        simulate_trace_batch(simple_trace, CFG, precomp)
+        simulate_trace_batch(simple_trace, CFG.scaled(tex_cache_kb=32), precomp)
+        assert len(precomp._context_cache) == 2
+
+    def test_precomp_matches_fresh(self, simple_trace):
+        precomp = precompute_trace(simple_trace)
+        with_pre = simulate_trace_batch(simple_trace, CFG, precomp)
+        without = simulate_trace_batch(simple_trace, CFG)
+        assert with_pre.total_time_ns == pytest.approx(without.total_time_ns)

@@ -1,0 +1,149 @@
+"""Tests for the per-draw cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.gfx.enums import TextureFormat
+from repro.gfx.resources import RenderTargetDesc, TextureDesc
+from repro.gfx.shader import make_shader
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.cost import (
+    combine_core_cycles,
+    combine_time_ns,
+    draw_cost,
+    noise_multiplier,
+)
+from repro.simgpu.state_tracker import TrackerEffects
+
+from tests.conftest import make_draw
+
+CFG = GpuConfig()
+NO_EFFECTS = TrackerEffects(warm_fraction=0.0, switch_cycles=0.0)
+SHADER = make_shader(1, "s", vs_alu=20, ps_alu=40, ps_tex=2)
+COLOR = [RenderTargetDesc(0, 1280, 720, TextureFormat.RGBA8)]
+DEPTH = RenderTargetDesc(1, 1280, 720, TextureFormat.DEPTH24S8)
+TEXTURES = [TextureDesc(10, 256, 256, TextureFormat.BC1)]
+
+
+def cost_of(draw, config=CFG, effects=NO_EFFECTS, key=(0, 0)):
+    return draw_cost(draw, SHADER, TEXTURES, COLOR, DEPTH, config, effects, key)
+
+
+class TestMonotonicity:
+    def test_more_pixels_cost_more(self):
+        small = cost_of(make_draw(pixels=1000))
+        large = cost_of(make_draw(pixels=100000))
+        assert large.time_ns > small.time_ns
+
+    def test_more_vertices_cost_more(self):
+        few = cost_of(make_draw(vertex_count=30))
+        many = cost_of(make_draw(vertex_count=300000))
+        assert many.time_ns > few.time_ns
+
+    def test_higher_clock_is_faster(self):
+        draw = make_draw(pixels=50000)
+        slow = cost_of(draw, config=CFG.with_core_clock(500.0))
+        fast = cost_of(draw, config=CFG.with_core_clock(2000.0))
+        assert fast.time_ns < slow.time_ns
+
+    def test_switch_penalty_increases_cost(self):
+        draw = make_draw()
+        clean = cost_of(draw)
+        switched = cost_of(
+            draw, effects=TrackerEffects(warm_fraction=0.0, switch_cycles=5000.0)
+        )
+        assert switched.core_cycles > clean.core_cycles
+
+    def test_warmth_reduces_memory_traffic(self):
+        # Few enough samples that the spatial-locality cap does not bind.
+        draw = make_draw(pixels=2000)
+        cold = cost_of(draw, effects=TrackerEffects(0.0, 0.0))
+        warm = cost_of(draw, effects=TrackerEffects(1.0, 0.0))
+        assert warm.traffic.texture_bytes < cold.traffic.texture_bytes
+        assert warm.dram_cycles < cold.dram_cycles
+
+    def test_spatial_locality_caps_streaming_reads(self):
+        # A full-screen pass cannot fetch more than ~the texture content.
+        from repro.simgpu import texture as tex_model
+
+        fullscreen = make_draw(pixels=1280 * 720, shaded_fraction=1.0)
+        cost = cost_of(fullscreen)
+        footprint = sum(t.byte_size for t in TEXTURES)
+        cap = tex_model.FOOTPRINT_OVERFETCH_CAP * footprint
+        assert cost.traffic.texture_bytes <= cap + 1e-6
+
+
+class TestBreakdown:
+    def test_stage_cycles_all_nonnegative(self):
+        cost = cost_of(make_draw())
+        assert all(c >= 0 for c in cost.stage_cycles)
+
+    def test_core_cycles_at_least_bottleneck(self):
+        cost = cost_of(make_draw())
+        # noise can only perturb by +/- amplitude
+        assert cost.core_cycles >= max(cost.stage_cycles) * (1 - CFG.noise_amplitude)
+
+    def test_bottleneck_is_valid_name(self):
+        cost = cost_of(make_draw(pixels=200000))
+        assert cost.bottleneck in (
+            "vertex", "fetch", "raster", "pixel", "texture", "rop", "memory",
+        )
+
+    def test_fullscreen_quad_is_pixel_or_memory_bound(self):
+        quad = make_draw(vertex_count=3, pixels=1280 * 720, shaded_fraction=1.0)
+        cost = cost_of(quad)
+        assert cost.bottleneck in ("pixel", "texture", "rop", "memory", "raster")
+        assert cost.vertex_cycles < cost.pixel_cycles
+
+    def test_memory_bound_detection(self):
+        # Starve bandwidth so any draw becomes memory bound.
+        starved = CFG.scaled(dram_bytes_per_mem_cycle=0.01)
+        cost = cost_of(make_draw(pixels=100000), config=starved)
+        assert cost.bottleneck == "memory"
+
+
+class TestNoise:
+    def test_noise_deterministic(self):
+        a = noise_multiplier(CFG, (3, 7))
+        b = noise_multiplier(CFG, (3, 7))
+        assert a == b
+
+    def test_noise_bounded(self):
+        for frame in range(20):
+            for pos in range(20):
+                m = noise_multiplier(CFG, (frame, pos))
+                assert 1 - CFG.noise_amplitude <= m <= 1 + CFG.noise_amplitude
+
+    def test_zero_amplitude_is_identity(self):
+        quiet = CFG.scaled(noise_amplitude=0.0)
+        assert noise_multiplier(quiet, (1, 2)) == 1.0
+
+    def test_noise_varies_by_slot(self):
+        values = {noise_multiplier(CFG, (0, pos)) for pos in range(50)}
+        assert len(values) > 40
+
+
+class TestCombine:
+    def test_combine_core_includes_residual(self):
+        stages = [100.0, 50.0, 25.0]
+        combined = combine_core_cycles(stages, 0.0, 0.0, CFG)
+        assert combined == pytest.approx(100.0 + CFG.serial_fraction * 75.0)
+
+    def test_combine_time_overlap(self):
+        # core 1000 cycles @1000MHz = 1000ns; mem 800 cycles @1600MHz = 500ns
+        t = combine_time_ns(1000.0, 800.0, CFG)
+        assert t == pytest.approx(1000.0 + CFG.mem_overlap_residual * 500.0)
+
+    def test_combine_time_memory_bound(self):
+        t = combine_time_ns(100.0, 100000.0, CFG)
+        mem_ns = 1e3 * 100000.0 / CFG.memory_clock_mhz
+        assert t >= mem_ns
+
+
+class TestInstancing:
+    def test_instanced_draw_costs_like_expanded(self):
+        base = make_draw(vertex_count=30, instance_count=10)
+        flat = dataclasses.replace(base, vertex_count=300, instance_count=1)
+        # Same total vertex work -> same vertex-stage cycles.
+        assert cost_of(base).vertex_cycles == pytest.approx(cost_of(flat).vertex_cycles)

@@ -1,0 +1,54 @@
+"""Tests for the memory-domain frequency sweep (extension)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.dvfs import frequency_sweep
+
+from tests.conftest import make_draw, make_world
+
+CFG = GpuConfig.preset("mainstream")
+CLOCKS = (800.0, 1600.0, 3200.0)
+
+
+@pytest.fixture(scope="module")
+def heavy_fill_trace():
+    """A bandwidth-hungry workload: huge blended fills."""
+    from repro.gfx.state import TRANSPARENT_STATE
+
+    draws = [
+        make_draw(pixels=400000, shaded_fraction=1.0, state=TRANSPARENT_STATE)
+        for _ in range(6)
+    ]
+    return make_world([draws])
+
+
+class TestMemorySweep:
+    def test_memory_clock_helps_bandwidth_bound(self, heavy_fill_trace):
+        sweep = frequency_sweep(
+            heavy_fill_trace, CFG, CLOCKS, domain="memory"
+        )
+        assert sweep.speedups[-1] > 1.05
+
+    def test_domains_differ(self, heavy_fill_trace):
+        core = frequency_sweep(heavy_fill_trace, CFG, CLOCKS, domain="core")
+        mem = frequency_sweep(heavy_fill_trace, CFG, CLOCKS, domain="memory")
+        assert core.total_times_ns != mem.total_times_ns
+
+    def test_compute_bound_ignores_memory_clock(self):
+        # Tiny texture traffic, big ALU load: memory clock barely matters.
+        draws = [make_draw(vertex_count=200000, pixels=100, texture_ids=())
+                 for _ in range(4)]
+        trace = make_world([draws])
+        sweep = frequency_sweep(trace, CFG, CLOCKS, domain="memory")
+        assert sweep.speedups[-1] < 1.4
+
+    def test_bad_domain_rejected(self, heavy_fill_trace):
+        with pytest.raises(SimulationError, match="domain"):
+            frequency_sweep(heavy_fill_trace, CFG, CLOCKS, domain="uncore")
+
+    def test_monotone(self, heavy_fill_trace):
+        sweep = frequency_sweep(heavy_fill_trace, CFG, CLOCKS, domain="memory")
+        times = sweep.total_times_ns
+        assert times[0] >= times[1] >= times[2]

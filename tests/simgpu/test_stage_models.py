@@ -1,0 +1,154 @@
+"""Tests for the per-stage sub-models: shader core, raster, texture, rop, memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gfx.enums import CullMode, TextureFormat
+from repro.gfx.resources import RenderTargetDesc, TextureDesc
+from repro.simgpu import memory, raster, rop, shadercore, texture
+from repro.simgpu.config import GpuConfig
+from repro.simgpu.memory import TrafficBreakdown
+
+from tests.conftest import make_draw
+from repro.gfx.state import OPAQUE_STATE, TRANSPARENT_STATE
+
+CFG = GpuConfig()
+
+
+class TestShaderCore:
+    def test_full_occupancy_below_threshold(self):
+        assert shadercore.occupancy(16, CFG) == 1.0
+        assert shadercore.occupancy(CFG.max_full_occupancy_registers, CFG) == 1.0
+
+    def test_occupancy_halves_with_double_registers(self):
+        occ = shadercore.occupancy(2 * CFG.max_full_occupancy_registers, CFG)
+        assert occ == pytest.approx(0.5)
+
+    def test_occupancy_rejects_zero(self):
+        with pytest.raises(ValueError):
+            shadercore.occupancy(0, CFG)
+
+    def test_throughput_floor(self):
+        assert shadercore.throughput_factor(0.0) == shadercore.MIN_THROUGHPUT_FACTOR
+        assert shadercore.throughput_factor(1.0) == 1.0
+
+    def test_stage_cycles_zero_invocations(self):
+        assert shadercore.shader_stage_cycles(0, 100, 10, 0, 16, CFG) == 0.0
+
+    def test_stage_cycles_scale_with_work(self):
+        one = shadercore.shader_stage_cycles(1000, 10, 0, 0, 16, CFG)
+        two = shadercore.shader_stage_cycles(2000, 10, 0, 0, 16, CFG)
+        assert two == pytest.approx(2 * one)
+
+    def test_register_pressure_slows_stage(self):
+        light = shadercore.shader_stage_cycles(1000, 10, 0, 0, 16, CFG)
+        heavy = shadercore.shader_stage_cycles(1000, 10, 0, 0, 128, CFG)
+        assert heavy > light
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_occupancy_in_unit_range(self, registers):
+        occ = shadercore.occupancy(registers, CFG)
+        assert 0.0 < occ <= 1.0
+
+
+class TestRaster:
+    def test_cull_reduces_setup(self):
+        culled = raster.raster_cycles(1000, 0, CullMode.BACK, CFG)
+        unculled = raster.raster_cycles(1000, 0, CullMode.NONE, CFG)
+        assert culled < unculled
+
+    def test_pixels_dominate_for_big_triangles(self):
+        few_prims = raster.raster_cycles(10, 100000, CullMode.NONE, CFG)
+        assert few_prims > raster.raster_cycles(10, 0, CullMode.NONE, CFG)
+
+    def test_negative_prims_rejected(self):
+        with pytest.raises(ValueError):
+            raster.primitives_after_cull(-1, CullMode.NONE)
+
+
+class TestTexture:
+    def test_footprint_sums_textures(self):
+        texs = [
+            TextureDesc(1, 64, 64, TextureFormat.RGBA8),
+            TextureDesc(2, 64, 64, TextureFormat.RGBA8),
+        ]
+        assert texture.texture_footprint_bytes(texs) == 2 * 64 * 64 * 4
+
+    def test_zero_footprint_zero_miss(self):
+        assert texture.miss_rate(0, 0.0, CFG) == 0.0
+
+    def test_warm_misses_less_than_cold(self):
+        footprint = 512 * 1024
+        cold = texture.miss_rate(footprint, 0.0, CFG)
+        warm = texture.miss_rate(footprint, 1.0, CFG)
+        assert warm < cold
+
+    def test_miss_rate_monotonic_in_footprint(self):
+        rates = [texture.miss_rate(kb * 1024, 0.0, CFG) for kb in (32, 128, 512, 4096)]
+        assert rates == sorted(rates)
+
+    def test_miss_rate_capped(self):
+        assert texture.miss_rate(10**12, 0.0, CFG) <= texture.MAX_MISS
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_miss_rate_in_unit_interval(self, footprint, warm):
+        rate = texture.miss_rate(footprint, warm, CFG)
+        assert 0.0 <= rate <= texture.MAX_MISS
+
+    def test_bad_warm_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            texture.miss_rate(100, 1.5, CFG)
+
+    def test_cycles_zero_samples(self):
+        assert texture.texture_cycles(0, CFG) == 0.0
+
+
+class TestRop:
+    def test_blend_costs_more(self):
+        opaque = make_draw(state=OPAQUE_STATE)
+        blended = make_draw(state=TRANSPARENT_STATE)
+        assert rop.rop_cycles(blended, 1, CFG) > 0
+        # Same pixel counts; blending halves throughput but transparent
+        # state also skips depth writes, so compare traffic directly too.
+        rt = RenderTargetDesc(0, 1280, 720, TextureFormat.RGBA8)
+        assert rop.color_traffic_bytes(blended, [rt]) == pytest.approx(
+            2 * rop.color_traffic_bytes(opaque, [rt])
+        )
+
+    def test_mrt_multiplies_writes(self):
+        draw = make_draw()
+        assert rop.rop_cycles(draw, 4, CFG) > rop.rop_cycles(draw, 1, CFG)
+
+    def test_depth_traffic_compression(self):
+        draw = make_draw(pixels=1000, shaded_fraction=1.0)
+        depth_rt = RenderTargetDesc(9, 1280, 720, TextureFormat.DEPTH24S8)
+        traffic = rop.depth_traffic_bytes(draw, depth_rt, CFG)
+        raw = 1000 * 4 * 2  # read rasterized + write shaded, 4B each
+        assert traffic == pytest.approx(raw * CFG.depth_compression)
+
+
+class TestMemory:
+    def test_dram_bytes_filters_by_class(self):
+        traffic = TrafficBreakdown(vertex_bytes=100.0, texture_bytes=100.0, rt_bytes=100.0)
+        filtered = memory.dram_bytes(traffic, CFG)
+        assert filtered < traffic.total_bytes
+        expected = (
+            100 * (1 - CFG.l2_hit_vertex)
+            + 100 * (1 - CFG.l2_hit_tex)
+            + 100 * (1 - CFG.l2_hit_rt)
+        )
+        assert filtered == pytest.approx(expected)
+
+    def test_dram_cycles_scale_with_bytes(self):
+        one = memory.dram_cycles(TrafficBreakdown(texture_bytes=1000.0), CFG)
+        two = memory.dram_cycles(TrafficBreakdown(texture_bytes=2000.0), CFG)
+        assert two == pytest.approx(2 * one)
+
+    def test_vertex_fetch_cycles(self):
+        assert memory.vertex_fetch_cycles(640.0, CFG) == pytest.approx(
+            640.0 / CFG.vertex_fetch_bytes_per_cycle
+        )

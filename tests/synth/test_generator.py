@@ -1,0 +1,175 @@
+"""Tests for frame/trace generation: structure, determinism, phases."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gfx.enums import PassType
+from repro.gfx.validate import validate_trace
+from repro.synth.camera import camera_state
+from repro.synth.generator import TraceGenerator, generate_trace
+from repro.synth.phasescript import PhaseScript, Segment, SegmentKind
+from repro.synth.profiles import GameProfile
+
+SMALL = GameProfile.preset("bioshock1_like").scaled(0.06)
+SMALL_DEFERRED = GameProfile.preset("bioshock_infinite_like").scaled(0.04)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return TraceGenerator(SMALL, seed=11).generate(num_frames=24)
+
+
+class TestCamera:
+    def test_all_kinds_have_states(self):
+        for kind in SegmentKind:
+            state = camera_state(kind, 0)
+            assert 0.0 <= state.visibility_fraction <= 1.0
+            assert state.zoom > 0
+            assert state.overdraw >= 1.0
+
+    def test_vista_sees_more_smaller(self):
+        vista = camera_state(SegmentKind.VISTA, 0)
+        explore = camera_state(SegmentKind.EXPLORE, 0)
+        assert vista.visibility_fraction > explore.visibility_fraction
+        assert vista.zoom < explore.zoom
+
+    def test_smooth_over_frames(self):
+        values = [
+            camera_state(SegmentKind.COMBAT, f).visibility_fraction
+            for f in range(64)
+        ]
+        deltas = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert max(deltas) < 0.05
+
+
+class TestGenerate:
+    def test_trace_is_valid(self, small_trace):
+        validate_trace(small_trace)
+
+    def test_deterministic(self):
+        a = TraceGenerator(SMALL, seed=11).generate(num_frames=6)
+        b = TraceGenerator(SMALL, seed=11).generate(num_frames=6)
+        assert a.frames == b.frames
+        assert a.metadata["segments"] == b.metadata["segments"]
+
+    def test_seed_changes_trace(self):
+        a = TraceGenerator(SMALL, seed=11).generate(num_frames=6)
+        b = TraceGenerator(SMALL, seed=12).generate(num_frames=6)
+        assert a.frames != b.frames
+
+    def test_frame_count_honoured(self, small_trace):
+        assert small_trace.num_frames == 24
+
+    def test_segment_metadata_covers_frames(self, small_trace):
+        table = small_trace.metadata["segments"]
+        assert table[0]["start"] == 0
+        assert table[-1]["end"] == small_trace.num_frames
+
+    def test_frames_tagged_with_phase(self, small_trace):
+        for frame in small_trace.frames:
+            assert "segment" in frame.metadata
+            assert "/z" in frame.metadata["segment"]
+
+    def test_menu_frames_are_light(self):
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.MENU, 0, 2),
+                Segment(SegmentKind.EXPLORE, 0, 2),
+            )
+        )
+        trace = TraceGenerator(SMALL, seed=1).generate(script=script)
+        menu, explore = trace.frames[0], trace.frames[2]
+        assert menu.num_draws < explore.num_draws / 2
+        kinds = {rp.pass_type for rp in menu.passes}
+        assert PassType.SHADOW not in kinds
+        assert PassType.UI in kinds
+
+    def test_forward_vs_deferred_structure(self):
+        fwd = TraceGenerator(SMALL, seed=1).generate(num_frames=10)
+        dfr = TraceGenerator(SMALL_DEFERRED, seed=1).generate(num_frames=10)
+        fwd_passes = {p for f in fwd.frames for p in (rp.pass_type for rp in f.passes)}
+        dfr_passes = {p for f in dfr.frames for p in (rp.pass_type for rp in f.passes)}
+        assert PassType.FORWARD in fwd_passes
+        assert PassType.GBUFFER not in fwd_passes
+        assert PassType.GBUFFER in dfr_passes
+        assert PassType.LIGHTING in dfr_passes
+
+    def test_combat_heavier_than_explore(self):
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.EXPLORE, 0, 4),
+                Segment(SegmentKind.COMBAT, 0, 4),
+            )
+        )
+        trace = TraceGenerator(SMALL, seed=1).generate(script=script)
+        explore_draws = sum(f.num_draws for f in trace.frames[:4]) / 4
+        combat_draws = sum(f.num_draws for f in trace.frames[4:]) / 4
+        assert combat_draws > explore_draws
+
+    def test_script_zone_out_of_range_rejected(self):
+        script = PhaseScript((Segment(SegmentKind.EXPLORE, 99, 2),))
+        with pytest.raises(ValidationError, match="zone 99"):
+            TraceGenerator(SMALL, seed=1).generate(script=script)
+
+    def test_generate_trace_shortcut(self):
+        trace = generate_trace("bioshock1_like", num_frames=4, seed=2, scale=0.05)
+        assert trace.num_frames == 4
+        assert trace.metadata["renderer"] == "forward"
+
+
+class TestWorkloadShape:
+    def test_intra_frame_redundancy(self, small_trace):
+        # Many draws share their shader: the clustering precondition.
+        frame = next(
+            f for f in small_trace.frames if f.metadata["kind"] == "explore"
+        )
+        counts = Counter(d.shader_id for d in frame.draws())
+        most_common = counts.most_common(1)[0][1]
+        assert most_common >= 5
+
+    def test_phase_repetition_in_shader_mix(self):
+        # Two explore segments in the same zone expose the same shader set.
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.EXPLORE, 0, 3),
+                Segment(SegmentKind.COMBAT, 0, 3),
+                Segment(SegmentKind.EXPLORE, 0, 3),
+            )
+        )
+        trace = TraceGenerator(SMALL, seed=3).generate(script=script)
+        def shader_counts(frame):
+            return Counter(d.shader_id for d in frame.draws())
+        first_explore = shader_counts(trace.frames[0])
+        second_explore = shader_counts(trace.frames[6])
+        combat = shader_counts(trace.frames[3])
+        # Same phase: same shader population (sets equal, counts close).
+        assert set(first_explore) == set(second_explore)
+        # Combat fires twice the particles: the shader-count vector moves
+        # even though the shader *set* can stay the same.
+        assert combat != first_explore
+
+    def test_zones_have_distinct_shader_mix(self):
+        profile = GameProfile.preset("bioshock2_like").scaled(0.06)
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.EXPLORE, 0, 2),
+                Segment(SegmentKind.EXPLORE, 1, 2),
+            )
+        )
+        trace = TraceGenerator(profile, seed=3).generate(script=script)
+        z0 = frozenset(d.shader_id for d in trace.frames[0].draws())
+        z1 = frozenset(d.shader_id for d in trace.frames[2].draws())
+        assert z0 != z1
+
+    def test_consecutive_frames_similar_draw_counts(self, small_trace):
+        by_segment = {}
+        for frame in small_trace.frames:
+            by_segment.setdefault(frame.metadata["segment"], []).append(
+                frame.num_draws
+            )
+        for counts in by_segment.values():
+            if len(counts) >= 2:
+                spread = (max(counts) - min(counts)) / max(counts)
+                assert spread < 0.45

@@ -1,0 +1,176 @@
+"""Tests for material-table synthesis and scene population."""
+
+import pytest
+
+from repro.synth.materials import (
+    GBUFFER_TARGET_COUNT,
+    MAX_SHADOWED_LIGHTS,
+    RT_BACKBUFFER,
+    RT_DEPTH,
+    RT_SHADOW_BASE,
+    build_tables,
+)
+from repro.synth.profiles import GameProfile
+from repro.synth.scene import (
+    build_zone,
+    coverage_factor,
+    mesh_class_vertices,
+    visible_objects,
+)
+
+B1 = GameProfile.preset("bioshock1_like")
+BINF = GameProfile.preset("bioshock_infinite_like")
+
+
+class TestBuildTables:
+    def test_deterministic(self):
+        a = build_tables(B1, seed=3)
+        b = build_tables(B1, seed=3)
+        assert a.shaders == b.shaders
+        assert a.textures == b.textures
+        assert a.material_shader == b.material_shader
+
+    def test_seed_changes_tables(self):
+        a = build_tables(B1, seed=3)
+        b = build_tables(B1, seed=4)
+        assert a.shaders != b.shaders or a.textures != b.textures
+
+    def test_every_material_has_shader_and_textures(self):
+        tables = build_tables(B1, seed=0)
+        for material in range(B1.material_classes):
+            assert tables.material_shader[material] in tables.shaders
+            variants = tables.material_texture_sets[material]
+            assert len(variants) >= 2  # at least two albedo variants
+            for binding in variants:
+                assert len(binding) >= 2  # albedo + normal at minimum
+                for tid in binding:
+                    assert tid in tables.textures
+
+    def test_variants_feature_identical_cache_distinct(self):
+        tables = build_tables(B1, seed=0)
+        for material in range(B1.material_classes):
+            variants = tables.material_texture_sets[material]
+            footprints = set()
+            albedos = set()
+            for binding in variants:
+                footprints.add(
+                    sum(tables.textures[tid].byte_size for tid in binding)
+                )
+                albedos.add(binding[0])
+            assert len(footprints) == 1  # features cannot distinguish variants
+            assert len(albedos) == len(variants)  # the cache can
+
+    def test_variant_lookup_wraps(self):
+        tables = build_tables(B1, seed=0)
+        variants = tables.material_texture_sets[0]
+        assert tables.material_textures_for(0, len(variants)) == variants[0]
+
+    def test_forward_has_no_gbuffer(self):
+        tables = build_tables(B1, seed=0)
+        assert tables.gbuffer_texture_ids == ()
+
+    def test_deferred_has_gbuffer(self):
+        tables = build_tables(BINF, seed=0)
+        assert len(tables.gbuffer_texture_ids) == GBUFFER_TARGET_COUNT
+        for i in range(GBUFFER_TARGET_COUNT):
+            assert (20 + i) in tables.render_targets  # RT_GBUFFER_BASE
+
+    def test_shadowed_lights_capped(self):
+        tables = build_tables(BINF, seed=0)
+        assert tables.shadowed_lights == MAX_SHADOWED_LIGHTS
+        for light in range(tables.shadowed_lights):
+            rt = tables.render_targets[RT_SHADOW_BASE + light]
+            assert rt.format.is_depth
+
+    def test_core_targets_present(self):
+        tables = build_tables(B1, seed=0)
+        assert RT_BACKBUFFER in tables.render_targets
+        assert tables.render_targets[RT_DEPTH].format.is_depth
+
+    def test_zone_materials_are_subsets(self):
+        tables = build_tables(B1, seed=0)
+        assert len(tables.zone_materials) == B1.num_zones
+        for palette in tables.zone_materials.values():
+            assert 0 < len(palette) < B1.material_classes
+            assert all(0 <= m < B1.material_classes for m in palette)
+
+    def test_zones_have_different_palettes(self):
+        tables = build_tables(BINF, seed=0)
+        palettes = set(tables.zone_materials.values())
+        assert len(palettes) > 1
+
+    def test_texture_sizes_within_profile_range(self):
+        tables = build_tables(B1, seed=0)
+        for material, variants in tables.material_texture_sets.items():
+            for binding in variants:
+                for tid in binding:
+                    tex = tables.textures[tid]
+                    assert (
+                        B1.texture_size_min // 2 <= tex.width <= B1.texture_size_max
+                    )
+
+
+class TestScene:
+    def test_mesh_ladder_monotone(self):
+        ladder = mesh_class_vertices(B1)
+        assert len(ladder) == B1.mesh_classes
+        assert list(ladder) == sorted(ladder)
+        assert ladder[0] >= 3
+
+    def test_build_zone_deterministic(self):
+        tables = build_tables(B1, seed=5)
+        a = build_zone(B1, tables, 0, seed=5)
+        b = build_zone(B1, tables, 0, seed=5)
+        assert a == b
+
+    def test_zones_differ(self):
+        tables = build_tables(B1, seed=5)
+        a = build_zone(B1, tables, 0, seed=5)
+        b = build_zone(B1, tables, 1, seed=5)
+        assert a != b
+
+    def test_zone_materials_respected(self):
+        tables = build_tables(B1, seed=5)
+        objects = build_zone(B1, tables, 0, seed=5)
+        palette = set(tables.zone_materials[0])
+        assert {o.material for o in objects} <= palette
+
+    def test_bad_zone_rejected(self):
+        tables = build_tables(B1, seed=5)
+        with pytest.raises(ValueError, match="zone"):
+            build_zone(B1, tables, 99, seed=5)
+
+    def test_small_props_dominate(self):
+        tables = build_tables(B1, seed=5)
+        objects = build_zone(B1, tables, 0, seed=5)
+        ladder = mesh_class_vertices(B1)
+        # Vertex counts are jittered around their class budget, so compare
+        # against a mid-ladder cutoff with headroom for the jitter.
+        cutoff = ladder[3] * 2
+        small = sum(1 for o in objects if o.mesh_vertices <= cutoff)
+        assert small > len(objects) / 2
+
+    def test_visibility_stable_subset(self):
+        tables = build_tables(B1, seed=5)
+        objects = build_zone(B1, tables, 0, seed=5)
+        at_60 = {o.object_id for o in visible_objects(objects, 0.60)}
+        at_62 = {o.object_id for o in visible_objects(objects, 0.62)}
+        # Raising the fraction only adds objects (smooth churn).
+        assert at_60 <= at_62
+        assert len(at_62) - len(at_60) < len(objects) * 0.1
+
+    def test_visibility_bounds(self):
+        tables = build_tables(B1, seed=5)
+        objects = build_zone(B1, tables, 0, seed=5)
+        assert visible_objects(objects, 0.0) == []
+        assert len(visible_objects(objects, 1.0)) == len(objects)
+        with pytest.raises(ValueError):
+            visible_objects(objects, 1.5)
+
+    def test_coverage_factor_bounded_and_smooth(self):
+        tables = build_tables(B1, seed=5)
+        obj = build_zone(B1, tables, 0, seed=5)[0]
+        values = [coverage_factor(obj, f) for f in range(100)]
+        assert all(0.5 < v < 1.5 for v in values)
+        deltas = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert max(deltas) < 0.1  # smooth frame to frame

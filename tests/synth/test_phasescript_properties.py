@@ -1,0 +1,64 @@
+"""Property-based tests for phase scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.phasescript import PhaseScript, Segment, SegmentKind
+
+segments = st.builds(
+    Segment,
+    kind=st.sampled_from(list(SegmentKind)),
+    zone=st.integers(min_value=0, max_value=3),
+    frames=st.integers(min_value=1, max_value=30),
+)
+
+scripts = st.builds(
+    PhaseScript, st.lists(segments, min_size=1, max_size=8).map(tuple)
+)
+
+
+class TestPhaseScriptProperties:
+    @given(scripts)
+    def test_boundaries_partition_frames(self, script):
+        table = script.boundaries()
+        assert table[0]["start"] == 0
+        assert table[-1]["end"] == script.total_frames
+        for prev, cur in zip(table, table[1:]):
+            assert cur["start"] == prev["end"]
+
+    @given(scripts)
+    def test_frame_segments_enumerates_every_frame_once(self, script):
+        indices = [index for index, _, _ in script.frame_segments()]
+        assert indices == list(range(script.total_frames))
+
+    @given(scripts, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_truncated_exact_length(self, script, target):
+        truncated = script.truncated(target)
+        assert truncated.total_frames == target
+
+    @given(scripts, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_truncated_preserves_phase_vocabulary(self, script, target):
+        truncated = script.truncated(target)
+        original_labels = {s.phase_label for s in script.segments}
+        truncated_labels = {s.phase_label for s in truncated.segments}
+        assert truncated_labels <= original_labels
+
+    @given(scripts)
+    def test_truncated_to_own_length_is_equivalent(self, script):
+        same = script.truncated(script.total_frames)
+        assert same.total_frames == script.total_frames
+        # Per-frame phase labels are identical.
+        original = [seg.phase_label for _, seg, _ in script.frame_segments()]
+        rebuilt = [seg.phase_label for _, seg, _ in same.frame_segments()]
+        assert rebuilt == original
+
+    @given(scripts, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30)
+    def test_looping_repeats_labels_cyclically(self, script, loops):
+        target = script.total_frames * loops
+        looped = script.truncated(target)
+        base = [seg.phase_label for _, seg, _ in script.frame_segments()]
+        full = [seg.phase_label for _, seg, _ in looped.frame_segments()]
+        assert full == base * loops

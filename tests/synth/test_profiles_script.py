@@ -1,0 +1,127 @@
+"""Tests for game profiles and phase scripts."""
+
+import pytest
+
+from repro.errors import ConfigError, ValidationError
+from repro.synth.phasescript import (
+    PhaseScript,
+    Segment,
+    SegmentKind,
+    default_script,
+)
+from repro.synth.profiles import BIOSHOCK_SERIES, GameProfile
+
+
+class TestGameProfile:
+    def test_presets_valid(self):
+        for name in GameProfile.preset_names():
+            profile = GameProfile.preset(name)
+            assert profile.name == name
+
+    def test_bioshock_series_complete(self):
+        assert len(BIOSHOCK_SERIES) == 3
+        for name in BIOSHOCK_SERIES:
+            GameProfile.preset(name)
+
+    def test_series_reflects_generational_growth(self):
+        b1 = GameProfile.preset("bioshock1_like")
+        b2 = GameProfile.preset("bioshock2_like")
+        binf = GameProfile.preset("bioshock_infinite_like")
+        assert b1.renderer == "forward"
+        assert binf.renderer == "deferred"
+        assert b1.objects_per_zone < b2.objects_per_zone < binf.objects_per_zone
+        assert binf.num_lights > b1.num_lights
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError, match="bioshock1_like"):
+            GameProfile.preset("halo_like")
+
+    def test_bad_renderer_rejected(self):
+        with pytest.raises(ValidationError):
+            GameProfile(name="x", renderer="raytraced")
+
+    def test_texture_range_validated(self):
+        with pytest.raises(ConfigError, match="texture_size_min"):
+            GameProfile(name="x", texture_size_min=1024, texture_size_max=256)
+
+    def test_scaled_shrinks_content(self):
+        base = GameProfile.preset("bioshock1_like")
+        small = base.scaled(0.1)
+        assert small.objects_per_zone < base.objects_per_zone
+        assert small.renderer == base.renderer
+        assert small.width == base.width
+
+    def test_scaled_never_empty(self):
+        tiny = GameProfile.preset("bioshock1_like").scaled(0.0001)
+        assert tiny.objects_per_zone >= 8
+        assert tiny.ui_draws >= 2
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            GameProfile.preset("bioshock1_like").scaled(0.0)
+
+
+class TestSegment:
+    def test_phase_label(self):
+        seg = Segment(SegmentKind.COMBAT, zone=2, frames=10)
+        assert seg.phase_label == "combat/z2"
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValidationError):
+            Segment(SegmentKind.MENU, zone=0, frames=0)
+
+
+class TestPhaseScript:
+    def test_total_frames(self):
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.MENU, 0, 5),
+                Segment(SegmentKind.EXPLORE, 0, 10),
+            )
+        )
+        assert script.total_frames == 15
+
+    def test_frame_segments_enumeration(self):
+        script = PhaseScript(
+            (
+                Segment(SegmentKind.MENU, 0, 2),
+                Segment(SegmentKind.EXPLORE, 1, 3),
+            )
+        )
+        rows = list(script.frame_segments())
+        assert len(rows) == 5
+        assert rows[0][0] == 0 and rows[0][1].kind is SegmentKind.MENU
+        assert rows[2][0] == 2 and rows[2][1].kind is SegmentKind.EXPLORE
+        assert rows[2][2] == 0  # local index resets at segment boundary
+        assert rows[4][2] == 2
+
+    def test_truncated_shorter(self):
+        script = default_script([0, 1])
+        short = script.truncated(10)
+        assert short.total_frames == 10
+
+    def test_truncated_longer_loops(self):
+        script = PhaseScript((Segment(SegmentKind.EXPLORE, 0, 4),))
+        longer = script.truncated(10)
+        assert longer.total_frames == 10
+        # Looping repeats the same phase label.
+        labels = {s.phase_label for s in longer.segments}
+        assert labels == {"explore/z0"}
+
+    def test_boundaries_cover_exactly(self):
+        script = default_script([0, 1, 2])
+        table = script.boundaries()
+        assert table[0]["start"] == 0
+        assert table[-1]["end"] == script.total_frames
+        for prev, cur in zip(table, table[1:]):
+            assert cur["start"] == prev["end"]
+
+    def test_default_script_revisits_phases(self):
+        script = default_script([0])
+        labels = [s.phase_label for s in script.segments]
+        # explore/z0 appears at least twice (backtracking).
+        assert labels.count("explore/z0") >= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            PhaseScript(())

@@ -1,0 +1,152 @@
+"""Tests for the dataset registry and the command-line interface."""
+
+import pytest
+
+from repro import datasets
+from repro.cli import main
+from repro.errors import ValidationError
+
+
+class TestDatasets:
+    def test_available_names(self):
+        names = datasets.available()
+        assert len(names) == 3
+        for name in names:
+            assert "bioshock" in name
+
+    def test_load_reproducible(self):
+        a = datasets.load("bioshock1_like", frames=4, scale=0.05)
+        b = datasets.load("bioshock1_like", frames=4, scale=0.05)
+        assert a.frames == b.frames
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="bioshock"):
+            datasets.load("doom_like")
+
+    def test_bench_corpus_scale_switch(self, monkeypatch):
+        monkeypatch.delenv(datasets.FULL_SCALE_ENV, raising=False)
+        assert not datasets.full_scale_requested()
+        monkeypatch.setenv(datasets.FULL_SCALE_ENV, "1")
+        assert datasets.full_scale_requested()
+
+    def test_corpus_stats_totals(self):
+        traces = datasets.corpus(frames=4, scale=0.05)
+        rows = datasets.corpus_stats(traces)
+        assert rows[-1]["game"] == "TOTAL"
+        assert rows[-1]["frames"] == sum(r["frames"] for r in rows[:-1])
+
+    def test_paper_corpus_shape_documented(self):
+        # The constants define the paper's 717-frame corpus.
+        assert 3 * datasets.PAPER_FRAMES_PER_GAME == 717
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "generate",
+                "--game",
+                "bioshock1_like",
+                "--frames",
+                "8",
+                "--scale",
+                "0.05",
+                "-o",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_generate_writes_file(self, trace_file):
+        assert trace_file.exists()
+
+    def test_info(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "frames" in out and "draws" in out
+
+    def test_simulate(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--preset", "lowpower"]) == 0
+        out = capsys.readouterr().out
+        assert "fps" in out
+
+    def test_subset_and_save(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "subset.jsonl"
+        code = main(
+            ["subset", str(trace_file), "--save-subset", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "prediction error" in out
+
+    def test_subset_save_def_and_estimate(self, trace_file, tmp_path, capsys):
+        def_path = tmp_path / "subset.json"
+        assert main(["subset", str(trace_file), "--save-def", str(def_path)]) == 0
+        assert def_path.exists()
+        capsys.readouterr()
+        assert main(["estimate", str(trace_file), str(def_path)]) == 0
+        out = capsys.readouterr().out
+        assert "subset estimate" in out and "% error" in out
+
+    def test_estimate_mismatched_subset_fails_cleanly(
+        self, trace_file, tmp_path, capsys
+    ):
+        other = tmp_path / "other.jsonl"
+        main(
+            [
+                "generate",
+                "--game",
+                "bioshock2_like",
+                "--frames",
+                "6",
+                "--scale",
+                "0.05",
+                "-o",
+                str(other),
+            ]
+        )
+        def_path = tmp_path / "subset.json"
+        main(["subset", str(trace_file), "--save-def", str(def_path)])
+        capsys.readouterr()
+        assert main(["estimate", str(other), str(def_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_characterize(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Workload profile" in out
+        assert "bottleneck" in out
+
+    def test_validate_command(self, trace_file, tmp_path, capsys):
+        def_path = tmp_path / "subset.json"
+        main(["subset", str(trace_file), "--save-def", str(def_path)])
+        capsys.readouterr()
+        code = main(["validate", str(trace_file), str(def_path)])
+        out = capsys.readouterr().out
+        assert "VERDICT" in out
+        assert code in (0, 2)
+
+    def test_sweep(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ranking agreement" in out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["info", "/nonexistent/trace.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_e4_small(self, capsys, monkeypatch):
+        # Shrink the corpus so the CLI experiment path stays fast.
+        monkeypatch.setattr(datasets, "CI_FRAMES_PER_GAME", 8)
+        monkeypatch.setattr(datasets, "CI_SCALE", 0.05)
+        assert main(["experiment", "e4"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out

@@ -1,0 +1,77 @@
+"""Tests for ascii chart rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.charts import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # peak fills width
+        assert lines[0].count("#") == 5
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [3.0], title="T", unit="%")
+        assert out.splitlines()[0] == "T"
+        assert "3%" in out
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in out
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart([], [])
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = line_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+        )
+        assert "*" in out and "o" in out
+        assert "legend" in out
+        assert "up" in out and "down" in out
+
+    def test_extremes_on_border_rows(self):
+        out = line_chart([0, 1], {"s": [0.0, 10.0]}, width=12, height=5)
+        lines = out.splitlines()
+        plot = [l for l in lines if l.startswith(" " * 11 + "|")]
+        assert "*" in plot[0]  # max at top
+        assert "*" in plot[-1]  # min at bottom
+
+    def test_axis_labels_present(self):
+        out = line_chart([5, 25], {"s": [1.0, 9.0]}, width=15, height=4)
+        assert "9" in out and "1" in out
+        assert "25" in out and "5" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="points"):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValidationError, match="two x"):
+            line_chart([0], {"s": [1.0]})
+
+    def test_flat_series_ok(self):
+        out = line_chart([0, 1, 2], {"s": [5.0, 5.0, 5.0]})
+        assert "*" in out
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValidationError, match="x values"):
+            line_chart([2, 2], {"s": [1.0, 2.0]})

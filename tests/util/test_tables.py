@@ -1,0 +1,40 @@
+"""Tests for ascii table formatting."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "n"], [["bioshock", 12], ["x", 3]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+        assert "bioshock" in lines[2]
+
+    def test_title_is_first_line(self):
+        out = format_table(["a"], [[1]], title="E1 results")
+        assert out.splitlines()[0] == "E1 results"
+
+    def test_float_precision(self):
+        out = format_table(["v"], [[0.123456]], precision=2)
+        assert "0.12" in out
+        assert "0.123" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_wide_cell_widens_column(self):
+        out = format_table(["a"], [["a-very-long-value"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("a-very-long-value")

@@ -1,0 +1,69 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("x", 3, int)
+        check_type("x", "s", str)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ValidationError, match="got bool"):
+            check_type("x", True, int)
+
+
+class TestNumericChecks:
+    def test_positive(self):
+        check_positive("x", 0.1)
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+        with pytest.raises(ValidationError):
+            check_positive("x", -1)
+
+    def test_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -0.001)
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValidationError, match="finite"):
+                check_positive("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", True)
+
+    def test_fraction_inclusive(self):
+        check_fraction("x", 0.0)
+        check_fraction("x", 1.0)
+        with pytest.raises(ValidationError):
+            check_fraction("x", 1.0001)
+
+    def test_fraction_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_fraction("x", 0.0, inclusive=False)
+        check_fraction("x", 0.5, inclusive=False)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        check_in("mode", "a", {"a", "b"})
+
+    def test_rejects_nonmember_and_lists_choices(self):
+        with pytest.raises(ValidationError, match="'a'.*'b'|'b'.*'a'"):
+            check_in("mode", "c", {"a", "b"})
