@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Runtime speedup benchmark: serial vs parallel, cold vs warm cache.
+
+Runs the full subsetting pipeline on one mid-size trace under four
+runtime configurations and records wall-clock times plus the derived
+speedups to ``BENCH_runtime.json`` at the repository root:
+
+    python benchmarks/bench_runtime_speedup.py [--frames N] [--jobs N]
+
+Every configuration must produce an identical ``PipelineResult`` — the
+benchmark asserts it, so it doubles as an end-to-end determinism check.
+(Function names deliberately avoid the ``bench_*`` pattern that pytest
+collects from this directory; this script is standalone.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import datasets  # noqa: E402
+from repro.core.pipeline import SubsettingPipeline  # noqa: E402
+from repro.runtime import Runtime  # noqa: E402
+from repro.simgpu.config import GpuConfig  # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+
+
+def _timed_run(trace, config, runtime):
+    start = time.perf_counter()
+    result = SubsettingPipeline().run(trace, config, runtime=runtime)
+    elapsed = time.perf_counter() - start
+    return result, elapsed, runtime.snapshot()
+
+
+def run_benchmark(frames: int, scale: float, jobs: int) -> dict:
+    trace = datasets.load("bioshock1_like", frames=frames, scale=scale)
+    config = GpuConfig.preset("mainstream")
+
+    reference, serial_s, _ = _timed_run(trace, config, Runtime.serial())
+    parallel, parallel_s, _ = _timed_run(trace, config, Runtime(jobs=jobs))
+    assert parallel == reference, "parallel run diverged from serial"
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold, cold_s, cold_snap = _timed_run(
+            trace, config, Runtime(jobs=jobs, cache_dir=cache_dir)
+        )
+        assert cold == reference, "cold-cache run diverged from serial"
+        warm, warm_s, warm_snap = _timed_run(
+            trace, config, Runtime(jobs=jobs, cache_dir=cache_dir)
+        )
+        assert warm == reference, "warm-cache run diverged from serial"
+        assert warm_snap.counter("frames_simulated") == 0, (
+            "warm cache still simulated frames"
+        )
+
+    return {
+        "trace": trace.name,
+        "frames": trace.num_frames,
+        "draws": trace.num_draws,
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "timings_s": {
+            "serial": round(serial_s, 4),
+            "parallel": round(parallel_s, 4),
+            "cold_cache": round(cold_s, 4),
+            "warm_cache": round(warm_s, 4),
+        },
+        "speedups": {
+            "parallel_vs_serial": round(serial_s / parallel_s, 3),
+            "warm_vs_cold": round(cold_s / warm_s, 3),
+        },
+        "cold_counters": {
+            "frames_simulated": cold_snap.counter("frames_simulated"),
+            "cache_misses": cold_snap.counter("cache_misses"),
+        },
+        "warm_counters": {
+            "frames_simulated": warm_snap.counter("frames_simulated"),
+            "cache_hits": warm_snap.counter("cache_hits"),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("-o", "--output", default=str(OUTPUT_PATH))
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.frames, args.scale, args.jobs)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    timings = record["timings_s"]
+    print(
+        f"{record['trace']}: {record['frames']} frames, "
+        f"{record['draws']} draws, jobs={record['jobs']}, "
+        f"host cpus={record['host_cpus']}"
+    )
+    print(
+        f"  serial {timings['serial']:.2f}s | "
+        f"parallel {timings['parallel']:.2f}s "
+        f"({record['speedups']['parallel_vs_serial']:.2f}x)"
+    )
+    if record["host_cpus"] is not None and record["host_cpus"] < record["jobs"]:
+        print(
+            f"  note: only {record['host_cpus']} cpu(s) visible — "
+            "parallel speedup needs real cores; expect <= 1x here"
+        )
+    print(
+        f"  cold cache {timings['cold_cache']:.2f}s | "
+        f"warm cache {timings['warm_cache']:.2f}s "
+        f"({record['speedups']['warm_vs_cold']:.2f}x, "
+        f"{record['warm_counters']['frames_simulated']} frames re-simulated)"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

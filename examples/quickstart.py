@@ -7,11 +7,23 @@ the GPU performance model, and prints the evaluation report.
 
 Run:
     python examples/quickstart.py
+
+The pipeline accepts a ``Runtime`` for parallel workers and an on-disk
+artifact cache — the same machinery behind the CLI's ``--jobs`` /
+``--cache-dir`` / ``--no-cache`` flags.  Re-run this script and the
+cached ground truth makes the pipeline skip every frame simulation
+(watch the ``[runtime]`` line at the bottom of the report).
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import datasets
 from repro.core.pipeline import SubsettingPipeline
+from repro.runtime import Runtime
 from repro.simgpu import GpuConfig
+
+CACHE_DIR = Path(tempfile.gettempdir()) / "repro-quickstart-cache"
 
 
 def main() -> None:
@@ -25,7 +37,10 @@ def main() -> None:
 
     config = GpuConfig.preset("mainstream")
     pipeline = SubsettingPipeline()
-    result = pipeline.run(trace, config)
+    # Two worker processes plus a persistent artifact cache.  Results are
+    # bit-identical to runtime=None (the serial, uncached default).
+    runtime = Runtime(jobs=2, cache_dir=CACHE_DIR)
+    result = pipeline.run(trace, config, runtime=runtime)
 
     print()
     print(result.report())

@@ -9,11 +9,11 @@ the parent's, reporting r >= 0.997 for subsets under 1% of the parent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.subsetting import WorkloadSubset
 from repro.gfx.trace import Trace
-from repro.simgpu.batch import precompute_trace, simulate_trace_batch
+from repro.runtime.engine import Runtime
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.dvfs import DEFAULT_CLOCKS_MHZ
 from repro.util.stats import pearson_correlation
@@ -65,27 +65,33 @@ def subset_parent_correlation(
     subset: WorkloadSubset,
     base_config: GpuConfig,
     clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
+    runtime: Optional[Runtime] = None,
 ) -> CorrelationResult:
     """Sweep core clocks on parent and subset; package both curves.
 
     The subset side simulates *only* the subset trace at each clock and
     scales by the subset weights — the exact reduced workflow a
-    pathfinding team would run.
+    pathfinding team would run.  All clock points go through ``runtime``
+    as one batch, so workers share each frame's precompute and the
+    artifact cache skips clocks simulated by an earlier run.
     """
+    if runtime is None:
+        runtime = Runtime.serial()
     subset_trace = subset.materialize(trace)
-    parent_precomp = precompute_trace(trace)
-    subset_precomp = precompute_trace(subset_trace)
-    parent_times = []
-    subset_times = []
-    for clock in clocks_mhz:
-        config = base_config.with_core_clock(clock)
-        parent_times.append(
-            simulate_trace_batch(trace, config, parent_precomp).total_time_ns
-        )
-        subset_result = simulate_trace_batch(subset_trace, config, subset_precomp)
-        subset_times.append(
-            subset.estimate_total_time_ns(subset_result.frame_times_ns)
-        )
+    configs = [base_config.with_core_clock(clock) for clock in clocks_mhz]
+    parent_runs = runtime.simulate_frames_many(
+        trace, configs, label="correlation.parent"
+    )
+    subset_runs = runtime.simulate_frames_many(
+        subset_trace, configs, label="correlation.subset"
+    )
+    parent_times = [
+        float(sum(out.time_ns for out in outputs)) for outputs in parent_runs
+    ]
+    subset_times = [
+        subset.estimate_total_time_ns([out.time_ns for out in outputs])
+        for outputs in subset_runs
+    ]
     return CorrelationResult(
         trace_name=trace.name,
         subset_method=subset.method,

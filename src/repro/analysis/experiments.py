@@ -30,6 +30,7 @@ from repro.core.phasedetect import detect_phases, phase_purity
 from repro.core.predict import predict_time_ns, rep_times_from_draw_times
 from repro.core.subsetting import build_subset
 from repro.gfx.trace import Trace
+from repro.runtime.engine import Runtime
 from repro.simgpu.batch import precompute_trace, simulate_frames_batch
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.dvfs import DEFAULT_CLOCKS_MHZ
@@ -54,9 +55,18 @@ def clustering_metrics(
     k: Optional[int] = None,
     feature_columns: Optional[Sequence[int]] = None,
     seed: int = 0,
+    runtime: Optional[Runtime] = None,
 ) -> List[FrameMetrics]:
-    """Cluster every frame and score it against the detailed simulation."""
-    ground = simulate_frames_batch(trace, config, precompute_trace(trace))
+    """Cluster every frame and score it against the detailed simulation.
+
+    With a ``runtime``, the ground-truth simulation runs on its workers
+    and is served from its artifact cache on repeat calls — radius and
+    feature ablations re-cluster against the same cached ground truth.
+    """
+    if runtime is not None:
+        ground = runtime.simulate_frames(trace, config, label="ground_truth")
+    else:
+        ground = simulate_frames_batch(trace, config, precompute_trace(trace))
     extractor = FeatureExtractor(trace)
     out = []
     for frame, truth in zip(trace.frames, ground):
@@ -131,6 +141,7 @@ def e1_clustering_accuracy(
     traces: Dict[str, Trace],
     config: GpuConfig,
     radius: float = DEFAULT_RADIUS,
+    runtime: Optional[Runtime] = None,
 ) -> ExperimentResult:
     """Paper table: per-game frame prediction error and clustering efficiency."""
     rows = []
@@ -139,7 +150,7 @@ def e1_clustering_accuracy(
     total_frames = 0
     total_draws = 0
     for name, trace in traces.items():
-        metrics = clustering_metrics(trace, config, radius=radius)
+        metrics = clustering_metrics(trace, config, radius=radius, runtime=runtime)
         errs = [m.error for m in metrics]
         effs = [m.efficiency for m in metrics]
         all_err.extend(errs)
@@ -184,12 +195,13 @@ def e2_cluster_outliers(
     traces: Dict[str, Trace],
     config: GpuConfig,
     radius: float = DEFAULT_RADIUS,
+    runtime: Optional[Runtime] = None,
 ) -> ExperimentResult:
     """Paper figure: fraction of clusters with intra-cluster error > 20%."""
     rows = []
     all_rates: List[float] = []
     for name, trace in traces.items():
-        metrics = clustering_metrics(trace, config, radius=radius)
+        metrics = clustering_metrics(trace, config, radius=radius, runtime=runtime)
         rates = [m.outlier_rate for m in metrics]
         clusters = sum(m.num_clusters for m in metrics)
         all_rates.extend(rates)
@@ -360,6 +372,7 @@ def e6_frequency_correlation(
     traces: Dict[str, Trace],
     config: GpuConfig,
     clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
+    runtime: Optional[Runtime] = None,
 ) -> ExperimentResult:
     """Paper validation: subset/parent improvement correlation under DVFS."""
     from repro.util.charts import line_chart
@@ -368,7 +381,9 @@ def e6_frequency_correlation(
     figure = ""
     for name, trace in traces.items():
         subset = build_subset(trace)
-        result = subset_parent_correlation(trace, subset, config, clocks_mhz)
+        result = subset_parent_correlation(
+            trace, subset, config, clocks_mhz, runtime=runtime
+        )
         rows.append(
             (
                 name,

@@ -8,13 +8,15 @@ be simulated per architecture candidate, before vs after subsetting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.validation import SubsetValidation, validate_subset
 from repro.core.pipeline import PipelineResult, SubsettingPipeline
 from repro.errors import ValidationError
 from repro.gfx.trace import Trace
+from repro.runtime.engine import Runtime
+from repro.runtime.telemetry import TelemetrySnapshot
 from repro.simgpu.config import GpuConfig
 from repro.util.tables import format_table
 
@@ -26,6 +28,7 @@ class SuiteResult:
     config_name: str
     game_results: Dict[str, PipelineResult]
     validations: Dict[str, SubsetValidation]
+    telemetry: Optional[TelemetrySnapshot] = field(default=None, compare=False)
 
     @property
     def total_parent_draws(self) -> int:
@@ -84,6 +87,8 @@ class SuiteResult:
             f"all subsets validated: "
             f"{'yes' if self.all_validations_passed else 'NO'}"
         )
+        if self.telemetry is not None:
+            summary = f"{summary}\n{self.telemetry.summary_line()}"
         return f"{table}\n{summary}"
 
 
@@ -92,22 +97,31 @@ def subset_suite(
     config: GpuConfig,
     pipeline: Optional[SubsettingPipeline] = None,
     validation_clocks: Sequence[float] = (600.0, 1000.0, 1400.0),
+    runtime: Optional[Runtime] = None,
 ) -> SuiteResult:
-    """Run the methodology and validation across a corpus."""
+    """Run the methodology and validation across a corpus.
+
+    One ``runtime`` spans every game: its telemetry aggregates the whole
+    suite, and with a cache attached a re-run (or a second suite sharing
+    games) skips every already-simulated (trace, config) artifact.
+    """
     if not traces:
         raise ValidationError("traces must be non-empty")
     if pipeline is None:
         pipeline = SubsettingPipeline()
+    if runtime is None:
+        runtime = Runtime.serial()
     game_results: Dict[str, PipelineResult] = {}
     validations: Dict[str, SubsetValidation] = {}
     for name, trace in traces.items():
-        result = pipeline.run(trace, config)
+        result = pipeline.run(trace, config, runtime=runtime)
         game_results[name] = result
         validations[name] = validate_subset(
-            trace, result.subset, config, validation_clocks
+            trace, result.subset, config, validation_clocks, runtime=runtime
         )
     return SuiteResult(
         config_name=config.name,
         game_results=game_results,
         validations=validations,
+        telemetry=runtime.snapshot(),
     )

@@ -10,12 +10,12 @@ the simulation cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.subsetting import WorkloadSubset
 from repro.errors import ValidationError
 from repro.gfx.trace import Trace
-from repro.simgpu.batch import precompute_trace, simulate_trace_batch
+from repro.runtime.engine import Runtime
 from repro.simgpu.config import GpuConfig
 from repro.util.stats import pearson_correlation, spearman_correlation
 
@@ -82,23 +82,33 @@ def pathfinding_sweep(
     trace: Trace,
     subset: WorkloadSubset,
     candidates: Sequence[GpuConfig] = (),
+    runtime: Optional[Runtime] = None,
 ) -> PathfindingResult:
-    """Evaluate candidate architectures on parent and subset."""
+    """Evaluate candidate architectures on parent and subset.
+
+    Every (trace, candidate) point is one cacheable artifact, so an
+    interrupted or repeated sweep only simulates the missing candidates.
+    """
     candidates = tuple(candidates) or default_candidates()
     names = [c.name for c in candidates]
     if len(set(names)) != len(names):
         raise ValidationError(f"candidate names must be unique, got {names}")
+    if runtime is None:
+        runtime = Runtime.serial()
     subset_trace = subset.materialize(trace)
-    parent_precomp = precompute_trace(trace)
-    subset_precomp = precompute_trace(subset_trace)
-    parent_times = []
-    subset_times = []
-    for config in candidates:
-        parent_times.append(
-            simulate_trace_batch(trace, config, parent_precomp).total_time_ns
-        )
-        result = simulate_trace_batch(subset_trace, config, subset_precomp)
-        subset_times.append(subset.estimate_total_time_ns(result.frame_times_ns))
+    parent_runs = runtime.simulate_frames_many(
+        trace, candidates, label="sweep.parent"
+    )
+    subset_runs = runtime.simulate_frames_many(
+        subset_trace, candidates, label="sweep.subset"
+    )
+    parent_times = [
+        float(sum(out.time_ns for out in outputs)) for outputs in parent_runs
+    ]
+    subset_times = [
+        subset.estimate_total_time_ns([out.time_ns for out in outputs])
+        for outputs in subset_runs
+    ]
     return PathfindingResult(
         trace_name=trace.name,
         config_names=tuple(names),

@@ -23,7 +23,7 @@ from repro.analysis.correlation import subset_parent_correlation
 from repro.analysis.sweep import default_candidates, pathfinding_sweep
 from repro.core.subsetting import WorkloadSubset
 from repro.gfx.trace import Trace
-from repro.simgpu.batch import precompute_trace, simulate_trace_batch
+from repro.runtime.engine import Runtime
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.dvfs import DEFAULT_CLOCKS_MHZ
 from repro.util.tables import format_table
@@ -85,11 +85,21 @@ def validate_subset(
     clocks_mhz: Sequence[float] = DEFAULT_CLOCKS_MHZ,
     candidates: Optional[Sequence[GpuConfig]] = None,
     transfer_presets: Sequence[str] = ("lowpower", "mainstream", "highend"),
+    runtime: Optional[Runtime] = None,
 ) -> SubsetValidation:
-    """Run all three validation checks on ``subset`` against ``trace``."""
+    """Run all three validation checks on ``subset`` against ``trace``.
+
+    ``runtime`` is threaded through every check, so the clock sweep, the
+    transfer presets, and the candidate sweep all share its workers and
+    artifact cache (a preset simulated by one check is free in the next).
+    """
+    if runtime is None:
+        runtime = Runtime.serial()
     checks = []
 
-    correlation = subset_parent_correlation(trace, subset, base_config, clocks_mhz)
+    correlation = subset_parent_correlation(
+        trace, subset, base_config, clocks_mhz, runtime=runtime
+    )
     checks.append(
         CheckResult(
             name="frequency-scaling correlation",
@@ -101,15 +111,22 @@ def validate_subset(
     )
 
     subset_trace = subset.materialize(trace)
-    parent_precomp = precompute_trace(trace)
-    subset_precomp = precompute_trace(subset_trace)
+    transfer_configs = [GpuConfig.preset(preset) for preset in transfer_presets]
+    parent_runs = runtime.simulate_frames_many(
+        trace, transfer_configs, label="validate.parent"
+    )
+    subset_runs = runtime.simulate_frames_many(
+        subset_trace, transfer_configs, label="validate.subset"
+    )
     worst_error = 0.0
     worst_preset = ""
-    for preset in transfer_presets:
-        config = GpuConfig.preset(preset)
-        actual = simulate_trace_batch(trace, config, parent_precomp).total_time_ns
-        result = simulate_trace_batch(subset_trace, config, subset_precomp)
-        estimate = subset.estimate_total_time_ns(result.frame_times_ns)
+    for preset, parent_outputs, subset_outputs in zip(
+        transfer_presets, parent_runs, subset_runs
+    ):
+        actual = float(sum(out.time_ns for out in parent_outputs))
+        estimate = subset.estimate_total_time_ns(
+            [out.time_ns for out in subset_outputs]
+        )
         error = abs(estimate - actual) / actual
         if error > worst_error:
             worst_error = error
@@ -125,7 +142,10 @@ def validate_subset(
     )
 
     sweep = pathfinding_sweep(
-        trace, subset, candidates if candidates is not None else default_candidates()
+        trace,
+        subset,
+        candidates if candidates is not None else default_candidates(),
+        runtime=runtime,
     )
     checks.append(
         CheckResult(

@@ -25,7 +25,7 @@ from repro.core.subsetting import build_subset
 from repro.errors import ReproError
 from repro.gfx.traceio import load_trace_auto as load_trace
 from repro.gfx.traceio import save_trace_auto as save_trace
-from repro.simgpu.batch import simulate_trace_batch
+from repro.runtime.engine import Runtime
 from repro.simgpu.config import GpuConfig
 from repro.synth.generator import generate_trace
 from repro.synth.profiles import BIOSHOCK_SERIES
@@ -34,6 +34,39 @@ from repro.util.tables import format_table
 EXPERIMENT_RUNNERS = (
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
 )
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by every simulating subcommand."""
+    group = parser.add_argument_group("runtime")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for simulation/clustering (default: 1, serial)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "artifact cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache entirely",
+    )
+
+
+def _runtime_from_args(args) -> Runtime:
+    if args.no_cache:
+        return Runtime(jobs=args.jobs)
+    from repro.runtime.cache import default_cache_dir
+
+    cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    return Runtime(jobs=args.jobs, cache_dir=cache_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--preset", choices=GpuConfig.preset_names(), default="mainstream"
     )
+    _add_runtime_flags(sim)
 
     subset = sub.add_parser(
         "subset", help="run the full subsetting methodology on a trace"
@@ -83,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the subset definition (positions + weights) as JSON",
     )
+    _add_runtime_flags(subset)
 
     sweep = sub.add_parser(
         "sweep", help="pathfinding sweep: parent vs subset over candidates"
@@ -91,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--preset", choices=GpuConfig.preset_names(), default="mainstream"
     )
+    _add_runtime_flags(sweep)
 
     estimate = sub.add_parser(
         "estimate",
@@ -101,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument(
         "--preset", choices=GpuConfig.preset_names(), default="mainstream"
     )
+    _add_runtime_flags(estimate)
 
     characterize = sub.add_parser(
         "characterize",
@@ -120,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--preset", choices=GpuConfig.preset_names(), default="mainstream"
     )
+    _add_runtime_flags(validate)
 
     exp = sub.add_parser("experiment", help="run a canned experiment (E1-E9)")
     exp.add_argument("id", choices=EXPERIMENT_RUNNERS)
@@ -129,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper-scale corpus (717 frames / ~828K draws)",
     )
     exp.add_argument("--seed", type=int, default=datasets.DEFAULT_SEED)
+    _add_runtime_flags(exp)
     return parser
 
 
@@ -162,11 +201,13 @@ def _cmd_info(args) -> int:
 def _cmd_simulate(args) -> int:
     trace = load_trace(args.trace)
     config = GpuConfig.preset(args.preset)
-    result = simulate_trace_batch(trace, config)
+    runtime = _runtime_from_args(args)
+    result = runtime.simulate_trace(trace, config)
     print(
         f"{trace.name} on {config.name}: total {result.total_time_ms:.2f} ms, "
         f"mean {result.mean_fps:.1f} fps over {trace.num_frames} frames"
     )
+    print(runtime.snapshot().summary_line())
     return 0
 
 
@@ -178,7 +219,7 @@ def _cmd_subset(args) -> int:
         interval_length=args.interval_length,
         phase_tolerance=args.tolerance,
     )
-    result = pipeline.run(trace, config)
+    result = pipeline.run(trace, config, runtime=_runtime_from_args(args))
     print(result.report())
     if args.save_subset:
         subset_trace = result.subset.materialize(trace)
@@ -194,14 +235,22 @@ def _cmd_subset(args) -> int:
 
 def _cmd_estimate(args) -> int:
     from repro.core.subsetio import check_subset_against, load_subset
-    from repro.simgpu.batch import simulate_trace_batch as _simulate
 
     trace = load_trace(args.trace)
     subset = load_subset(args.subset)
     check_subset_against(subset, trace)
     config = GpuConfig.preset(args.preset)
-    estimate_ns = subset.estimate_on_config(trace, config)
-    actual_ns = _simulate(trace, config).total_time_ns
+    runtime = _runtime_from_args(args)
+    subset_trace = subset.materialize(trace)
+    estimate_ns = subset.estimate_total_time_ns(
+        [
+            out.time_ns
+            for out in runtime.simulate_frames(
+                subset_trace, config, label="estimate.subset"
+            )
+        ]
+    )
+    actual_ns = runtime.total_time_ns(trace, config, label="estimate.parent")
     error = abs(estimate_ns - actual_ns) / actual_ns
     print(
         f"{trace.name} on {config.name}: subset estimate "
@@ -209,6 +258,7 @@ def _cmd_estimate(args) -> int:
         f"({100 * error:.2f}% error, {subset.num_frames}/{trace.num_frames} "
         "frames simulated)"
     )
+    print(runtime.snapshot().summary_line())
     return 0
 
 
@@ -229,8 +279,10 @@ def _cmd_validate(args) -> int:
     subset = load_subset(args.subset)
     check_subset_against(subset, trace)
     config = GpuConfig.preset(args.preset)
-    validation = validate_subset(trace, subset, config)
+    runtime = _runtime_from_args(args)
+    validation = validate_subset(trace, subset, config, runtime=runtime)
     print(validation.report())
+    print(runtime.snapshot().summary_line())
     return 0 if validation.passed else 2
 
 
@@ -239,7 +291,8 @@ def _cmd_sweep(args) -> int:
 
     trace = load_trace(args.trace)
     subset = build_subset(trace)
-    result = pathfinding_sweep(trace, subset)
+    runtime = _runtime_from_args(args)
+    result = pathfinding_sweep(trace, subset, runtime=runtime)
     rows = [
         [name, parent / 1e6, estimate / 1e6]
         for name, parent, estimate in zip(
@@ -257,23 +310,32 @@ def _cmd_sweep(args) -> int:
     )
     print(f"ranking agreement (spearman): {result.ranking_agreement:.4f}")
     print(f"winner agrees: {result.winner_agrees()}")
+    print(runtime.snapshot().summary_line())
     return 0
 
 
 def _cmd_experiment(args) -> int:
     config = GpuConfig.preset("mainstream")
     experiment_id = args.id
+    runtime = _runtime_from_args(args)
     if experiment_id in ("e1", "e2", "e4", "e6", "e9", "e10"):
         traces = _corpus(args)
         runner = {
-            "e1": lambda: experiments.e1_clustering_accuracy(traces, config),
-            "e2": lambda: experiments.e2_cluster_outliers(traces, config),
+            "e1": lambda: experiments.e1_clustering_accuracy(
+                traces, config, runtime=runtime
+            ),
+            "e2": lambda: experiments.e2_cluster_outliers(
+                traces, config, runtime=runtime
+            ),
             "e4": lambda: experiments.e4_phase_detection(traces),
-            "e6": lambda: experiments.e6_frequency_correlation(traces, config),
+            "e6": lambda: experiments.e6_frequency_correlation(
+                traces, config, runtime=runtime
+            ),
             "e9": lambda: experiments.e9_cross_architecture_transfer(traces),
             "e10": lambda: experiments.e10_phase_signal_stability(traces),
         }[experiment_id]
         print(runner().render())
+        print(runtime.snapshot().summary_line())
         return 0
     if experiment_id == "e5":
         print(experiments.e5_subset_size("bioshock1_like", config).render())

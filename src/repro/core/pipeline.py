@@ -38,7 +38,8 @@ from repro.core.subsetting import WorkloadSubset, build_subset
 from repro.errors import SubsetError
 from repro.gfx.frame import Frame, RenderPass
 from repro.gfx.trace import Trace
-from repro.simgpu.batch import precompute_trace, simulate_frames_batch
+from repro.runtime.engine import Runtime
+from repro.runtime.telemetry import TelemetrySnapshot
 from repro.simgpu.config import GpuConfig
 from repro.util.tables import format_table
 
@@ -59,6 +60,7 @@ class PipelineResult:
     clusterings: Optional[Tuple[FrameClustering, ...]] = field(
         default=None, compare=False
     )
+    telemetry: Optional[TelemetrySnapshot] = field(default=None, compare=False)
 
     # -- E1 ------------------------------------------------------------------
 
@@ -107,11 +109,14 @@ class PipelineResult:
             ["combined subset (clustered) %", 100.0 * self.combined_draw_fraction],
             ["subset total-time error %", 100.0 * self.subset_time_error],
         ]
-        return format_table(
+        table = format_table(
             ["metric", "value"],
             rows,
             title=f"Subsetting report: {self.trace_name} on {self.config_name}",
         )
+        if self.telemetry is not None:
+            table = f"{table}\n{self.telemetry.summary_line()}"
+        return table
 
 
 class SubsettingPipeline:
@@ -139,8 +144,21 @@ class SubsettingPipeline:
 
     # -- pieces (reused by the experiment harness) -----------------------------
 
-    def cluster_all_frames(self, trace: Trace) -> List[FrameClustering]:
+    def cluster_all_frames(
+        self, trace: Trace, runtime: Optional[Runtime] = None
+    ) -> List[FrameClustering]:
         """Cluster every frame of ``trace`` on its feature matrix."""
+        if runtime is not None:
+            return list(
+                runtime.cluster_frames(
+                    trace,
+                    method=self.cluster_method,
+                    radius=self.radius,
+                    k=self.k,
+                    normalize=self.normalize,
+                    seed=self.seed,
+                )
+            )
         extractor = FeatureExtractor(trace)
         return [
             cluster_frame(
@@ -198,6 +216,7 @@ class SubsettingPipeline:
         trace: Trace,
         config: GpuConfig,
         keep_clusterings: bool = False,
+        runtime: Optional[Runtime] = None,
     ) -> PipelineResult:
         """Execute the full methodology on ``trace`` at ``config``.
 
@@ -208,13 +227,20 @@ class SubsettingPipeline:
             artifact = build_combined_subset(
                 trace, result.subset, result.clusterings
             )
+
+        ``runtime`` selects the execution backend (parallel workers,
+        artifact cache).  The default serial runtime reproduces the
+        historical single-process behavior bit for bit.
         """
-        precomp = precompute_trace(trace)
-        ground = simulate_frames_batch(trace, config, precomp)
-        clusterings = self.cluster_all_frames(trace)
+        if runtime is None:
+            runtime = Runtime.serial()
+        ground = runtime.simulate_frames(trace, config, label="ground_truth")
+        clusterings = self.cluster_all_frames(trace, runtime=runtime)
 
         rep_trace = self.representative_trace(trace, clusterings)
-        rep_outputs = simulate_frames_batch(rep_trace, config)
+        rep_outputs = runtime.simulate_frames(
+            rep_trace, config, label="representatives"
+        )
 
         predictions: List[FramePrediction] = []
         outlier_rates: List[float] = []
@@ -273,4 +299,5 @@ class SubsettingPipeline:
             subset_estimated_total_time_ns=subset_estimate,
             combined_draw_fraction=combined_fraction,
             clusterings=tuple(clusterings) if keep_clusterings else None,
+            telemetry=runtime.snapshot(),
         )

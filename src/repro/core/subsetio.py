@@ -49,18 +49,68 @@ def write_subset(subset: WorkloadSubset, stream: IO[str]) -> None:
     stream.write("\n")
 
 
+#: Exactly the keys ``write_subset`` emits — reads reject anything else,
+#: so a loaded artifact is guaranteed to round-trip unchanged.
+_REQUIRED_KEYS = frozenset(
+    {
+        "version",
+        "parent_name",
+        "method",
+        "frame_positions",
+        "frame_weights",
+        "parent_num_frames",
+        "parent_num_draws",
+        "subset_num_draws",
+    }
+)
+_OPTIONAL_KEYS = frozenset({"detection"})
+_DETECTION_KEYS = frozenset(
+    {"interval_length", "mode", "tolerance", "num_phases", "phase_ids"}
+)
+
+
 def read_subset(stream: IO[str]) -> WorkloadSubset:
-    """Parse a subset definition (provenance summary is not restored)."""
+    """Parse a subset definition (provenance summary is not restored).
+
+    The reader is strict: it accepts exactly what :func:`write_subset`
+    produces.  Unknown keys mean the file came from a newer writer (or
+    isn't a subset definition at all), and silently dropping them would
+    turn a save/load cycle into quiet data loss — so they are rejected.
+    """
     try:
         record = json.load(stream)
     except json.JSONDecodeError as exc:
         raise SubsetError(f"malformed subset file: {exc}") from exc
+    if not isinstance(record, dict):
+        raise SubsetError(
+            f"subset file must hold a JSON object, got {type(record).__name__}"
+        )
     version = record.get("version")
     if version != FORMAT_VERSION:
         raise SubsetError(
             f"unsupported subset format version {version!r} "
             f"(this library reads version {FORMAT_VERSION})"
         )
+    unknown = sorted(set(record) - _REQUIRED_KEYS - _OPTIONAL_KEYS)
+    if unknown:
+        raise SubsetError(f"subset file has unknown fields: {unknown}")
+    detection = record.get("detection")
+    if "detection" in record:
+        if not isinstance(detection, dict):
+            raise SubsetError(
+                "subset file field 'detection' must be a JSON object, "
+                f"got {type(detection).__name__}"
+            )
+        unknown = sorted(set(detection) - _DETECTION_KEYS)
+        if unknown:
+            raise SubsetError(
+                f"subset file has unknown detection fields: {unknown}"
+            )
+        missing = sorted(_DETECTION_KEYS - set(detection))
+        if missing:
+            raise SubsetError(
+                f"subset file missing field 'detection.{missing[0]}'"
+            )
     try:
         return WorkloadSubset(
             parent_name=record["parent_name"],

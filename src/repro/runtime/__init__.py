@@ -1,0 +1,62 @@
+"""Parallel execution engine with a content-addressed artifact cache.
+
+Pathfinding is an embarrassingly parallel job graph — hundreds of frames
+times dozens of candidate architectures — whose artifacts are reused for
+months.  This subsystem supplies the execution layer the rest of the
+library runs on:
+
+- :class:`~repro.runtime.engine.TaskEngine` — dependency-aware task
+  graphs on a process pool, with a serial ``jobs=1`` fallback that is
+  bit-identical to the historical code paths;
+- :class:`~repro.runtime.cache.ArtifactCache` — results keyed by a
+  stable digest of (trace content, GPU config, algorithm parameters,
+  format version), persisted on disk so re-runs and interrupted sweeps
+  skip completed work;
+- :class:`~repro.runtime.telemetry.Telemetry` — counters and stage
+  timers (tasks run, cache hits/misses, frames simulated) surfaced in
+  pipeline and suite reports;
+- :class:`~repro.runtime.engine.Runtime` — the facade the pipeline,
+  suite, sweep, and CLI layers accept as ``runtime=``.
+
+See ``docs/RUNTIME.md`` for the architecture, the cache-key recipe, and
+the invalidation rules.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CACHE_MISS,
+    ArtifactCache,
+    NullCache,
+    default_cache_dir,
+)
+from repro.runtime.engine import Runtime, TaskEngine
+from repro.runtime.keys import (
+    CACHE_FORMAT_VERSION,
+    config_digest,
+    params_digest,
+    task_key,
+    trace_digest,
+)
+from repro.runtime.tasks import TASK_FUNCTIONS, Task, TaskResult, task_function
+from repro.runtime.telemetry import Telemetry, TelemetrySnapshot
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CACHE_MISS",
+    "NullCache",
+    "Runtime",
+    "TASK_FUNCTIONS",
+    "Task",
+    "TaskEngine",
+    "TaskResult",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "config_digest",
+    "default_cache_dir",
+    "params_digest",
+    "task_function",
+    "task_key",
+    "trace_digest",
+]

@@ -1,0 +1,414 @@
+"""Dependency-aware task engine and the user-facing :class:`Runtime`.
+
+The engine executes a task graph either inline (``jobs=1`` — the serial
+fallback, bit-identical to the pre-runtime code paths) or on a
+``ProcessPoolExecutor``.  The run's shared ``context`` (typically the
+trace) ships to each worker once via the pool initializer instead of
+once per task; per-task child seeds come from
+:func:`repro.util.rng.spawn_worker_seed`, so results never depend on
+worker count or completion order.
+
+:class:`Runtime` bundles an engine, a content-addressed
+:class:`~repro.runtime.cache.ArtifactCache`, and a
+:class:`~repro.runtime.telemetry.Telemetry` into the object the
+pipeline, suite, sweep, and CLI layers thread through.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runtime.cache import CACHE_MISS, ArtifactCache, NullCache
+from repro.runtime.keys import task_key
+from repro.runtime.tasks import Task, TaskResult, resolve_task_function
+from repro.runtime.telemetry import Telemetry, TelemetrySnapshot
+from repro.util.rng import spawn_worker_seed
+
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_task(
+    context: Any,
+    kind: str,
+    payload: Any,
+    dep_values: Dict[str, Any],
+    seed: Optional[int],
+) -> TaskResult:
+    """Execute one task body (same code inline and in workers)."""
+    if seed is not None:
+        # Seed the legacy global stream so any np.random fallback inside a
+        # task is reproducible per task identity, not per worker schedule.
+        np.random.seed(seed % 2**32)
+    fn = resolve_task_function(kind)
+    result = fn(context, payload, dep_values)
+    if not isinstance(result, TaskResult):
+        result = TaskResult(result)
+    return result
+
+
+def _execute_in_worker(blob: bytes) -> TaskResult:
+    # The work item arrives pre-pickled: the parent serializes it before
+    # submit so an unpicklable payload raises there, synchronously, instead
+    # of poisoning the executor's feeder thread (which deadlocks
+    # ``shutdown(wait=True)`` on CPython 3.11).
+    kind, payload, dep_values, seed = pickle.loads(blob)
+    return _run_task(_WORKER_CONTEXT, kind, payload, dep_values, seed)
+
+
+def _topological_order(tasks: Sequence[Task]) -> List[Task]:
+    """Kahn's algorithm, stable with respect to submission order."""
+    by_id: Dict[str, Task] = {}
+    for task in tasks:
+        if task.task_id in by_id:
+            raise ConfigError(f"duplicate task id {task.task_id!r}")
+        by_id[task.task_id] = task
+    children: Dict[str, List[str]] = {task.task_id: [] for task in tasks}
+    blocked_by: Dict[str, int] = {}
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_id:
+                raise ConfigError(
+                    f"task {task.task_id!r} depends on unknown task {dep!r}"
+                )
+            children[dep].append(task.task_id)
+        blocked_by[task.task_id] = len(task.deps)
+    ready = [task for task in tasks if blocked_by[task.task_id] == 0]
+    order: List[Task] = []
+    cursor = 0
+    while cursor < len(ready):
+        task = ready[cursor]
+        cursor += 1
+        order.append(task)
+        for child_id in children[task.task_id]:
+            blocked_by[child_id] -= 1
+            if blocked_by[child_id] == 0:
+                ready.append(by_id[child_id])
+    if len(order) != len(tasks):
+        stuck = sorted(tid for tid, n in blocked_by.items() if n > 0)
+        raise ConfigError(f"task graph has a dependency cycle involving {stuck}")
+    return order
+
+
+class TaskEngine:
+    """Executes task graphs serially or on a process pool.
+
+    ``jobs=1`` runs every task inline in topological submission order —
+    no subprocesses, no pickling — and is the reference behavior the
+    parallel path must reproduce exactly.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Any] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ConfigError(f"jobs must be an int >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else NullCache()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self, tasks: Sequence[Task], context: Any = None
+    ) -> Dict[str, Any]:
+        """Execute ``tasks`` and return ``{task_id: value}``.
+
+        Cached tasks (``cache_key`` set, entry present) are resolved
+        without executing — or submitting — anything.  A task exception
+        propagates to the caller with its original type; remaining tasks
+        are cancelled.
+        """
+        order = _topological_order(tasks)
+        results: Dict[str, Any] = {}
+        pending: List[Task] = []
+        for task in order:
+            if task.cache_key is not None:
+                hit = self.cache.get(task.cache_key)
+                if hit is not CACHE_MISS:
+                    results[task.task_id] = hit
+                    self.telemetry.count("tasks_from_cache")
+                    continue
+            pending.append(task)
+        if not pending:
+            return results
+        if self.jobs == 1:
+            self._run_serial(pending, context, results)
+        else:
+            self._run_pool(pending, context, results)
+        return results
+
+    def _finish(self, task: Task, result: TaskResult, results: Dict[str, Any]) -> None:
+        results[task.task_id] = result.value
+        self.telemetry.count("tasks_run")
+        if result.counters:
+            self.telemetry.merge_counters(result.counters)
+        if task.cache_key is not None:
+            self.cache.put(task.cache_key, result.value)
+
+    def _dep_values(self, task: Task, results: Dict[str, Any]) -> Dict[str, Any]:
+        return {dep: results[dep] for dep in task.deps}
+
+    def _run_serial(
+        self, pending: List[Task], context: Any, results: Dict[str, Any]
+    ) -> None:
+        for task in pending:
+            try:
+                result = _run_task(
+                    context, task.kind, task.payload,
+                    self._dep_values(task, results), task.seed,
+                )
+            except Exception:
+                self.telemetry.count("tasks_failed")
+                raise
+            self._finish(task, result, results)
+
+    def _run_pool(
+        self, pending: List[Task], context: Any, results: Dict[str, Any]
+    ) -> None:
+        children: Dict[str, List[Task]] = {}
+        blocked_by: Dict[str, int] = {}
+        for task in pending:
+            # Deps already satisfied from cache don't block execution.
+            open_deps = [dep for dep in task.deps if dep not in results]
+            blocked_by[task.task_id] = len(open_deps)
+            for dep in open_deps:
+                children.setdefault(dep, []).append(task)
+        ready = [task for task in pending if blocked_by[task.task_id] == 0]
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)),
+            initializer=_init_worker,
+            initargs=(context,),
+        )
+        futures: Dict[Any, Task] = {}
+
+        def submit(task: Task) -> None:
+            try:
+                blob = pickle.dumps(
+                    (task.kind, task.payload,
+                     self._dep_values(task, results), task.seed)
+                )
+            except Exception as exc:
+                raise ConfigError(
+                    f"task {task.task_id!r} payload cannot be sent to a "
+                    f"worker process: {exc}"
+                ) from exc
+            futures[pool.submit(_execute_in_worker, blob)] = task
+
+        try:
+            for task in ready:
+                submit(task)
+            while futures:
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception:
+                        self.telemetry.count("tasks_failed")
+                        raise
+                    self._finish(task, result, results)
+                    for child in children.get(task.task_id, ()):
+                        blocked_by[child.task_id] -= 1
+                        if blocked_by[child.task_id] == 0:
+                            submit(child)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _chunk_ranges(num_items: int, num_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_items)`` into contiguous near-equal ranges."""
+    num_chunks = max(1, min(num_chunks, num_items))
+    base, extra = divmod(num_items, num_chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(num_chunks):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+class Runtime:
+    """Parallel, cache-aware execution facade for the pipeline layers.
+
+    The default construction (``Runtime()`` / :meth:`Runtime.serial`) is
+    the zero-surprise configuration: one process, no cache, results
+    bit-identical to the historical serial code paths.  ``jobs=N`` adds
+    process-pool parallelism; ``cache_dir=...`` (or a prebuilt ``cache``)
+    adds the content-addressed artifact store, so repeated experiments
+    and interrupted sweeps skip every already-computed simulation.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Any] = None,
+        cache_dir: Optional[Any] = None,
+        telemetry: Optional[Telemetry] = None,
+        seed: int = 0,
+        chunks_per_job: int = 2,
+    ) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ConfigError("pass either cache or cache_dir, not both")
+        if not isinstance(chunks_per_job, int) or chunks_per_job < 1:
+            raise ConfigError(
+                f"chunks_per_job must be an int >= 1, got {chunks_per_job!r}"
+            )
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if cache is None:
+            cache = (
+                ArtifactCache(cache_dir, telemetry=self.telemetry)
+                if cache_dir is not None
+                else NullCache()
+            )
+        if isinstance(cache, ArtifactCache) and cache.telemetry is None:
+            cache.telemetry = self.telemetry
+        self.cache = cache
+        self.seed = seed
+        self.chunks_per_job = chunks_per_job
+        self.engine = TaskEngine(jobs=jobs, cache=cache, telemetry=self.telemetry)
+
+    @property
+    def jobs(self) -> int:
+        return self.engine.jobs
+
+    @classmethod
+    def serial(cls) -> "Runtime":
+        """One process, no cache — the reference configuration."""
+        return cls(jobs=1)
+
+    # -- chunking ----------------------------------------------------------
+
+    def _ranges(self, num_items: int) -> List[Tuple[int, int]]:
+        if self.jobs == 1:
+            return [(0, num_items)]
+        return _chunk_ranges(num_items, self.jobs * self.chunks_per_job)
+
+    # -- simulation --------------------------------------------------------
+
+    def simulate_frames_many(
+        self, trace, configs, label: str = "simulate"
+    ) -> List[list]:
+        """Per-frame outputs of ``trace`` on every config, cache-first.
+
+        One artifact per (trace content, config) pair; configs missing
+        from the cache are simulated together in one task graph so each
+        chunk computes the order-dependent context arrays once per
+        distinct context signature (the DVFS-sweep sharing the serial
+        batch path has always had).
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        keys = [
+            task_key("simulate_frames", trace=trace, config=config)
+            for config in configs
+        ]
+        by_key: Dict[str, Any] = {}
+        need: List[Tuple[str, Any]] = []
+        for key, config in zip(keys, configs):
+            if key in by_key or any(key == k for k, _ in need):
+                continue
+            hit = self.cache.get(key)
+            if hit is not CACHE_MISS:
+                by_key[key] = hit
+            else:
+                need.append((key, config))
+        if need:
+            need_configs = tuple(config for _, config in need)
+            ranges = self._ranges(trace.num_frames)
+            tasks = [
+                Task(
+                    task_id=f"{label}:{start}:{stop}",
+                    kind="simulate_frame_range",
+                    payload=(need_configs, start, stop),
+                    seed=spawn_worker_seed(
+                        self.seed, "simulate_frame_range", start, stop
+                    ),
+                )
+                for start, stop in ranges
+            ]
+            with self.telemetry.timer(label):
+                values = self.engine.run(tasks, context=trace)
+            for position, (key, _) in enumerate(need):
+                outputs: list = []
+                for start, stop in ranges:
+                    outputs.extend(values[f"{label}:{start}:{stop}"][position])
+                by_key[key] = outputs
+                self.cache.put(key, outputs)
+        return [list(by_key[key]) for key in keys]
+
+    def simulate_frames(self, trace, config, label: str = "simulate") -> list:
+        """Per-frame :class:`~repro.simgpu.batch.BatchFrameOutput` list."""
+        return self.simulate_frames_many(trace, [config], label=label)[0]
+
+    def simulate_trace(self, trace, config, label: str = "simulate"):
+        """Cache-aware, parallel equivalent of ``simulate_trace_batch``."""
+        from repro.simgpu.batch import trace_result_from_outputs
+
+        outputs = self.simulate_frames(trace, config, label=label)
+        return trace_result_from_outputs(trace.name, config.name, outputs)
+
+    def total_time_ns(self, trace, config, label: str = "simulate") -> float:
+        """Whole-trace time on ``config`` (sum over per-frame outputs)."""
+        return float(
+            sum(out.time_ns for out in self.simulate_frames(trace, config, label))
+        )
+
+    # -- clustering --------------------------------------------------------
+
+    def cluster_frames(self, trace, **params) -> list:
+        """Per-frame clusterings of ``trace``, cache-first.
+
+        ``params`` are forwarded to
+        :func:`repro.core.cluster_frame.cluster_frame` verbatim and
+        participate in the cache key.
+        """
+        key = task_key("cluster_frames", trace=trace, params=params)
+        hit = self.cache.get(key)
+        if hit is not CACHE_MISS:
+            return list(hit)
+        base_seed = params.get("seed")
+        if not isinstance(base_seed, int) or isinstance(base_seed, bool):
+            base_seed = self.seed
+        payload_params = tuple(sorted(params.items()))
+        ranges = self._ranges(trace.num_frames)
+        tasks = [
+            Task(
+                task_id=f"cluster:{start}:{stop}",
+                kind="cluster_frame_range",
+                payload=(payload_params, start, stop),
+                seed=spawn_worker_seed(
+                    base_seed, "cluster_frame_range", start, stop
+                ),
+            )
+            for start, stop in ranges
+        ]
+        with self.telemetry.timer("cluster"):
+            values = self.engine.run(tasks, context=trace)
+        clusterings: list = []
+        for start, stop in ranges:
+            clusterings.extend(values[f"cluster:{start}:{stop}"])
+        self.cache.put(key, clusterings)
+        return clusterings
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return self.telemetry.snapshot()
+
+    def report(self) -> str:
+        return self.telemetry.report()

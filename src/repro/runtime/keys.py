@@ -1,0 +1,114 @@
+"""Content-addressed cache keys for runtime artifacts.
+
+A cached result is only trustworthy if its key pins *everything* the
+computation depends on:
+
+- the **trace content** (a SHA-256 over the canonical binary
+  serialization, so two identically-generated traces share a digest and
+  any draw/shader/resource change produces a new one);
+- the **GPU configuration** (every model field; the ``name`` label is
+  deliberately excluded — two configs with identical parameters simulate
+  identically, so e.g. DVFS points renamed between runs still hit);
+- the **algorithm parameters** (clustering method, radius, seed, ...);
+- the **format version** (:data:`CACHE_FORMAT_VERSION`), bumped whenever
+  the simulator, feature extractor, or artifact layout changes meaning.
+
+All digests are SHA-256 over canonical text/bytes, so keys are stable
+across processes, platforms, and Python versions (``hash()`` is not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import weakref
+from typing import Mapping, Optional, Tuple
+
+from repro.gfx.trace import Trace
+from repro.gfx.tracebin import write_trace_binary
+from repro.simgpu.config import GpuConfig
+
+#: Bump on any change to the simulator, feature extractor, task payloads,
+#: or on-disk artifact encoding.  Old entries become unreachable (never
+#: silently reused) because the version participates in every key.
+CACHE_FORMAT_VERSION = 1
+
+# Digests are memoized per live Trace object: traces are immutable, and
+# paper-scale serialization is the expensive part of key construction.
+_TRACE_DIGEST_MEMO: dict = {}
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of a trace (canonical binary serialization).
+
+    Two traces constructed independently but with identical content
+    (same generator, same seed) share a digest; trace ``metadata`` is not
+    serialized and therefore does not participate.
+    """
+    memo = _TRACE_DIGEST_MEMO.get(id(trace))
+    if memo is not None:
+        ref, digest = memo
+        if ref() is trace:
+            return digest
+    buffer = io.BytesIO()
+    write_trace_binary(trace, buffer)
+    digest = _sha256_hex(buffer.getvalue())
+    _TRACE_DIGEST_MEMO[id(trace)] = (weakref.ref(trace), digest)
+    return digest
+
+
+def config_digest(config: GpuConfig) -> str:
+    """Digest of every model-relevant :class:`GpuConfig` field.
+
+    The ``name`` label is excluded: it never influences simulated
+    numbers, and including it would defeat caching across renamed but
+    numerically identical configs (DVFS points, preset copies).
+    """
+    fields = dataclasses.asdict(config)
+    fields.pop("name", None)
+    canonical = json.dumps(fields, sort_keys=True)
+    return _sha256_hex(canonical.encode("utf-8"))
+
+
+def params_digest(params: Optional[Mapping[str, object]]) -> str:
+    """Digest of an algorithm-parameter mapping (order-insensitive).
+
+    Values must have a stable ``repr`` (numbers, strings, bools, None,
+    and tuples/lists of those) — the same constraint
+    :func:`repro.util.rng.derive_seed` places on seed components.
+    """
+    items = sorted((params or {}).items())
+    canonical = repr([(str(k), repr(v)) for k, v in items])
+    return _sha256_hex(canonical.encode("utf-8"))
+
+
+def task_key(
+    kind: str,
+    *,
+    trace: Optional[Trace] = None,
+    config: Optional[GpuConfig] = None,
+    params: Optional[Mapping[str, object]] = None,
+    extra: Tuple[object, ...] = (),
+) -> str:
+    """The content-addressed key for one cacheable artifact.
+
+    ``kind`` names the computation (e.g. ``"simulate_frames"``); the
+    digests of its inputs and :data:`CACHE_FORMAT_VERSION` complete the
+    recipe documented in ``docs/RUNTIME.md``.
+    """
+    record = {
+        "kind": kind,
+        "version": CACHE_FORMAT_VERSION,
+        "trace": trace_digest(trace) if trace is not None else None,
+        "config": config_digest(config) if config is not None else None,
+        "params": params_digest(params) if params is not None else None,
+        "extra": [repr(item) for item in extra],
+    }
+    canonical = json.dumps(record, sort_keys=True)
+    return _sha256_hex(canonical.encode("utf-8"))

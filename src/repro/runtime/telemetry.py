@@ -1,0 +1,113 @@
+"""Runtime instrumentation: counters and stage timers.
+
+Every runtime component (engine, cache, task functions) reports into one
+:class:`Telemetry` object, so a pipeline or suite run can answer the
+questions that matter at pathfinding scale: how many tasks actually ran,
+how many frame simulations the cache avoided, and where the wall time
+went.  Task functions execute in worker processes, so they return their
+counters with their results and the engine merges them here — a worker
+incrementing a counter locally would be invisible to the parent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """An immutable copy of the counters and timers at one moment."""
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    timers_s: Mapping[str, float] = field(default_factory=dict)
+
+    def counter(self, name: str) -> int:
+        """A counter's value, 0 when never incremented."""
+        return int(self.counters.get(name, 0))
+
+    def summary_line(self) -> str:
+        """One-line digest for CLI output."""
+        parts = [
+            f"tasks={self.counter('tasks_run')}",
+            f"frames_simulated={self.counter('frames_simulated')}",
+            f"cache_hits={self.counter('cache_hits')}",
+            f"cache_misses={self.counter('cache_misses')}",
+        ]
+        wall = sum(self.timers_s.values())
+        if wall:
+            parts.append(f"stage_time={wall:.2f}s")
+        return "[runtime] " + " ".join(parts)
+
+    def report(self) -> str:
+        """Human-readable counter and per-stage timing tables."""
+        counter_rows = [[name, self.counters[name]] for name in sorted(self.counters)]
+        timer_rows = [
+            [name, self.timers_s[name]] for name in sorted(self.timers_s)
+        ]
+        blocks = []
+        if counter_rows:
+            blocks.append(
+                format_table(["counter", "value"], counter_rows,
+                             title="Runtime counters")
+            )
+        if timer_rows:
+            blocks.append(
+                format_table(["stage", "seconds"], timer_rows,
+                             title="Runtime stage timers", precision=3)
+            )
+        return "\n".join(blocks) if blocks else "[runtime] no activity recorded"
+
+
+class Telemetry:
+    """Mutable counters/timers shared by one runtime's components.
+
+    Thread-safe: the engine's completion loop and nested stage timers may
+    touch it concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers_s: Dict[str, float] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a worker's counter report into the totals."""
+        with self._lock:
+            for name, amount in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Accumulate wall time under ``stage`` (re-entrant across calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._timers_s[stage] = self._timers_s.get(stage, 0.0) + elapsed
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return int(self._counters.get(name, 0))
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the current state (counters and timers are copied)."""
+        with self._lock:
+            return TelemetrySnapshot(
+                counters=dict(self._counters), timers_s=dict(self._timers_s)
+            )
+
+    def report(self) -> str:
+        return self.snapshot().report()

@@ -76,107 +76,124 @@ class TracePrecomp:
         Cached by the config fields that influence them, so a DVFS sweep
         (same capacities/penalties, different clocks) computes them once.
         """
-        key = (
-            config.tex_cache_kb,
-            config.l2_cache_kb,
-            config.shader_switch_cycles,
-            config.state_switch_cycles,
-            config.rt_switch_cycles,
-        )
+        key = context_signature(config)
         cached = self._context_cache.get(key)
         if cached is not None:
             return cached
-        per_frame = []
-        for fp in self.frames:
-            tracker = StateTracker(config)
-            tracker.begin_frame()
-            warm = np.empty(len(fp.draws))
-            switch = np.empty(len(fp.draws))
-            for i, (draw, textures) in enumerate(zip(fp.draws, fp.textures_by_draw)):
-                effects = tracker.observe(draw, textures)
-                warm[i] = effects.warm_fraction
-                switch[i] = effects.switch_cycles
-            per_frame.append((warm, switch))
+        per_frame = [context_for_frame(fp, config) for fp in self.frames]
         self._context_cache[key] = per_frame
         return per_frame
 
 
+def context_signature(config: GpuConfig) -> tuple:
+    """The config fields that influence the order-dependent context."""
+    return (
+        config.tex_cache_kb,
+        config.l2_cache_kb,
+        config.shader_switch_cycles,
+        config.state_switch_cycles,
+        config.rt_switch_cycles,
+    )
+
+
+def context_for_frame(
+    fp: FramePrecomp, config: GpuConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(warm_fraction, switch_cycles) for one frame's draws on ``config``.
+
+    Each frame starts from a fresh :class:`StateTracker`, so frames are
+    independent — the property the parallel runtime relies on.
+    """
+    tracker = StateTracker(config)
+    tracker.begin_frame()
+    warm = np.empty(len(fp.draws))
+    switch = np.empty(len(fp.draws))
+    for i, (draw, textures) in enumerate(zip(fp.draws, fp.textures_by_draw)):
+        effects = tracker.observe(draw, textures)
+        warm[i] = effects.warm_fraction
+        switch[i] = effects.switch_cycles
+    return warm, switch
+
+
+def precompute_frame(trace: Trace, frame) -> FramePrecomp:
+    """Resolve tables and build the per-draw arrays for one frame."""
+    draws = frame.draw_list
+    n = len(draws)
+    fp = FramePrecomp(
+        frame_index=frame.index,
+        verts=np.empty(n),
+        prims=np.empty(n),
+        cull_none=np.empty(n, dtype=bool),
+        pix_rast=np.empty(n),
+        pix_shaded=np.empty(n),
+        stride=np.empty(n),
+        vs_alu=np.empty(n),
+        vs_tex=np.empty(n),
+        vs_branch=np.empty(n),
+        vs_regs=np.empty(n),
+        ps_alu=np.empty(n),
+        ps_tex=np.empty(n),
+        ps_branch=np.empty(n),
+        ps_regs=np.empty(n),
+        footprint=np.empty(n),
+        color_bpp=np.empty(n),
+        n_color=np.empty(n),
+        blend_dest=np.empty(n, dtype=bool),
+        depth_reads=np.empty(n, dtype=bool),
+        depth_writes=np.empty(n, dtype=bool),
+        depth_bpp=np.empty(n),
+        noise_units=np.empty(n),
+        pass_spans=[],
+        draws=draws,
+        textures_by_draw=[],
+    )
+    position = 0
+    for render_pass in frame.passes:
+        start = position
+        for draw in render_pass.draws:
+            shader = trace.shader(draw.shader_id)
+            textures = [trace.texture(tid) for tid in draw.texture_ids]
+            fp.textures_by_draw.append(textures)
+            color_targets = [
+                trace.render_target(rid) for rid in draw.render_target_ids
+            ]
+            i = position
+            fp.verts[i] = draw.total_vertices
+            fp.prims[i] = draw.primitive_count
+            fp.cull_none[i] = draw.state.cull.value == "none"
+            fp.pix_rast[i] = draw.pixels_rasterized
+            fp.pix_shaded[i] = draw.pixels_shaded
+            fp.stride[i] = draw.vertex_stride_bytes
+            fp.vs_alu[i] = shader.vertex.alu_ops
+            fp.vs_tex[i] = shader.vertex.tex_ops
+            fp.vs_branch[i] = shader.vertex.branch_ops
+            fp.vs_regs[i] = shader.vertex.registers
+            fp.ps_alu[i] = shader.pixel.alu_ops
+            fp.ps_tex[i] = shader.pixel.tex_ops
+            fp.ps_branch[i] = shader.pixel.branch_ops
+            fp.ps_regs[i] = shader.pixel.registers
+            fp.footprint[i] = texture.texture_footprint_bytes(textures)
+            fp.color_bpp[i] = sum(rt.bytes_per_pixel for rt in color_targets)
+            fp.n_color[i] = max(1, len(color_targets))
+            fp.blend_dest[i] = draw.state.blend.reads_destination
+            fp.depth_reads[i] = draw.state.depth.reads_depth
+            fp.depth_writes[i] = draw.state.depth.writes_depth
+            if draw.depth_target_id is not None:
+                depth_rt = trace.render_target(draw.depth_target_id)
+                fp.depth_bpp[i] = depth_rt.bytes_per_pixel
+            else:
+                fp.depth_bpp[i] = 0.0
+            fp.noise_units[i] = stable_unit(
+                "simgpu-noise", frame.index, position
+            )
+            position += 1
+        fp.pass_spans.append((render_pass.pass_type.value, start, position))
+    return fp
+
+
 def precompute_trace(trace: Trace) -> TracePrecomp:
     """Resolve tables and build the per-draw arrays for every frame."""
-    frames = []
-    for frame in trace.frames:
-        draws = frame.draw_list
-        n = len(draws)
-        fp = FramePrecomp(
-            frame_index=frame.index,
-            verts=np.empty(n),
-            prims=np.empty(n),
-            cull_none=np.empty(n, dtype=bool),
-            pix_rast=np.empty(n),
-            pix_shaded=np.empty(n),
-            stride=np.empty(n),
-            vs_alu=np.empty(n),
-            vs_tex=np.empty(n),
-            vs_branch=np.empty(n),
-            vs_regs=np.empty(n),
-            ps_alu=np.empty(n),
-            ps_tex=np.empty(n),
-            ps_branch=np.empty(n),
-            ps_regs=np.empty(n),
-            footprint=np.empty(n),
-            color_bpp=np.empty(n),
-            n_color=np.empty(n),
-            blend_dest=np.empty(n, dtype=bool),
-            depth_reads=np.empty(n, dtype=bool),
-            depth_writes=np.empty(n, dtype=bool),
-            depth_bpp=np.empty(n),
-            noise_units=np.empty(n),
-            pass_spans=[],
-            draws=draws,
-            textures_by_draw=[],
-        )
-        position = 0
-        for render_pass in frame.passes:
-            start = position
-            for draw in render_pass.draws:
-                shader = trace.shader(draw.shader_id)
-                textures = [trace.texture(tid) for tid in draw.texture_ids]
-                fp.textures_by_draw.append(textures)
-                color_targets = [
-                    trace.render_target(rid) for rid in draw.render_target_ids
-                ]
-                i = position
-                fp.verts[i] = draw.total_vertices
-                fp.prims[i] = draw.primitive_count
-                fp.cull_none[i] = draw.state.cull.value == "none"
-                fp.pix_rast[i] = draw.pixels_rasterized
-                fp.pix_shaded[i] = draw.pixels_shaded
-                fp.stride[i] = draw.vertex_stride_bytes
-                fp.vs_alu[i] = shader.vertex.alu_ops
-                fp.vs_tex[i] = shader.vertex.tex_ops
-                fp.vs_branch[i] = shader.vertex.branch_ops
-                fp.vs_regs[i] = shader.vertex.registers
-                fp.ps_alu[i] = shader.pixel.alu_ops
-                fp.ps_tex[i] = shader.pixel.tex_ops
-                fp.ps_branch[i] = shader.pixel.branch_ops
-                fp.ps_regs[i] = shader.pixel.registers
-                fp.footprint[i] = texture.texture_footprint_bytes(textures)
-                fp.color_bpp[i] = sum(rt.bytes_per_pixel for rt in color_targets)
-                fp.n_color[i] = max(1, len(color_targets))
-                fp.blend_dest[i] = draw.state.blend.reads_destination
-                fp.depth_reads[i] = draw.state.depth.reads_depth
-                fp.depth_writes[i] = draw.state.depth.writes_depth
-                if draw.depth_target_id is not None:
-                    depth_rt = trace.render_target(draw.depth_target_id)
-                    fp.depth_bpp[i] = depth_rt.bytes_per_pixel
-                else:
-                    fp.depth_bpp[i] = 0.0
-                fp.noise_units[i] = stable_unit(
-                    "simgpu-noise", frame.index, position
-                )
-                position += 1
-            fp.pass_spans.append((render_pass.pass_type.value, start, position))
-        frames.append(fp)
+    frames = [precompute_frame(trace, frame) for frame in trace.frames]
     return TracePrecomp(trace=trace, frames=frames)
 
 
@@ -309,11 +326,53 @@ def simulate_frames_batch(
     ]
 
 
-def simulate_trace_batch(
-    trace: Trace, config: GpuConfig, precomp: Optional[TracePrecomp] = None
+def simulate_frame_range_multi(
+    trace: Trace,
+    configs: Sequence[GpuConfig],
+    start: int,
+    stop: int,
+) -> List[List[BatchFrameOutput]]:
+    """Simulate frames ``[start, stop)`` on every config, one frame at a time.
+
+    Per-frame precompute happens once per frame; the order-dependent
+    context arrays are computed once per distinct context signature (so
+    a DVFS sweep over N clocks walks each frame's draws once, matching
+    :meth:`TracePrecomp.context_arrays` sharing).  Frames are mutually
+    independent, which makes this the unit of work the parallel runtime
+    distributes — any partition of ``[0, num_frames)`` concatenates to
+    exactly the full-trace result.
+    """
+    if not 0 <= start <= stop <= trace.num_frames:
+        raise SimulationError(
+            f"frame range [{start}, {stop}) invalid for "
+            f"{trace.num_frames}-frame trace"
+        )
+    per_config: List[List[BatchFrameOutput]] = [[] for _ in configs]
+    for frame in trace.frames[start:stop]:
+        fp = precompute_frame(trace, frame)
+        contexts: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        for slot, config in enumerate(configs):
+            signature = context_signature(config)
+            if signature not in contexts:
+                contexts[signature] = context_for_frame(fp, config)
+            warm, switch = contexts[signature]
+            per_config[slot].append(
+                simulate_frame_arrays(fp, warm, switch, config)
+            )
+    return per_config
+
+
+def simulate_frame_range(
+    trace: Trace, config: GpuConfig, start: int, stop: int
+) -> List[BatchFrameOutput]:
+    """Simulate frames ``[start, stop)`` of ``trace`` on one config."""
+    return simulate_frame_range_multi(trace, (config,), start, stop)[0]
+
+
+def trace_result_from_outputs(
+    trace_name: str, config_name: str, outputs: Sequence[BatchFrameOutput]
 ) -> TraceResult:
-    """Vectorized equivalent of :meth:`GpuSimulator.simulate_trace`."""
-    outputs = simulate_frames_batch(trace, config, precomp)
+    """Package per-frame batch outputs as a :class:`TraceResult`."""
     frame_results = tuple(
         FrameResult(
             frame_index=out.frame_index,
@@ -327,7 +386,15 @@ def simulate_trace_batch(
         for out in outputs
     )
     return TraceResult(
-        trace_name=trace.name,
-        config_name=config.name,
+        trace_name=trace_name,
+        config_name=config_name,
         frame_results=frame_results,
     )
+
+
+def simulate_trace_batch(
+    trace: Trace, config: GpuConfig, precomp: Optional[TracePrecomp] = None
+) -> TraceResult:
+    """Vectorized equivalent of :meth:`GpuSimulator.simulate_trace`."""
+    outputs = simulate_frames_batch(trace, config, precomp)
+    return trace_result_from_outputs(trace.name, config.name, outputs)

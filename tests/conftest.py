@@ -7,6 +7,8 @@ can focus on one behaviour.  Synthetic full-game traces come from
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.gfx.drawcall import DrawCall
@@ -20,6 +22,19 @@ from repro.gfx.trace import Trace
 COLOR_RT = 0
 DEPTH_RT = 1
 POST_RT = 2
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Keep the default artifact cache out of the real ``~/.cache``.
+
+    CLI commands cache by default; pointing ``$REPRO_CACHE_DIR`` at a
+    session temp dir keeps test runs hermetic (entries are
+    content-addressed, so sharing one dir across tests is harmless).
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 def make_draw(

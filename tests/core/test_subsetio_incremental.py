@@ -1,6 +1,7 @@
 """Tests for subset persistence and incremental clustering (extensions)."""
 
 import io
+import json
 
 import numpy as np
 import pytest
@@ -64,6 +65,54 @@ class TestSubsetIO:
         buffer = io.StringIO()
         write_subset(subset, buffer)
         assert '"num_phases"' in buffer.getvalue()
+
+    def test_roundtrip_with_detection_block(self, game_trace):
+        # build_subset attaches phase-detection provenance, so the
+        # written file carries the optional "detection" block — the
+        # strict reader must accept exactly what the writer produced.
+        subset = build_subset(game_trace)
+        assert subset.detection is not None
+        buffer = io.StringIO()
+        write_subset(subset, buffer)
+        back = read_subset(io.StringIO(buffer.getvalue()))
+        assert back.frame_positions == subset.frame_positions
+        assert back.frame_weights == subset.frame_weights
+        assert back.parent_name == subset.parent_name
+        assert back.parent_num_frames == subset.parent_num_frames
+        assert back.parent_num_draws == subset.parent_num_draws
+        assert back.subset_num_draws == subset.subset_num_draws
+        assert back.method == subset.method
+
+    def test_unknown_top_level_key_rejected(self, game_trace):
+        subset = build_subset(game_trace)
+        buffer = io.StringIO()
+        write_subset(subset, buffer)
+        record = json.loads(buffer.getvalue())
+        record["surprise"] = 1
+        with pytest.raises(SubsetError, match="unknown fields.*surprise"):
+            read_subset(io.StringIO(json.dumps(record)))
+
+    def test_unknown_detection_key_rejected(self, game_trace):
+        subset = build_subset(game_trace)
+        buffer = io.StringIO()
+        write_subset(subset, buffer)
+        record = json.loads(buffer.getvalue())
+        record["detection"]["surprise"] = 1
+        with pytest.raises(SubsetError, match="unknown detection fields"):
+            read_subset(io.StringIO(json.dumps(record)))
+
+    def test_missing_detection_key_rejected(self, game_trace):
+        subset = build_subset(game_trace)
+        buffer = io.StringIO()
+        write_subset(subset, buffer)
+        record = json.loads(buffer.getvalue())
+        del record["detection"]["num_phases"]
+        with pytest.raises(SubsetError, match="missing field 'detection"):
+            read_subset(io.StringIO(json.dumps(record)))
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(SubsetError, match="JSON object"):
+            read_subset(io.StringIO("[1, 2, 3]"))
 
     def test_bad_json_rejected(self):
         with pytest.raises(SubsetError, match="malformed"):

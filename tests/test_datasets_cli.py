@@ -143,6 +143,52 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_simulate_jobs_matches_serial(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--no-cache"]) == 0
+        serial = capsys.readouterr().out.splitlines()[0]
+        assert (
+            main(["simulate", str(trace_file), "--no-cache", "--jobs", "2"])
+            == 0
+        )
+        parallel = capsys.readouterr().out.splitlines()[0]
+        assert parallel == serial
+
+    def test_simulate_cache_dir_warm_rerun(self, trace_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["simulate", str(trace_file), "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "frames_simulated=8" in cold
+        assert cache_dir.exists()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "frames_simulated=0" in warm
+        assert warm.splitlines()[0] == cold.splitlines()[0]
+
+    def test_no_cache_writes_nothing(self, trace_file, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "untouched"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["simulate", str(trace_file), "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_subset_jobs_matches_serial(self, trace_file, capsys):
+        assert main(["subset", str(trace_file), "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["subset", str(trace_file), "--no-cache", "--jobs", "4"]) == 0
+        )
+        parallel = capsys.readouterr().out
+
+        def report_lines(text):
+            # Drop the telemetry line: wall-clock stage times differ.
+            return [l for l in text.splitlines() if not l.startswith("[runtime]")]
+
+        assert report_lines(parallel) == report_lines(serial)
+
+    def test_bad_jobs_is_clean_error(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--jobs", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_experiment_e4_small(self, capsys, monkeypatch):
         # Shrink the corpus so the CLI experiment path stays fast.
         monkeypatch.setattr(datasets, "CI_FRAMES_PER_GAME", 8)

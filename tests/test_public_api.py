@@ -27,6 +27,12 @@ PUBLIC_MODULES = [
     "repro.core.online",
     "repro.core.perfphase",
     "repro.core.subsetio",
+    "repro.runtime",
+    "repro.runtime.cache",
+    "repro.runtime.engine",
+    "repro.runtime.keys",
+    "repro.runtime.tasks",
+    "repro.runtime.telemetry",
     "repro.baselines",
     "repro.analysis",
     "repro.analysis.experiments",
