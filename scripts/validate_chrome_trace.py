@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Validate a --trace-out file against the Chrome trace-event shape.
+
+Usage::
+
+    python scripts/validate_chrome_trace.py TRACE.json [TRACE2.json ...]
+
+Exits non-zero (listing every problem) if any file would not load in
+Perfetto / ``chrome://tracing``.  CI runs this against the quickstart's
+``--trace-out`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: validate_chrome_trace.py TRACE.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for name in argv:
+        document = json.loads(Path(name).read_text())
+        problems = validate_chrome_trace(document)
+        if problems:
+            failed = True
+            print(f"{name}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+            continue
+        events = document["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        pids = {e["pid"] for e in complete}
+        print(
+            f"{name}: OK ({len(complete)} spans, "
+            f"{len(pids)} process(es), {len(events)} events)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

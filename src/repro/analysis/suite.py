@@ -113,12 +113,18 @@ def subset_suite(
         runtime = Runtime.serial()
     game_results: Dict[str, PipelineResult] = {}
     validations: Dict[str, SubsetValidation] = {}
-    for name, trace in traces.items():
-        result = pipeline.run(trace, config, runtime=runtime)
-        game_results[name] = result
-        validations[name] = validate_subset(
-            trace, result.subset, config, validation_clocks, runtime=runtime
-        )
+    with runtime.tracer.span("suite", category="suite", config=config.name):
+        for name, trace in traces.items():
+            with runtime.tracer.span("suite.game", category="suite", game=name):
+                result = pipeline.run(trace, config, runtime=runtime)
+                game_results[name] = result
+                validations[name] = validate_subset(
+                    trace,
+                    result.subset,
+                    config,
+                    validation_clocks,
+                    runtime=runtime,
+                )
     return SuiteResult(
         config_name=config.name,
         game_results=game_results,

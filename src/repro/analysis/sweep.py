@@ -95,13 +95,16 @@ def pathfinding_sweep(
         raise ValidationError(f"candidate names must be unique, got {names}")
     if runtime is None:
         runtime = Runtime.serial()
-    subset_trace = subset.materialize(trace)
-    parent_runs = runtime.simulate_frames_many(
-        trace, candidates, label="sweep.parent"
-    )
-    subset_runs = runtime.simulate_frames_many(
-        subset_trace, candidates, label="sweep.subset"
-    )
+    with runtime.tracer.span(
+        "sweep", category="sweep", trace=trace.name, candidates=len(candidates)
+    ):
+        subset_trace = subset.materialize(trace)
+        parent_runs = runtime.simulate_frames_many(
+            trace, candidates, label="sweep.parent"
+        )
+        subset_runs = runtime.simulate_frames_many(
+            subset_trace, candidates, label="sweep.subset"
+        )
     parent_times = [
         float(sum(out.time_ns for out in outputs)) for outputs in parent_runs
     ]

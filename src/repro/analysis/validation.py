@@ -97,70 +97,73 @@ def validate_subset(
         runtime = Runtime.serial()
     checks = []
 
-    correlation = subset_parent_correlation(
-        trace, subset, base_config, clocks_mhz, runtime=runtime
-    )
-    checks.append(
-        CheckResult(
-            name="frequency-scaling correlation",
-            measured=correlation.correlation,
-            threshold=CORRELATION_THRESHOLD,
-            passed=correlation.correlation >= CORRELATION_THRESHOLD,
-            detail=f"max gap {correlation.max_improvement_gap_points:.2f} pts",
+    with runtime.tracer.span("validate", category="validate", trace=trace.name):
+        correlation = subset_parent_correlation(
+            trace, subset, base_config, clocks_mhz, runtime=runtime
         )
-    )
+        checks.append(
+            CheckResult(
+                name="frequency-scaling correlation",
+                measured=correlation.correlation,
+                threshold=CORRELATION_THRESHOLD,
+                passed=correlation.correlation >= CORRELATION_THRESHOLD,
+                detail=f"max gap {correlation.max_improvement_gap_points:.2f} pts",
+            )
+        )
 
-    subset_trace = subset.materialize(trace)
-    transfer_configs = [GpuConfig.preset(preset) for preset in transfer_presets]
-    parent_runs = runtime.simulate_frames_many(
-        trace, transfer_configs, label="validate.parent"
-    )
-    subset_runs = runtime.simulate_frames_many(
-        subset_trace, transfer_configs, label="validate.subset"
-    )
-    worst_error = 0.0
-    worst_preset = ""
-    for preset, parent_outputs, subset_outputs in zip(
-        transfer_presets, parent_runs, subset_runs
-    ):
-        actual = float(sum(out.time_ns for out in parent_outputs))
-        estimate = subset.estimate_total_time_ns(
-            [out.time_ns for out in subset_outputs]
+        subset_trace = subset.materialize(trace)
+        transfer_configs = [
+            GpuConfig.preset(preset) for preset in transfer_presets
+        ]
+        parent_runs = runtime.simulate_frames_many(
+            trace, transfer_configs, label="validate.parent"
         )
-        error = abs(estimate - actual) / actual
-        if error > worst_error:
-            worst_error = error
-            worst_preset = preset
-    checks.append(
-        CheckResult(
-            name="cross-architecture transfer error",
-            measured=worst_error,
-            threshold=TRANSFER_ERROR_THRESHOLD,
-            passed=worst_error <= TRANSFER_ERROR_THRESHOLD,
-            detail=f"worst on {worst_preset}",
+        subset_runs = runtime.simulate_frames_many(
+            subset_trace, transfer_configs, label="validate.subset"
         )
-    )
+        worst_error = 0.0
+        worst_preset = ""
+        for preset, parent_outputs, subset_outputs in zip(
+            transfer_presets, parent_runs, subset_runs
+        ):
+            actual = float(sum(out.time_ns for out in parent_outputs))
+            estimate = subset.estimate_total_time_ns(
+                [out.time_ns for out in subset_outputs]
+            )
+            error = abs(estimate - actual) / actual
+            if error > worst_error:
+                worst_error = error
+                worst_preset = preset
+        checks.append(
+            CheckResult(
+                name="cross-architecture transfer error",
+                measured=worst_error,
+                threshold=TRANSFER_ERROR_THRESHOLD,
+                passed=worst_error <= TRANSFER_ERROR_THRESHOLD,
+                detail=f"worst on {worst_preset}",
+            )
+        )
 
-    sweep = pathfinding_sweep(
-        trace,
-        subset,
-        candidates if candidates is not None else default_candidates(),
-        runtime=runtime,
-    )
-    checks.append(
-        CheckResult(
-            name="candidate-ranking agreement",
-            measured=sweep.ranking_agreement,
-            threshold=RANKING_THRESHOLD,
-            passed=(
-                sweep.ranking_agreement >= RANKING_THRESHOLD
-                and sweep.winner_agrees()
-            ),
-            detail=(
-                "winner agrees" if sweep.winner_agrees() else "winner differs"
-            ),
+        sweep = pathfinding_sweep(
+            trace,
+            subset,
+            candidates if candidates is not None else default_candidates(),
+            runtime=runtime,
         )
-    )
+        checks.append(
+            CheckResult(
+                name="candidate-ranking agreement",
+                measured=sweep.ranking_agreement,
+                threshold=RANKING_THRESHOLD,
+                passed=(
+                    sweep.ranking_agreement >= RANKING_THRESHOLD
+                    and sweep.winner_agrees()
+                ),
+                detail=(
+                    "winner agrees" if sweep.winner_agrees() else "winner differs"
+                ),
+            )
+        )
 
     return SubsetValidation(
         trace_name=trace.name,

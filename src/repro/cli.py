@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro import datasets
@@ -25,7 +26,16 @@ from repro.core.subsetting import build_subset
 from repro.errors import ReproError
 from repro.gfx.traceio import load_trace_auto as load_trace
 from repro.gfx.traceio import save_trace_auto as save_trace
+from repro.obs import (
+    JsonLogger,
+    NullLogger,
+    RunManifest,
+    Tracer,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 from repro.runtime.engine import Runtime
+from repro.runtime.telemetry import Telemetry
 from repro.simgpu.config import GpuConfig
 from repro.synth.generator import generate_trace
 from repro.synth.profiles import BIOSHOCK_SERIES
@@ -58,15 +68,124 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the artifact cache entirely",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a hierarchical execution trace: Chrome trace-event JSON "
+            "(open in Perfetto or chrome://tracing), or span JSONL when "
+            "FILE ends in .jsonl"
+        ),
+    )
+    obs.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the final metrics snapshot (counters/gauges/histograms) as JSON",
+    )
+    obs.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a run manifest (config/trace digests, seeds, CLI args, "
+            "package version, host, final metrics) as JSON"
+        ),
+    )
+    obs.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines on stderr",
+    )
 
 
-def _runtime_from_args(args) -> Runtime:
+def _runtime_from_args(args, telemetry: Optional[Telemetry] = None) -> Runtime:
     if args.no_cache:
-        return Runtime(jobs=args.jobs)
+        return Runtime(jobs=args.jobs, telemetry=telemetry)
     from repro.runtime.cache import default_cache_dir
 
     cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
-    return Runtime(jobs=args.jobs, cache_dir=cache_dir)
+    return Runtime(jobs=args.jobs, cache_dir=cache_dir, telemetry=telemetry)
+
+
+class _ObsSession:
+    """Per-command observability bundle: runtime, root span, outputs.
+
+    Construct it where the command used to build its runtime, record the
+    run's seeds/configs/traces on it as they become known, and call
+    :meth:`finish` after the command's work — it closes the root span
+    and writes whichever of ``--trace-out`` / ``--metrics-out`` /
+    ``--manifest-out`` were requested.
+    """
+
+    def __init__(self, args, command: str) -> None:
+        self.args = args
+        self.command = command
+        self.logger = (
+            JsonLogger() if getattr(args, "log_json", False) else NullLogger()
+        )
+        tracer = Tracer() if getattr(args, "trace_out", None) else None
+        self.telemetry = Telemetry(tracer=tracer)
+        self.runtime = _runtime_from_args(args, telemetry=self.telemetry)
+        self.seeds: dict = {}
+        self.configs: dict = {}
+        self.traces: dict = {}
+        self._started = time.perf_counter()
+        self._root_span = self.telemetry.tracer.span(
+            f"cli:{command}", category="cli"
+        )
+        self._root_span.__enter__()
+        self.logger.log("run_start", command=command, argv=sys.argv[1:])
+
+    def finish(self) -> None:
+        self._root_span.__exit__(None, None, None)
+        duration_s = time.perf_counter() - self._started
+        args = self.args
+        runtime = self.runtime
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            spans = runtime.tracer.spans()
+            if str(trace_out).endswith(".jsonl"):
+                write_spans_jsonl(spans, trace_out)
+            else:
+                write_chrome_trace(spans, trace_out)
+            print(f"execution trace ({len(spans)} spans) written to {trace_out}")
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            import json
+
+            with open(metrics_out, "w", encoding="utf-8") as stream:
+                json.dump(runtime.metrics.snapshot().as_dict(), stream, indent=2)
+                stream.write("\n")
+            print(f"metrics written to {metrics_out}")
+        manifest_out = getattr(args, "manifest_out", None)
+        if manifest_out:
+            manifest = RunManifest.collect(
+                command=self.command,
+                argv=sys.argv[1:],
+                seeds=self.seeds,
+                configs=self.configs,
+                traces=self.traces,
+                jobs=runtime.jobs,
+                cache_dir=getattr(args, "cache_dir", None),
+                duration_s=duration_s,
+                metrics=runtime.metrics.snapshot(),
+            )
+            manifest.write(manifest_out)
+            print(f"run manifest written to {manifest_out}")
+        snapshot = runtime.snapshot()
+        self.logger.log(
+            "run_end",
+            command=self.command,
+            duration_s=round(duration_s, 6),
+            tasks_run=snapshot.counter("tasks_run"),
+            frames_simulated=snapshot.counter("frames_simulated"),
+            cache_hits=snapshot.counter("cache_hits"),
+            cache_misses=snapshot.counter("cache_misses"),
+            stage_time_s=round(snapshot.stage_time_s, 6),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,13 +320,17 @@ def _cmd_info(args) -> int:
 def _cmd_simulate(args) -> int:
     trace = load_trace(args.trace)
     config = GpuConfig.preset(args.preset)
-    runtime = _runtime_from_args(args)
+    session = _ObsSession(args, "simulate")
+    session.configs[config.name] = config
+    session.traces[trace.name] = trace
+    runtime = session.runtime
     result = runtime.simulate_trace(trace, config)
     print(
         f"{trace.name} on {config.name}: total {result.total_time_ms:.2f} ms, "
         f"mean {result.mean_fps:.1f} fps over {trace.num_frames} frames"
     )
     print(runtime.snapshot().summary_line())
+    session.finish()
     return 0
 
 
@@ -219,7 +342,11 @@ def _cmd_subset(args) -> int:
         interval_length=args.interval_length,
         phase_tolerance=args.tolerance,
     )
-    result = pipeline.run(trace, config, runtime=_runtime_from_args(args))
+    session = _ObsSession(args, "subset")
+    session.configs[config.name] = config
+    session.traces[trace.name] = trace
+    session.seeds["pipeline"] = pipeline.seed
+    result = pipeline.run(trace, config, runtime=session.runtime)
     print(result.report())
     if args.save_subset:
         subset_trace = result.subset.materialize(trace)
@@ -230,6 +357,7 @@ def _cmd_subset(args) -> int:
 
         save_subset_def(result.subset, args.save_def)
         print(f"subset definition written to {args.save_def}")
+    session.finish()
     return 0
 
 
@@ -240,7 +368,10 @@ def _cmd_estimate(args) -> int:
     subset = load_subset(args.subset)
     check_subset_against(subset, trace)
     config = GpuConfig.preset(args.preset)
-    runtime = _runtime_from_args(args)
+    session = _ObsSession(args, "estimate")
+    session.configs[config.name] = config
+    session.traces[trace.name] = trace
+    runtime = session.runtime
     subset_trace = subset.materialize(trace)
     estimate_ns = subset.estimate_total_time_ns(
         [
@@ -259,6 +390,7 @@ def _cmd_estimate(args) -> int:
         "frames simulated)"
     )
     print(runtime.snapshot().summary_line())
+    session.finish()
     return 0
 
 
@@ -279,10 +411,14 @@ def _cmd_validate(args) -> int:
     subset = load_subset(args.subset)
     check_subset_against(subset, trace)
     config = GpuConfig.preset(args.preset)
-    runtime = _runtime_from_args(args)
+    session = _ObsSession(args, "validate")
+    session.configs[config.name] = config
+    session.traces[trace.name] = trace
+    runtime = session.runtime
     validation = validate_subset(trace, subset, config, runtime=runtime)
     print(validation.report())
     print(runtime.snapshot().summary_line())
+    session.finish()
     return 0 if validation.passed else 2
 
 
@@ -291,7 +427,9 @@ def _cmd_sweep(args) -> int:
 
     trace = load_trace(args.trace)
     subset = build_subset(trace)
-    runtime = _runtime_from_args(args)
+    session = _ObsSession(args, "sweep")
+    session.traces[trace.name] = trace
+    runtime = session.runtime
     result = pathfinding_sweep(trace, subset, runtime=runtime)
     rows = [
         [name, parent / 1e6, estimate / 1e6]
@@ -311,15 +449,20 @@ def _cmd_sweep(args) -> int:
     print(f"ranking agreement (spearman): {result.ranking_agreement:.4f}")
     print(f"winner agrees: {result.winner_agrees()}")
     print(runtime.snapshot().summary_line())
+    session.finish()
     return 0
 
 
 def _cmd_experiment(args) -> int:
     config = GpuConfig.preset("mainstream")
     experiment_id = args.id
-    runtime = _runtime_from_args(args)
+    session = _ObsSession(args, f"experiment:{experiment_id}")
+    session.configs[config.name] = config
+    session.seeds["corpus"] = args.seed
+    runtime = session.runtime
     if experiment_id in ("e1", "e2", "e4", "e6", "e9", "e10"):
         traces = _corpus(args)
+        session.traces.update(traces)
         runner = {
             "e1": lambda: experiments.e1_clustering_accuracy(
                 traces, config, runtime=runtime
@@ -336,9 +479,11 @@ def _cmd_experiment(args) -> int:
         }[experiment_id]
         print(runner().render())
         print(runtime.snapshot().summary_line())
+        session.finish()
         return 0
     if experiment_id == "e5":
         print(experiments.e5_subset_size("bioshock1_like", config).render())
+        session.finish()
         return 0
     # single-game experiments
     scale = 1.0 if args.full_scale else datasets.CI_SCALE
@@ -350,12 +495,14 @@ def _cmd_experiment(args) -> int:
     trace = datasets.load(
         "bioshock2_like", frames=frames, seed=args.seed, scale=scale
     )
+    session.traces[trace.name] = trace
     runner = {
         "e3": lambda: experiments.e3_error_efficiency_tradeoff(trace, config),
         "e7": lambda: experiments.e7_ablations(trace, config),
         "e8": lambda: experiments.e8_baselines(trace, config),
     }[experiment_id]
     print(runner().render())
+    session.finish()
     return 0
 
 

@@ -234,59 +234,70 @@ class SubsettingPipeline:
         """
         if runtime is None:
             runtime = Runtime.serial()
-        ground = runtime.simulate_frames(trace, config, label="ground_truth")
-        clusterings = self.cluster_all_frames(trace, runtime=runtime)
-
-        rep_trace = self.representative_trace(trace, clusterings)
-        rep_outputs = runtime.simulate_frames(
-            rep_trace, config, label="representatives"
-        )
-
-        predictions: List[FramePrediction] = []
-        outlier_rates: List[float] = []
-        for frame, clustering, truth, rep_out in zip(
-            trace.frames, clusterings, ground, rep_outputs
+        with runtime.tracer.span(
+            "pipeline", category="pipeline", trace=trace.name, config=config.name
         ):
-            order = np.sort(clustering.representatives)
-            position_of = {int(draw_i): pos for pos, draw_i in enumerate(order)}
-            isolated_times = [
-                float(rep_out.draw_times_ns[position_of[int(rep)]])
-                for rep in clustering.representatives
-            ]
-            isolated = predict_time_ns(isolated_times, clustering.weights)
-            in_context_times = rep_times_from_draw_times(
-                clustering, truth.draw_times_ns
+            ground = runtime.simulate_frames(trace, config, label="ground_truth")
+            clusterings = self.cluster_all_frames(trace, runtime=runtime)
+
+            rep_trace = self.representative_trace(trace, clusterings)
+            rep_outputs = runtime.simulate_frames(
+                rep_trace, config, label="representatives"
             )
-            predicted = predict_time_ns(in_context_times, clustering.weights)
-            predictions.append(
-                FramePrediction(
-                    frame_index=frame.index,
-                    actual_time_ns=truth.time_ns,
-                    predicted_time_ns=predicted,
-                    num_draws=clustering.num_draws,
-                    num_clusters=clustering.num_clusters,
-                    isolated_time_ns=isolated,
+
+            predictions: List[FramePrediction] = []
+            outlier_rates: List[float] = []
+            with runtime.telemetry.timer("predict"):
+                for frame, clustering, truth, rep_out in zip(
+                    trace.frames, clusterings, ground, rep_outputs
+                ):
+                    order = np.sort(clustering.representatives)
+                    position_of = {
+                        int(draw_i): pos for pos, draw_i in enumerate(order)
+                    }
+                    isolated_times = [
+                        float(rep_out.draw_times_ns[position_of[int(rep)]])
+                        for rep in clustering.representatives
+                    ]
+                    isolated = predict_time_ns(isolated_times, clustering.weights)
+                    in_context_times = rep_times_from_draw_times(
+                        clustering, truth.draw_times_ns
+                    )
+                    predicted = predict_time_ns(
+                        in_context_times, clustering.weights
+                    )
+                    predictions.append(
+                        FramePrediction(
+                            frame_index=frame.index,
+                            actual_time_ns=truth.time_ns,
+                            predicted_time_ns=predicted,
+                            num_draws=clustering.num_draws,
+                            num_clusters=clustering.num_clusters,
+                            isolated_time_ns=isolated,
+                        )
+                    )
+                    outlier_rates.append(
+                        cluster_quality(
+                            clustering, truth.draw_times_ns
+                        ).outlier_rate
+                    )
+
+            with runtime.telemetry.timer("phase_detect"):
+                detection = detect_phases(
+                    trace,
+                    interval_length=self.interval_length,
+                    mode=self.phase_mode,
+                    tolerance=self.phase_tolerance,
                 )
-            )
-            outlier_rates.append(
-                cluster_quality(clustering, truth.draw_times_ns).outlier_rate
-            )
+                subset = build_subset(trace, detection)
+            frame_times = [ground[p].time_ns for p in subset.frame_positions]
+            subset_estimate = subset.estimate_total_time_ns(frame_times)
+            actual_total = float(sum(out.time_ns for out in ground))
 
-        detection = detect_phases(
-            trace,
-            interval_length=self.interval_length,
-            mode=self.phase_mode,
-            tolerance=self.phase_tolerance,
-        )
-        subset = build_subset(trace, detection)
-        frame_times = [ground[p].time_ns for p in subset.frame_positions]
-        subset_estimate = subset.estimate_total_time_ns(frame_times)
-        actual_total = float(sum(out.time_ns for out in ground))
-
-        kept_clusters = sum(
-            clusterings[p].num_clusters for p in subset.frame_positions
-        )
-        combined_fraction = kept_clusters / trace.num_draws
+            kept_clusters = sum(
+                clusterings[p].num_clusters for p in subset.frame_positions
+            )
+            combined_fraction = kept_clusters / trace.num_draws
 
         return PipelineResult(
             trace_name=trace.name,

@@ -1,0 +1,72 @@
+"""repro.obs — observability for the pipeline, runtime, and simulator.
+
+Pathfinding at scale fans thousands of frame simulations over a process
+pool; this subsystem makes those runs explainable:
+
+- :mod:`repro.obs.spans` — hierarchical span tracing
+  (pipeline -> stage -> task -> frame), with worker-recorded spans
+  merged back into the parent's timeline;
+- :mod:`repro.obs.metrics` — labeled counters, gauges, and fixed-bucket
+  histograms (``frames_simulated{phase=...}``, per-worker task wall
+  time, cache lookup latency, cluster sizes);
+- :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) and span JSONL;
+- :mod:`repro.obs.manifest` — ``run.json`` reproducibility manifests
+  (config/trace digests, seeds, CLI args, package version, host);
+- :mod:`repro.obs.context` — ambient (tracer, metrics) propagation so
+  deep call sites (simgpu kernels, task functions) need no plumbing;
+- :mod:`repro.obs.logjson` — structured JSON-lines logging for the CLI.
+
+The disabled path is the default and costs essentially nothing: the
+:data:`~repro.obs.spans.NULL_TRACER` turns every span into a shared
+no-op context manager.  ``repro.runtime.telemetry.Telemetry`` remains as
+a back-compat shim over :class:`~repro.obs.metrics.Metrics`.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric naming
+conventions, and how to open a trace in Perfetto.
+"""
+
+from repro.obs.context import ObsContext, activate_obs, current_obs, current_tracer
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.logjson import JsonLogger, NullLogger
+from repro.obs.manifest import MANIFEST_VERSION, RunManifest, load_manifest
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramSnapshot,
+    Metrics,
+    MetricsSnapshot,
+    label_key,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramSnapshot",
+    "JsonLogger",
+    "MANIFEST_VERSION",
+    "Metrics",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullLogger",
+    "NullTracer",
+    "ObsContext",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "activate_obs",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "current_obs",
+    "current_tracer",
+    "label_key",
+    "load_manifest",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,142 @@
+"""Span export: Chrome trace-event JSON and span JSONL.
+
+``write_chrome_trace`` emits the *JSON Object Format* of the Chrome
+trace-event specification — a ``traceEvents`` array of ``"ph": "X"``
+(complete) events plus ``"M"`` (metadata) process/thread names — which
+loads directly in Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  ``write_spans_jsonl`` emits one span per line
+with explicit ``span_id``/``parent_id``, for programmatic analysis.
+
+``validate_chrome_trace`` checks an emitted document against the shape
+Perfetto requires; CI smoke-runs the quickstart with ``--trace-out`` and
+fails on any reported problem.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.spans import Span
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars and other exotica to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Spans as a list of Chrome trace-event dicts (metadata + ``X``)."""
+    events: List[Dict[str, Any]] = []
+    seen_pids: set = set()
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids.add(span.pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": f"repro pid {span.pid}"},
+                }
+            )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                # Chrome timestamps are microseconds (float OK).
+                "ts": span.start_ns / 1000.0,
+                "dur": max(span.duration_ns, 1) / 1000.0,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": _json_safe(
+                    {
+                        **span.args,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                    }
+                ),
+            }
+        )
+    return events
+
+
+def chrome_trace_document(spans: Sequence[Span]) -> Dict[str, Any]:
+    """The full JSON-object-format document for a span set."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(spans: Sequence[Span], path: Union[str, Path]) -> None:
+    """Write spans as Chrome trace-event JSON (open in Perfetto)."""
+    document = chrome_trace_document(spans)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream)
+        stream.write("\n")
+
+
+def write_spans_jsonl(spans: Sequence[Span], path: Union[str, Path]) -> None:
+    """Write one JSON object per span (ids and parent ids explicit)."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for span in spans:
+            stream.write(json.dumps(_json_safe(span.to_dict())))
+            stream.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Problems that would break loading ``document`` in Perfetto.
+
+    Returns an empty list when the document is a valid JSON-object-format
+    trace: a dict with a ``traceEvents`` list whose events all carry a
+    phase, and whose ``X`` events have a name, numeric non-negative
+    ``ts``/``dur``, and integer ``pid``/``tid``.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must contain a 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph' phase")
+            continue
+        if phase != "X":
+            continue
+        if not event.get("name"):
+            problems.append(f"{where}: X event missing 'name'")
+        for field_name in ("ts", "dur"):
+            value = event.get(field_name)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"{where}: X event field {field_name!r} must be a "
+                    f"non-negative number, got {value!r}"
+                )
+        for field_name in ("pid", "tid"):
+            if not isinstance(event.get(field_name), int):
+                problems.append(
+                    f"{where}: X event field {field_name!r} must be an int"
+                )
+    return problems

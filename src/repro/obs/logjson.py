@@ -1,0 +1,38 @@
+"""Structured JSON-lines logging for CLI runs.
+
+``--log-json`` turns the CLI's lifecycle events into machine-readable
+lines on stderr (stdout keeps the human tables), one JSON object per
+event::
+
+    {"ts": 1754500000.123456, "event": "run_start", "command": "subset", ...}
+
+Keep fields JSON-safe; anything else is stringified rather than raised —
+a log line must never take the run down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, IO, Optional
+
+
+class JsonLogger:
+    """Writes one JSON object per event to a text stream (default stderr)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def log(self, event: str, **fields: Any) -> None:
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        self._stream.write(json.dumps(record, sort_keys=True, default=str))
+        self._stream.write("\n")
+        self._stream.flush()
+
+
+class NullLogger:
+    """Disabled logging: accepts any event, writes nothing."""
+
+    def log(self, event: str, **fields: Any) -> None:
+        return None

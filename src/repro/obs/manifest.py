@@ -1,0 +1,134 @@
+"""Run manifests: the reproducibility record of one run.
+
+A manifest (``run.json``) pins everything needed to reproduce or audit a
+pipeline/suite/sweep run: the command and CLI arguments, every seed, the
+content digests of the GPU configs and traces involved (the same SHA-256
+digests the artifact cache keys on), the package version, the host's
+CPU count, and a final metric snapshot.  Two runs with equal config
+digests and seeds compute identical results; the manifest makes that
+checkable months later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+#: Bump when the manifest layout changes meaning.
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything ``run.json`` records about one run."""
+
+    command: str
+    argv: Sequence[str]
+    created_unix: float
+    duration_s: Optional[float]
+    package_version: str
+    python_version: str
+    platform: str
+    host_cpu_count: Optional[int]
+    jobs: Optional[int]
+    cache_dir: Optional[str]
+    seeds: Mapping[str, int] = field(default_factory=dict)
+    config_digests: Mapping[str, str] = field(default_factory=dict)
+    trace_digests: Mapping[str, str] = field(default_factory=dict)
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        argv: Optional[Sequence[str]] = None,
+        *,
+        seeds: Optional[Mapping[str, int]] = None,
+        configs: Optional[Mapping[str, Any]] = None,
+        traces: Optional[Mapping[str, Any]] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        duration_s: Optional[float] = None,
+        metrics: Optional[Any] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> "RunManifest":
+        """Build a manifest from live objects.
+
+        ``configs`` maps names to :class:`~repro.simgpu.config.GpuConfig`
+        objects and ``traces`` to :class:`~repro.gfx.trace.Trace`
+        objects; both are reduced to the content digests the artifact
+        cache uses, so a manifest digest matching a cache key's digest
+        is the same computation.  ``metrics`` accepts a
+        :class:`~repro.obs.metrics.MetricsSnapshot` (or its dict form).
+        """
+        # Imported lazily: keys pulls in the gfx/simgpu serialization
+        # stack, which manifest-free users of repro.obs never need.
+        from repro import __version__
+        from repro.runtime.keys import config_digest, trace_digest
+
+        metrics_dict: Mapping[str, Any] = {}
+        if metrics is not None:
+            metrics_dict = (
+                metrics.as_dict() if hasattr(metrics, "as_dict") else dict(metrics)
+            )
+        return cls(
+            command=command,
+            argv=tuple(str(a) for a in (argv if argv is not None else [])),
+            created_unix=time.time(),
+            duration_s=duration_s,
+            package_version=__version__,
+            python_version=sys.version.split()[0],
+            platform=platform.platform(),
+            host_cpu_count=os.cpu_count(),
+            jobs=jobs,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            seeds=dict(seeds or {}),
+            config_digests={
+                name: config_digest(config)
+                for name, config in (configs or {}).items()
+            },
+            trace_digests={
+                name: trace_digest(trace)
+                for name, trace in (traces or {}).items()
+            },
+            metrics=metrics_dict,
+            extra=dict(extra or {}),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "command": self.command,
+            "argv": list(self.argv),
+            "created_unix": self.created_unix,
+            "duration_s": self.duration_s,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "host_cpu_count": self.host_cpu_count,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "seeds": dict(self.seeds),
+            "config_digests": dict(self.config_digests),
+            "trace_digests": dict(self.trace_digests),
+            "metrics": dict(self.metrics),
+            "extra": dict(self.extra),
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a manifest back as a plain dict (no object round-trip)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)

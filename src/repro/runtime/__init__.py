@@ -14,12 +14,15 @@ library runs on:
   skip completed work;
 - :class:`~repro.runtime.telemetry.Telemetry` — counters and stage
   timers (tasks run, cache hits/misses, frames simulated) surfaced in
-  pipeline and suite reports;
+  pipeline and suite reports; now a back-compat shim over the
+  :mod:`repro.obs` metrics registry and span tracer, so labeled metrics
+  and hierarchical traces come from the same object;
 - :class:`~repro.runtime.engine.Runtime` — the facade the pipeline,
   suite, sweep, and CLI layers accept as ``runtime=``.
 
 See ``docs/RUNTIME.md`` for the architecture, the cache-key recipe, and
-the invalidation rules.
+the invalidation rules, and ``docs/OBSERVABILITY.md`` for the span
+model and metric naming conventions.
 """
 
 from repro.runtime.cache import (

@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -127,8 +128,19 @@ class ArtifactCache:
         """The cached value for ``key``, or :data:`CACHE_MISS`.
 
         A corrupted entry (truncated pickle, mangled npz) is deleted and
-        reported as a miss — recomputation heals the cache.
+        reported as a miss — recomputation heals the cache.  Lookup
+        latency lands in the ``cache_lookup_s`` histogram.
         """
+        start = time.perf_counter()
+        try:
+            return self._get(key)
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.observe(
+                    "cache_lookup_s", time.perf_counter() - start
+                )
+
+    def _get(self, key: str) -> Any:
         paths = self._paths(key)
         npz_path = paths["npz"]
         if npz_path.exists():

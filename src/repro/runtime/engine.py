@@ -8,6 +8,15 @@ once per task; per-task child seeds come from
 :func:`repro.util.rng.spawn_worker_seed`, so results never depend on
 worker count or completion order.
 
+Observability rides the same rails: each task runs under an ambient
+:class:`~repro.obs.context.ObsContext` and inside a ``task:<kind>``
+span.  Inline tasks record straight into the parent's tracer/metrics;
+pool tasks record into a worker-local pair — rooted at the span id the
+parent captured at submit time — and ship spans, timers, and metric
+dumps back inside the :class:`~repro.runtime.tasks.TaskResult`, where
+:meth:`TaskEngine._finish` folds them in (the counter-merge pattern,
+generalized).
+
 :class:`Runtime` bundles an engine, a content-addressed
 :class:`~repro.runtime.cache.ArtifactCache`, and a
 :class:`~repro.runtime.telemetry.Telemetry` into the object the
@@ -16,13 +25,18 @@ pipeline, suite, sweep, and CLI layers thread through.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.context import ObsContext, activate_obs
+from repro.obs.metrics import Metrics
+from repro.obs.spans import NULL_TRACER, Tracer
 from repro.runtime.cache import CACHE_MISS, ArtifactCache, NullCache
 from repro.runtime.keys import task_key
 from repro.runtime.tasks import Task, TaskResult, resolve_task_function
@@ -61,8 +75,24 @@ def _execute_in_worker(blob: bytes) -> TaskResult:
     # submit so an unpicklable payload raises there, synchronously, instead
     # of poisoning the executor's feeder thread (which deadlocks
     # ``shutdown(wait=True)`` on CPython 3.11).
-    kind, payload, dep_values, seed = pickle.loads(blob)
-    return _run_task(_WORKER_CONTEXT, kind, payload, dep_values, seed)
+    kind, payload, dep_values, seed, task_id, parent_span_id, trace_on = (
+        pickle.loads(blob)
+    )
+    tracer = Tracer(root_parent_id=parent_span_id) if trace_on else NULL_TRACER
+    metrics = Metrics()
+    start = time.perf_counter()
+    with activate_obs(ObsContext(tracer=tracer, metrics=metrics)):
+        with tracer.span(f"task:{kind}", category="task", task_id=task_id):
+            result = _run_task(_WORKER_CONTEXT, kind, payload, dep_values, seed)
+    elapsed = time.perf_counter() - start
+    metrics.observe("task_wall_s", elapsed, worker=str(os.getpid()))
+    return TaskResult(
+        value=result.value,
+        counters=result.counters,
+        timers={**result.timers, f"worker.{kind}": elapsed},
+        metrics=metrics.dump(),
+        spans=tuple(tracer.drain()),
+    )
 
 
 def _topological_order(tasks: Sequence[Task]) -> List[Task]:
@@ -104,7 +134,8 @@ class TaskEngine:
 
     ``jobs=1`` runs every task inline in topological submission order —
     no subprocesses, no pickling — and is the reference behavior the
-    parallel path must reproduce exactly.
+    parallel path must reproduce exactly (results, counters, and span
+    counts alike).
     """
 
     def __init__(
@@ -155,6 +186,12 @@ class TaskEngine:
         self.telemetry.count("tasks_run")
         if result.counters:
             self.telemetry.merge_counters(result.counters)
+        if result.timers:
+            self.telemetry.merge_timers(result.timers)
+        if result.metrics:
+            self.telemetry.metrics.merge(result.metrics)
+        if result.spans:
+            self.telemetry.tracer.merge(result.spans)
         if task.cache_key is not None:
             self.cache.put(task.cache_key, result.value)
 
@@ -164,16 +201,26 @@ class TaskEngine:
     def _run_serial(
         self, pending: List[Task], context: Any, results: Dict[str, Any]
     ) -> None:
-        for task in pending:
-            try:
-                result = _run_task(
-                    context, task.kind, task.payload,
-                    self._dep_values(task, results), task.seed,
-                )
-            except Exception:
-                self.telemetry.count("tasks_failed")
-                raise
-            self._finish(task, result, results)
+        telemetry = self.telemetry
+        obs = ObsContext(tracer=telemetry.tracer, metrics=telemetry.metrics)
+        with activate_obs(obs):
+            for task in pending:
+                start = time.perf_counter()
+                try:
+                    with telemetry.tracer.span(
+                        f"task:{task.kind}", category="task", task_id=task.task_id
+                    ):
+                        result = _run_task(
+                            context, task.kind, task.payload,
+                            self._dep_values(task, results), task.seed,
+                        )
+                except Exception:
+                    telemetry.count("tasks_failed")
+                    raise
+                elapsed = time.perf_counter() - start
+                telemetry.observe("task_wall_s", elapsed, worker="main")
+                telemetry.merge_timers({f"worker.{task.kind}": elapsed})
+                self._finish(task, result, results)
 
     def _run_pool(
         self, pending: List[Task], context: Any, results: Dict[str, Any]
@@ -193,12 +240,14 @@ class TaskEngine:
             initargs=(context,),
         )
         futures: Dict[Any, Task] = {}
+        tracer = self.telemetry.tracer
 
         def submit(task: Task) -> None:
             try:
                 blob = pickle.dumps(
                     (task.kind, task.payload,
-                     self._dep_values(task, results), task.seed)
+                     self._dep_values(task, results), task.seed,
+                     task.task_id, tracer.current_span_id(), tracer.enabled)
                 )
             except Exception as exc:
                 raise ConfigError(
@@ -250,6 +299,10 @@ class Runtime:
     process-pool parallelism; ``cache_dir=...`` (or a prebuilt ``cache``)
     adds the content-addressed artifact store, so repeated experiments
     and interrupted sweeps skip every already-computed simulation.
+
+    ``tracer=Tracer()`` (or a prebuilt ``telemetry`` bound to one)
+    enables hierarchical span tracing; the default
+    :data:`~repro.obs.spans.NULL_TRACER` makes every span a no-op.
     """
 
     def __init__(
@@ -258,16 +311,23 @@ class Runtime:
         cache: Optional[Any] = None,
         cache_dir: Optional[Any] = None,
         telemetry: Optional[Telemetry] = None,
+        tracer: Optional[object] = None,
         seed: int = 0,
         chunks_per_job: int = 2,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ConfigError("pass either cache or cache_dir, not both")
+        if telemetry is not None and tracer is not None:
+            raise ConfigError(
+                "pass either telemetry (bound to a tracer) or tracer, not both"
+            )
         if not isinstance(chunks_per_job, int) or chunks_per_job < 1:
             raise ConfigError(
                 f"chunks_per_job must be an int >= 1, got {chunks_per_job!r}"
             )
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if telemetry is None:
+            telemetry = Telemetry(tracer=tracer)
+        self.telemetry = telemetry
         if cache is None:
             cache = (
                 ArtifactCache(cache_dir, telemetry=self.telemetry)
@@ -284,6 +344,16 @@ class Runtime:
     @property
     def jobs(self) -> int:
         return self.engine.jobs
+
+    @property
+    def tracer(self):
+        """The span tracer observability layers record into."""
+        return self.telemetry.tracer
+
+    @property
+    def metrics(self) -> Metrics:
+        """The labeled metrics registry behind the telemetry shim."""
+        return self.telemetry.metrics
 
     @classmethod
     def serial(cls) -> "Runtime":
@@ -308,7 +378,8 @@ class Runtime:
         from the cache are simulated together in one task graph so each
         chunk computes the order-dependent context arrays once per
         distinct context signature (the DVFS-sweep sharing the serial
-        batch path has always had).
+        batch path has always had).  ``label`` names the stage timer,
+        the trace span, and the ``frames_simulated{phase=...}`` label.
         """
         configs = list(configs)
         if not configs:
@@ -334,7 +405,7 @@ class Runtime:
                 Task(
                     task_id=f"{label}:{start}:{stop}",
                     kind="simulate_frame_range",
-                    payload=(need_configs, start, stop),
+                    payload=(need_configs, start, stop, label),
                     seed=spawn_worker_seed(
                         self.seed, "simulate_frame_range", start, stop
                     ),

@@ -33,7 +33,8 @@ from repro.simgpu.config import GpuConfig
 #: Bump on any change to the simulator, feature extractor, task payloads,
 #: or on-disk artifact encoding.  Old entries become unreachable (never
 #: silently reused) because the version participates in every key.
-CACHE_FORMAT_VERSION = 1
+#: v2: BatchFrameOutput grew the optional ``stage_cycles`` field.
+CACHE_FORMAT_VERSION = 2
 
 # Digests are memoized per live Trace object: traces are immutable, and
 # paper-scale serialization is the expensive part of key construction.

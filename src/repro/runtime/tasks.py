@@ -8,6 +8,12 @@ they receive the run's shared ``context`` (shipped once per worker, not
 once per task — the trace is the heavy part), their payload, and the
 results of their dependencies, and return a :class:`TaskResult` whose
 counters the engine folds into telemetry in the parent process.
+
+Task bodies also run under an ambient :class:`repro.obs.ObsContext`:
+labeled metrics and nested spans they record land in the parent's
+registry directly when executing inline, or in a worker-local registry
+that ships back inside the :class:`TaskResult` (``timers``, ``metrics``,
+``spans``) when executing in a pool worker.
 """
 
 from __future__ import annotations
@@ -16,14 +22,27 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.context import current_obs
 
 
 @dataclass(frozen=True)
 class TaskResult:
-    """A task function's return value plus its telemetry counters."""
+    """A task function's return value plus its observability payload.
+
+    ``counters`` is the legacy unlabeled counter report; ``timers``
+    carries worker-side stage timers (merged via
+    :meth:`~repro.runtime.telemetry.Telemetry.merge_timers`),
+    ``metrics`` a worker registry dump (labeled counters/histograms),
+    and ``spans`` the spans recorded inside the worker.  Task functions
+    only ever fill ``value`` and ``counters``; the engine's worker
+    wrapper attaches the rest.
+    """
 
     value: Any
     counters: Mapping[str, int] = field(default_factory=dict)
+    timers: Mapping[str, float] = field(default_factory=dict)
+    metrics: Optional[Mapping[str, Any]] = None
+    spans: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -108,29 +127,46 @@ def _simulate_frame_range(
     arrays (texture warmth, switch penalties) are computed once per
     distinct context signature — the same sharing
     :class:`repro.simgpu.batch.TracePrecomp` gives a serial DVFS sweep.
+
+    ``payload`` optionally carries the phase label (the runtime's stage
+    name, e.g. ``ground_truth``); simulated-frame counts are recorded as
+    ``frames_simulated{phase=...}`` on the ambient metrics registry.
     """
     from repro.simgpu.batch import simulate_frame_range_multi
 
     trace = context
-    configs, start, stop = payload
+    configs, start, stop, phase = payload
     per_config = simulate_frame_range_multi(trace, configs, start, stop)
-    counters = {"frames_simulated": (stop - start) * len(configs)}
-    return TaskResult(tuple(tuple(outputs) for outputs in per_config), counters)
+    current_obs().metrics.inc(
+        "frames_simulated", (stop - start) * len(configs), phase=phase
+    )
+    return TaskResult(tuple(tuple(outputs) for outputs in per_config))
 
 
 @task_function("cluster_frame_range")
 def _cluster_frame_range(
     context: Any, payload: Any, deps: Dict[str, Any]
 ) -> TaskResult:
-    """Cluster frames ``[start, stop)`` of the context trace."""
+    """Cluster frames ``[start, stop)`` of the context trace.
+
+    Records the cluster-count and cluster-size distributions
+    (``frame_cluster_count``, ``cluster_size`` histograms) on the
+    ambient metrics registry.
+    """
     from repro.core.cluster_frame import cluster_frame
     from repro.core.features import FeatureExtractor
 
     trace = context
     params, start, stop = payload
     extractor = FeatureExtractor(trace)
-    clusterings = tuple(
-        cluster_frame(extractor.frame_matrix(trace.frames[i]), **dict(params))
-        for i in range(start, stop)
-    )
-    return TaskResult(clusterings, {"frames_clustered": stop - start})
+    metrics = current_obs().metrics
+    clusterings = []
+    for i in range(start, stop):
+        clustering = cluster_frame(
+            extractor.frame_matrix(trace.frames[i]), **dict(params)
+        )
+        metrics.observe("frame_cluster_count", clustering.num_clusters)
+        for weight in clustering.weights:
+            metrics.observe("cluster_size", float(weight))
+        clusterings.append(clustering)
+    return TaskResult(tuple(clusterings), {"frames_clustered": stop - start})

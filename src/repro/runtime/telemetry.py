@@ -1,12 +1,20 @@
-"""Runtime instrumentation: counters and stage timers.
+"""Runtime instrumentation — back-compat shim over :mod:`repro.obs`.
 
-Every runtime component (engine, cache, task functions) reports into one
-:class:`Telemetry` object, so a pipeline or suite run can answer the
-questions that matter at pathfinding scale: how many tasks actually ran,
-how many frame simulations the cache avoided, and where the wall time
-went.  Task functions execute in worker processes, so they return their
-counters with their results and the engine merges them here — a worker
-incrementing a counter locally would be invisible to the parent.
+Historically this module owned the runtime's counters and stage timers.
+The implementation now lives in the observability subsystem: counters
+land in a labeled :class:`~repro.obs.metrics.Metrics` registry and stage
+timers double as hierarchical spans on the bound tracer.  The
+:class:`Telemetry` API is preserved verbatim (``count`` / ``timer`` /
+``merge_counters`` / ``snapshot`` / ``report``) so every existing caller
+keeps working; new code should use ``telemetry.metrics`` and
+``telemetry.tracer`` (or :mod:`repro.obs` directly) for labels, spans,
+and histograms.
+
+Timer semantics, made honest: ``timers_s`` accumulates *every* stage
+(including nested stages and merged worker-side timers), while
+``top_timers_s`` accumulates only stages entered at nesting depth zero.
+``summary_line`` reports the top-level total, so nesting never
+double-counts wall time.
 """
 
 from __future__ import annotations
@@ -15,21 +23,41 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, Mapping, Optional
 
+from repro.obs.metrics import Metrics
+from repro.obs.spans import NULL_TRACER
 from repro.util.tables import format_table
 
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
-    """An immutable copy of the counters and timers at one moment."""
+    """An immutable copy of the counters and timers at one moment.
+
+    ``counters`` aggregates each metric over its label sets (so a
+    counter incremented with labels still reads back by name).
+    ``timers_s`` holds every stage ever timed, nested or not;
+    ``top_timers_s`` holds only top-level stages and is what wall-time
+    summaries must use.
+    """
 
     counters: Mapping[str, int] = field(default_factory=dict)
     timers_s: Mapping[str, float] = field(default_factory=dict)
+    top_timers_s: Optional[Mapping[str, float]] = None
 
     def counter(self, name: str) -> int:
         """A counter's value, 0 when never incremented."""
         return int(self.counters.get(name, 0))
+
+    @property
+    def stage_time_s(self) -> float:
+        """Top-level stage wall time (nested stages excluded).
+
+        Falls back to summing ``timers_s`` only when the snapshot was
+        built without top-level tracking (hand-constructed snapshots).
+        """
+        timers = self.top_timers_s if self.top_timers_s is not None else self.timers_s
+        return float(sum(timers.values()))
 
     def summary_line(self) -> str:
         """One-line digest for CLI output."""
@@ -39,7 +67,7 @@ class TelemetrySnapshot:
             f"cache_hits={self.counter('cache_hits')}",
             f"cache_misses={self.counter('cache_misses')}",
         ]
-        wall = sum(self.timers_s.values())
+        wall = self.stage_time_s
         if wall:
             parts.append(f"stage_time={wall:.2f}s")
         return "[runtime] " + " ".join(parts)
@@ -47,8 +75,10 @@ class TelemetrySnapshot:
     def report(self) -> str:
         """Human-readable counter and per-stage timing tables."""
         counter_rows = [[name, self.counters[name]] for name in sorted(self.counters)]
+        top = self.top_timers_s if self.top_timers_s is not None else self.timers_s
         timer_rows = [
-            [name, self.timers_s[name]] for name in sorted(self.timers_s)
+            [name, self.timers_s[name], "yes" if name in top else "nested"]
+            for name in sorted(self.timers_s)
         ]
         blocks = []
         if counter_rows:
@@ -58,7 +88,7 @@ class TelemetrySnapshot:
             )
         if timer_rows:
             blocks.append(
-                format_table(["stage", "seconds"], timer_rows,
+                format_table(["stage", "seconds", "top-level"], timer_rows,
                              title="Runtime stage timers", precision=3)
             )
         return "\n".join(blocks) if blocks else "[runtime] no activity recorded"
@@ -68,45 +98,82 @@ class Telemetry:
     """Mutable counters/timers shared by one runtime's components.
 
     Thread-safe: the engine's completion loop and nested stage timers may
-    touch it concurrently.
+    touch it concurrently.  ``metrics`` is the underlying labeled
+    registry and ``tracer`` the span tracer stage timers record into —
+    both default to inert instances, so ``Telemetry()`` stays the
+    zero-configuration construction it always was.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, metrics: Optional[Metrics] = None, tracer: Optional[object] = None
+    ) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
         self._timers_s: Dict[str, float] = {}
+        self._top_timers_s: Dict[str, float] = {}
+        self._tls = threading.local()
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + int(amount)
+        self.metrics.inc(name, amount)
 
     def merge_counters(self, counters: Mapping[str, int]) -> None:
         """Fold a worker's counter report into the totals."""
+        for name, amount in counters.items():
+            self.metrics.inc(name, int(amount))
+
+    def merge_timers(self, timers_s: Mapping[str, float]) -> None:
+        """Fold a worker's stage timers into the totals.
+
+        Worker time always elapses inside some parent-side stage timer,
+        so merged timers count as nested — they appear in ``timers_s``
+        but never in the top-level total.
+        """
         with self._lock:
-            for name, amount in counters.items():
-                self._counters[name] = self._counters.get(name, 0) + int(amount)
+            for name, elapsed in timers_s.items():
+                self._timers_s[name] = self._timers_s.get(name, 0.0) + float(elapsed)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record into a histogram on the underlying metrics registry."""
+        self.metrics.observe(name, value, **labels)
 
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
-        """Accumulate wall time under ``stage`` (re-entrant across calls)."""
+        """Accumulate wall time under ``stage`` (re-entrant across calls).
+
+        Also opens a span named ``stage`` on the bound tracer, so stage
+        timers and the trace timeline stay one source of truth.  Only
+        time entered at nesting depth zero counts toward the top-level
+        total reported by :meth:`TelemetrySnapshot.summary_line`.
+        """
+        depth = getattr(self._tls, "depth", 0)
+        self._tls.depth = depth + 1
         start = time.perf_counter()
         try:
-            yield
+            with self.tracer.span(stage, category="stage"):
+                yield
         finally:
+            self._tls.depth = depth
             elapsed = time.perf_counter() - start
             with self._lock:
                 self._timers_s[stage] = self._timers_s.get(stage, 0.0) + elapsed
+                if depth == 0:
+                    self._top_timers_s[stage] = (
+                        self._top_timers_s.get(stage, 0.0) + elapsed
+                    )
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return int(self._counters.get(name, 0))
+        return self.metrics.counter_total(name)
 
     def snapshot(self) -> TelemetrySnapshot:
         """Freeze the current state (counters and timers are copied)."""
+        counters = self.metrics.snapshot().counter_totals()
         with self._lock:
             return TelemetrySnapshot(
-                counters=dict(self._counters), timers_s=dict(self._timers_s)
+                counters=counters,
+                timers_s=dict(self._timers_s),
+                top_timers_s=dict(self._top_timers_s),
             )
 
     def report(self) -> str:

@@ -14,11 +14,13 @@ is what makes DVFS sweeps over 828K-draw corpora tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.gfx.trace import Trace
+from repro.obs.context import current_obs
 from repro.simgpu import raster, rop, shadercore, texture
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.simulator import FrameResult, TraceResult
@@ -206,7 +208,12 @@ def _throughput(regs: np.ndarray, config: GpuConfig) -> np.ndarray:
 
 @dataclass(frozen=True)
 class BatchFrameOutput:
-    """Vectorized per-frame result with per-draw detail arrays."""
+    """Vectorized per-frame result with per-draw detail arrays.
+
+    ``stage_cycles`` (summed shader/texture/rop/... cycles per pipeline
+    stage) is only populated when the frame was simulated under an
+    enabled tracer — the extra reductions are skipped on the hot path.
+    """
 
     frame_index: int
     time_ns: float
@@ -215,6 +222,7 @@ class BatchFrameOutput:
     draw_times_ns: np.ndarray
     draw_core_cycles: np.ndarray
     pass_times_ns: Dict[str, float]
+    stage_cycles: Optional[Dict[str, float]] = field(default=None, compare=False)
 
 
 def simulate_frame_arrays(
@@ -222,6 +230,7 @@ def simulate_frame_arrays(
     warm: np.ndarray,
     switch: np.ndarray,
     config: GpuConfig,
+    collect_stages: bool = False,
 ) -> BatchFrameOutput:
     """Evaluate the cost model over one frame's arrays."""
     vs_ops = (
@@ -302,6 +311,19 @@ def simulate_frame_arrays(
         total = float(times[start:end].sum())
         pass_times[pass_name] = pass_times.get(pass_name, 0.0) + total
 
+    stage_cycles: Optional[Dict[str, float]] = None
+    if collect_stages:
+        # Where the simulated cycles went, summed over the frame's draws
+        # — "shader" is the unified-ALU time (vertex + pixel work).
+        stage_cycles = {
+            "shader": float(vertex_cycles.sum() + pixel_cycles.sum()),
+            "fetch": float(fetch_cycles.sum()),
+            "raster": float(raster_cycles.sum()),
+            "texture": float(tex_cycles.sum()),
+            "rop": float(rop_cycles.sum()),
+            "memory": float(dram.sum()),
+        }
+
     return BatchFrameOutput(
         frame_index=fp.frame_index,
         time_ns=float(times.sum()),
@@ -310,6 +332,7 @@ def simulate_frame_arrays(
         draw_times_ns=times,
         draw_core_cycles=core,
         pass_times_ns=pass_times,
+        stage_cycles=stage_cycles,
     )
 
 
@@ -347,6 +370,8 @@ def simulate_frame_range_multi(
             f"frame range [{start}, {stop}) invalid for "
             f"{trace.num_frames}-frame trace"
         )
+    obs = current_obs()
+    tracer = obs.tracer
     per_config: List[List[BatchFrameOutput]] = [[] for _ in configs]
     for frame in trace.frames[start:stop]:
         fp = precompute_frame(trace, frame)
@@ -356,9 +381,30 @@ def simulate_frame_range_multi(
             if signature not in contexts:
                 contexts[signature] = context_for_frame(fp, config)
             warm, switch = contexts[signature]
-            per_config[slot].append(
-                simulate_frame_arrays(fp, warm, switch, config)
-            )
+            if tracer.enabled:
+                # A span per simulated frame, carrying where the cycles
+                # went: the trace answers "which stage dominated".
+                with tracer.span(
+                    "simulate_frame",
+                    category="simgpu",
+                    frame=fp.frame_index,
+                    config=config.name,
+                    draws=len(fp.draws),
+                ) as span:
+                    out = simulate_frame_arrays(
+                        fp, warm, switch, config, collect_stages=True
+                    )
+                    span.set(
+                        time_ns=out.time_ns,
+                        **{
+                            f"{stage}_cycles": cycles
+                            for stage, cycles in (out.stage_cycles or {}).items()
+                        },
+                    )
+            else:
+                out = simulate_frame_arrays(fp, warm, switch, config)
+            obs.metrics.observe("frame_core_cycles", out.core_cycles)
+            per_config[slot].append(out)
     return per_config
 
 

@@ -1,0 +1,68 @@
+"""Run manifests: digests match the cache's, seeds survive round trips."""
+
+import json
+
+from repro import __version__
+from repro.obs.manifest import MANIFEST_VERSION, RunManifest, load_manifest
+from repro.obs.metrics import Metrics
+from repro.runtime.keys import config_digest, trace_digest
+from repro.simgpu.config import GpuConfig
+
+
+class TestCollect:
+    def test_reproduces_cache_digests(self, simple_trace):
+        config = GpuConfig.preset("mainstream")
+        manifest = RunManifest.collect(
+            "subset",
+            configs={config.name: config},
+            traces={simple_trace.name: simple_trace},
+        )
+        assert manifest.config_digests[config.name] == config_digest(config)
+        assert manifest.trace_digests[simple_trace.name] == trace_digest(
+            simple_trace
+        )
+
+    def test_records_seeds_and_environment(self):
+        manifest = RunManifest.collect(
+            "subset",
+            argv=["subset", "t.json"],
+            seeds={"pipeline": 7, "corpus": 42},
+            jobs=4,
+            duration_s=1.5,
+        )
+        assert manifest.seeds == {"pipeline": 7, "corpus": 42}
+        assert manifest.argv == ("subset", "t.json")
+        assert manifest.jobs == 4
+        assert manifest.package_version == __version__
+        assert manifest.host_cpu_count >= 1
+
+    def test_metrics_snapshot_flattens(self):
+        metrics = Metrics()
+        metrics.inc("frames_simulated", 9, phase="ground")
+        manifest = RunManifest.collect("simulate", metrics=metrics.snapshot())
+        assert manifest.metrics["counters"][0]["value"] == 9
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path, simple_trace):
+        config = GpuConfig.preset("lowpower")
+        path = tmp_path / "run.json"
+        RunManifest.collect(
+            "validate",
+            argv=["validate", "t.json", "s.json"],
+            seeds={"pipeline": 0},
+            configs={config.name: config},
+            traces={simple_trace.name: simple_trace},
+            cache_dir=tmp_path / "cache",
+        ).write(path)
+
+        loaded = load_manifest(path)
+        assert loaded["manifest_version"] == MANIFEST_VERSION
+        assert loaded["command"] == "validate"
+        assert loaded["seeds"] == {"pipeline": 0}
+        assert loaded["config_digests"][config.name] == config_digest(config)
+        assert loaded["trace_digests"][simple_trace.name] == trace_digest(
+            simple_trace
+        )
+        # The file is plain JSON, stable under re-serialization.
+        assert json.loads(path.read_text()) == loaded

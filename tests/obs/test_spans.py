@@ -1,0 +1,166 @@
+"""Tracer behaviour: nesting, parent ids, merge, export formats."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNesting:
+    def test_child_points_at_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert inner.duration_ns <= outer.duration_ns
+        assert (
+            inner.start_ns + inner.duration_ns
+            <= outer.start_ns + outer.duration_ns
+        )
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id() == outer.span_id
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+
+    def test_root_parent_id_roots_new_spans(self):
+        tracer = Tracer(root_parent_id="1234-7")
+        with tracer.span("remote"):
+            pass
+        assert tracer.spans()[0].parent_id == "1234-7"
+
+    def test_span_args_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", frame=3) as span:
+            span.set(cycles=99)
+        record = tracer.spans()[0]
+        assert record.args == {"frame": 3, "cycles": 99}
+
+
+class TestMergeAndDrain:
+    def test_merge_adopts_foreign_spans(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        worker = Tracer(root_parent_id=None)
+        with worker.span("remote"):
+            pass
+        parent.merge(worker.drain())
+        assert len(parent) == 2
+        assert {s.name for s in parent.spans()} == {"local", "remote"}
+
+    def test_drain_empties(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert len(tracer) == 0
+
+
+class TestNullTracer:
+    def test_is_disabled_and_recordless(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", huge_arg=object()) as span:
+            span.set(more=1)
+        assert NULL_TRACER.spans() == ()
+        assert NULL_TRACER.current_span_id() is None
+
+    def test_singleton_reuse(self):
+        assert NullTracer() is not None
+        cm1 = NULL_TRACER.span("a")
+        cm2 = NULL_TRACER.span("b")
+        assert cm1 is cm2  # shared no-op context manager
+
+
+class TestChromeExport:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("pipeline", category="pipeline", trace="t"):
+            with tracer.span("stagework", category="stage"):
+                pass
+        return tracer.spans()
+
+    def test_document_is_valid(self):
+        doc = chrome_trace_document(self._spans())
+        assert validate_chrome_trace(doc) == []
+
+    def test_events_carry_hierarchy_in_args(self):
+        events = [
+            e for e in chrome_trace_events(self._spans()) if e["ph"] == "X"
+        ]
+        by_name = {e["name"]: e for e in events}
+        assert (
+            by_name["stagework"]["args"]["parent_id"]
+            == by_name["pipeline"]["args"]["span_id"]
+        )
+        assert by_name["pipeline"]["cat"] == "pipeline"
+
+    def test_timestamps_are_microseconds(self):
+        span = self._spans()[0]
+        event = [
+            e
+            for e in chrome_trace_events([span])
+            if e["ph"] == "X" and e["name"] == span.name
+        ][0]
+        assert event["ts"] == span.start_ns / 1000.0
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._spans(), path)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_validate_flags_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        assert (
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+        )  # missing required keys
+
+
+class TestJsonlExport:
+    def test_one_record_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        write_spans_jsonl(tracer.spans(), path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # Spans land in completion order: the inner span finishes first.
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert records[0]["parent_id"] == records[1]["span_id"]

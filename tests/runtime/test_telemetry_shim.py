@@ -1,0 +1,105 @@
+"""The Telemetry shim over repro.obs: honest timers, worker merges."""
+
+import time
+
+from repro.obs.spans import Tracer
+from repro.runtime.engine import Runtime, TaskEngine
+from repro.runtime.tasks import Task, TaskResult, task_function
+from repro.runtime.telemetry import Telemetry, TelemetrySnapshot
+
+
+@task_function("shim.sleepy")
+def _sleepy(context, payload, deps):
+    time.sleep(payload)
+    return TaskResult(payload)
+
+
+class TestNestedTimerAccounting:
+    def test_nested_stage_does_not_double_count(self):
+        telemetry = Telemetry()
+        with telemetry.timer("outer"):
+            with telemetry.timer("inner"):
+                time.sleep(0.02)
+        snap = telemetry.snapshot()
+        # Both stages are on record...
+        assert set(snap.timers_s) == {"outer", "inner"}
+        # ...but only the top-level one counts toward wall time.
+        assert set(snap.top_timers_s) == {"outer"}
+        assert snap.stage_time_s <= snap.timers_s["outer"] * 1.001
+
+    def test_summary_line_reports_top_level_only(self):
+        telemetry = Telemetry()
+        with telemetry.timer("outer"):
+            with telemetry.timer("inner"):
+                time.sleep(0.02)
+        line = telemetry.snapshot().summary_line()
+        total = float(line.split("stage_time=")[1].rstrip("s"))
+        # Pre-fix this reported outer+inner (~2x the real wall time).
+        assert total < 1.5 * telemetry.snapshot().timers_s["outer"]
+
+    def test_same_stage_reentered_at_top_accumulates(self):
+        telemetry = Telemetry()
+        for _ in range(2):
+            with telemetry.timer("stage"):
+                pass
+        snap = telemetry.snapshot()
+        assert snap.top_timers_s["stage"] == snap.timers_s["stage"]
+
+    def test_handbuilt_snapshot_falls_back_to_all_timers(self):
+        snap = TelemetrySnapshot(timers_s={"a": 1.0, "b": 2.0})
+        assert snap.stage_time_s == 3.0
+
+    def test_timer_opens_span_on_bound_tracer(self):
+        telemetry = Telemetry(tracer=Tracer())
+        with telemetry.timer("stagework"):
+            pass
+        spans = telemetry.tracer.spans()
+        assert [s.name for s in spans] == ["stagework"]
+        assert spans[0].category == "stage"
+
+
+class TestMergeTimers:
+    def test_merge_timers_accumulates_as_nested(self):
+        telemetry = Telemetry()
+        telemetry.merge_timers({"worker.sim": 0.5})
+        telemetry.merge_timers({"worker.sim": 0.25, "worker.cluster": 0.1})
+        snap = telemetry.snapshot()
+        assert snap.timers_s["worker.sim"] == 0.75
+        assert snap.timers_s["worker.cluster"] == 0.1
+        # Merged worker time elapses inside a parent stage: never top-level.
+        assert "worker.sim" not in snap.top_timers_s
+        assert snap.stage_time_s == 0.0
+
+    def test_engine_merges_worker_timers_serial_and_pool(self):
+        for jobs in (1, 2):
+            telemetry = Telemetry()
+            engine = TaskEngine(jobs=jobs, telemetry=telemetry)
+            engine.run(
+                [Task(f"s{i}", "shim.sleepy", payload=0.01) for i in range(2)]
+            )
+            snap = telemetry.snapshot()
+            assert snap.timers_s["worker.shim.sleepy"] >= 0.02, f"jobs={jobs}"
+            assert "worker.shim.sleepy" not in snap.top_timers_s
+
+    def test_report_marks_nested_stages(self):
+        telemetry = Telemetry()
+        with telemetry.timer("outer"):
+            with telemetry.timer("inner"):
+                pass
+        report = telemetry.report()
+        assert "top-level" in report
+        assert "nested" in report
+
+
+class TestRuntimeWiring:
+    def test_runtime_exposes_metrics_and_tracer(self):
+        runtime = Runtime(jobs=1, tracer=Tracer())
+        assert runtime.tracer is runtime.telemetry.tracer
+        assert runtime.metrics is runtime.telemetry.metrics
+
+    def test_labeled_counts_aggregate_in_snapshot(self):
+        telemetry = Telemetry()
+        telemetry.metrics.inc("frames_simulated", 3, phase="a")
+        telemetry.metrics.inc("frames_simulated", 4, phase="b")
+        assert telemetry.snapshot().counter("frames_simulated") == 7
+        assert telemetry.counter("frames_simulated") == 7
