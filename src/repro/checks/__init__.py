@@ -1,0 +1,45 @@
+"""repro.checks — determinism & cache-safety static analysis.
+
+The reproduction's core claim (docs/RUNTIME.md) is that serial,
+parallel, and cached runs agree bit for bit.  This package enforces
+the invariants that claim rests on *statically*: unseeded global RNG
+use, wall-clock and environment reads in cache-keyed code, mutable
+default arguments, unsorted dict iteration feeding digests, task
+functions that can't survive a worker round-trip, cache-key builders
+that silently drop an input, and import-hygiene defects (undefined
+names, unused imports, cycles).
+
+Entry points:
+
+- ``repro check [paths]`` — the CLI gate (text/JSON/GitHub output,
+  inline ``# repro: noqa[RULE]`` suppressions, committed baseline).
+- :func:`repro.checks.engine.run_checks` — the library API the CLI and
+  tests share.
+- :func:`repro.checks.registry.rule` — the decorator user extension
+  modules use to ship additional rules (``--load-rules my.module``).
+
+The rule catalog with per-rule rationale lives in ``docs/CHECKS.md``.
+"""
+
+from repro.checks.baseline import DEFAULT_BASELINE_NAME
+from repro.checks.engine import (
+    CheckReport,
+    ModuleContext,
+    ProjectContext,
+    run_checks,
+)
+from repro.checks.findings import Finding
+from repro.checks.registry import Rule, all_rules, get_rule, rule
+
+__all__ = [
+    "CheckReport",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rule",
+    "run_checks",
+]

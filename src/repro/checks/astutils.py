@@ -1,0 +1,483 @@
+"""AST plumbing shared by the rule families.
+
+Three building blocks live here:
+
+- :class:`ModuleSource` — one parsed file plus everything rules keep
+  re-deriving: source lines, inline ``# repro: noqa`` suppressions, a
+  local-name → qualified-name import map, and the inferred dotted
+  module name (``src/repro/runtime/keys.py`` → ``repro.runtime.keys``).
+- :func:`resolve_qualname` — maps an ``ast.Name``/``ast.Attribute``
+  chain through the import map to the fully qualified symbol it denotes
+  (``np.random.rand`` → ``numpy.random.rand``), which is how the
+  determinism rules recognize an API regardless of import spelling.
+- :class:`ScopeAnalyzer` — a two-pass lexical-scope model (module,
+  function, class, comprehension) used by the undefined-name rule.  It
+  deliberately does *no* flow analysis: a name bound anywhere in a
+  scope counts as defined throughout it, so the rule only fires on
+  names with no binding at all — the class of bug that crashes at
+  runtime (PR 2's latent ``Sequence`` import in ``simgpu/batch.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# noqa suppressions
+# ---------------------------------------------------------------------------
+
+#: ``# repro: noqa`` suppresses every rule on the line;
+#: ``# repro: noqa[IMP002]`` / ``# repro: noqa[IMP002, DET001]`` only those.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def parse_noqa(lines: List[str]) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppressions: ``None`` means all rules, else a rule-id set."""
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            ids = frozenset(
+                part.strip().upper() for part in rules.split(",") if part.strip()
+            )
+            suppressions[lineno] = ids or None
+    return suppressions
+
+
+# ---------------------------------------------------------------------------
+# Module parsing
+# ---------------------------------------------------------------------------
+
+
+def infer_module_name(path: Path) -> Optional[str]:
+    """Dotted module name, walking up while ``__init__.py`` files exist."""
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file and its rule-relevant derived views."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source: str
+    lines: List[str]
+    module_name: Optional[str]
+    noqa: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    #: local binding -> fully qualified imported symbol
+    import_map: Dict[str, str] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+
+def parse_module(path: Path, relpath: str) -> ModuleSource:
+    """Parse one file (raises ``SyntaxError`` for the engine to report)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    module = ModuleSource(
+        path=path,
+        relpath=relpath,
+        tree=tree,
+        source=source,
+        lines=lines,
+        module_name=infer_module_name(path),
+        noqa=parse_noqa(lines),
+    )
+    module.import_map = build_import_map(tree)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Imports and qualified names
+# ---------------------------------------------------------------------------
+
+
+def build_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the qualified symbols they import.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from os import environ`` → ``{"environ": "os.environ"}``;
+    ``import os.path`` → ``{"os": "os"}`` (the binding is the top
+    package).  Function-local imports participate too — the determinism
+    rules care what a name *means*, not where it was bound.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    mapping[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: not an external API
+                continue
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{base}.{alias.name}" if base else alias.name
+    return mapping
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    return parts
+
+
+def resolve_qualname(
+    node: ast.AST, import_map: Dict[str, str]
+) -> Optional[str]:
+    """The fully qualified symbol a name/attribute chain denotes.
+
+    The chain's root is looked up in the module's import map, so both
+    ``np.random.rand`` and ``from numpy import random; random.rand``
+    resolve to ``numpy.random.rand``.  Chains rooted in non-imported
+    names resolve to None — a local variable called ``time`` is not the
+    stdlib module.
+    """
+    chain = attribute_chain(node)
+    if chain is None:
+        return None
+    root = chain[0]
+    if root not in import_map:
+        return None
+    return ".".join([import_map[root]] + chain[1:])
+
+
+def annotation_string_names(tree: ast.Module) -> Set[str]:
+    """Names referenced inside *quoted* annotations.
+
+    ``def f(t: "Trace") -> "List[BatchFrameOutput]"`` keeps ``Trace``
+    and ``BatchFrameOutput`` out of the module's Name loads, so the
+    unused-import rule would flag their (typically ``TYPE_CHECKING``)
+    imports.  Each string constant in an annotation position is parsed
+    as an expression and its names collected; unparseable strings are
+    ignored (they are documentation, not forward references).
+    """
+    names: Set[str] = set()
+    annotations: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.annotation is not None:
+                    annotations.append(arg.annotation)
+            if node.returns is not None:
+                annotations.append(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+    for annotation in annotations:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    parsed = ast.parse(sub.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for name_node in ast.walk(parsed):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Lexical scopes (undefined-name analysis)
+# ---------------------------------------------------------------------------
+
+_BUILTIN_NAMES: FrozenSet[str] = frozenset(dir(builtins)) | frozenset(
+    {
+        "__file__",
+        "__name__",
+        "__doc__",
+        "__package__",
+        "__spec__",
+        "__loader__",
+        "__builtins__",
+        "__debug__",
+        "__annotations__",
+        "__path__",
+        "__dict__",
+        "__class__",  # implicit closure cell inside methods
+    }
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_COMPREHENSION_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class Scope:
+    """One lexical scope: its bindings and its place in the chain."""
+
+    __slots__ = ("kind", "node", "parent", "bindings", "has_star_import")
+
+    def __init__(self, kind: str, node: ast.AST, parent: Optional["Scope"]):
+        self.kind = kind  # "module" | "function" | "class" | "comprehension"
+        self.node = node
+        self.parent = parent
+        self.bindings: Set[str] = set()
+        self.has_star_import = False
+
+    def lookup(self, name: str) -> bool:
+        """Python's actual rule: class scopes are invisible to nested scopes."""
+        scope: Optional[Scope] = self
+        first = True
+        while scope is not None:
+            if scope.kind != "class" or first:
+                if name in scope.bindings:
+                    return True
+            if scope.has_star_import:
+                return True
+            first = False
+            scope = scope.parent
+        return name in _BUILTIN_NAMES
+
+
+@dataclass(frozen=True)
+class UndefinedName:
+    name: str
+    line: int
+    col: int
+
+
+class ScopeAnalyzer:
+    """Binding collection (pass 1) + load resolution (pass 2)."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        self.module_scope = Scope("module", tree, None)
+        #: scope owned by each scope-introducing node
+        self._scopes: Dict[int, Scope] = {id(tree): self.module_scope}
+        self._collect(tree, self.module_scope)
+
+    # -- pass 1: bindings --------------------------------------------------
+
+    def _child_scope(self, kind: str, node: ast.AST, parent: Scope) -> Scope:
+        scope = Scope(kind, node, parent)
+        self._scopes[id(node)] = scope
+        return scope
+
+    def _bind_target(self, target: ast.AST, scope: Scope) -> None:
+        if isinstance(target, ast.Name):
+            scope.bindings.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, scope)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, scope)
+        # Attribute / Subscript targets bind nothing new.
+
+    def _bind_args(self, args: ast.arguments, scope: Scope) -> None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            scope.bindings.add(arg.arg)
+
+    def _collect(self, node: ast.AST, scope: Scope) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._collect_node(child, scope)
+
+    def _collect_node(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.bindings.add(node.name)
+            inner = self._child_scope("function", node, scope)
+            self._bind_args(node.args, inner)
+            for stmt in node.body:
+                self._collect_node(stmt, inner)
+            # Decorators, defaults, and annotations evaluate in the
+            # enclosing scope.
+            for expr in node.decorator_list:
+                self._collect_node(expr, scope)
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self._collect_node(default, scope)
+        elif isinstance(node, ast.Lambda):
+            inner = self._child_scope("function", node, scope)
+            self._bind_args(node.args, inner)
+            self._collect_node(node.body, inner)
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self._collect_node(default, scope)
+        elif isinstance(node, ast.ClassDef):
+            scope.bindings.add(node.name)
+            inner = self._child_scope("class", node, scope)
+            for stmt in node.body:
+                self._collect_node(stmt, inner)
+            for expr in node.decorator_list + node.bases + [
+                kw.value for kw in node.keywords
+            ]:
+                self._collect_node(expr, scope)
+        elif isinstance(node, _COMPREHENSION_NODES):
+            inner = self._child_scope("comprehension", node, scope)
+            for generator in node.generators:
+                self._bind_target(generator.target, inner)
+                self._collect_node(generator.iter, inner)
+                for cond in generator.ifs:
+                    self._collect_node(cond, inner)
+            if isinstance(node, ast.DictComp):
+                self._collect_node(node.key, inner)
+                self._collect_node(node.value, inner)
+            else:
+                self._collect_node(node.elt, inner)
+        elif isinstance(node, ast.NamedExpr):
+            # Walrus binds in the nearest function/module scope, never a
+            # comprehension's own scope.
+            target_scope = scope
+            while target_scope.kind == "comprehension" and target_scope.parent:
+                target_scope = target_scope.parent
+            self._bind_target(node.target, target_scope)
+            self._collect_node(node.value, scope)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._bind_target(target, scope)
+            self._collect(node, scope)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind_target(node.target, scope)
+            self._collect(node, scope)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, scope)
+            self._collect(node, scope)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                scope.bindings.add(node.name)
+            self._collect(node, scope)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                scope.bindings.add(
+                    alias.asname if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    scope.has_star_import = True
+                else:
+                    scope.bindings.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            # No flow analysis: declaring makes the names resolvable both
+            # here and (for global) at module scope.
+            for name in node.names:
+                scope.bindings.add(name)
+                if isinstance(node, ast.Global):
+                    self.module_scope.bindings.add(name)
+        elif isinstance(node, ast.MatchAs):
+            if node.name:
+                scope.bindings.add(node.name)
+            self._collect(node, scope)
+        elif isinstance(node, ast.MatchStar):
+            if node.name:
+                scope.bindings.add(node.name)
+        elif isinstance(node, ast.MatchMapping):
+            if node.rest:
+                scope.bindings.add(node.rest)
+            self._collect(node, scope)
+        else:
+            self._collect(node, scope)
+
+    # -- pass 2: loads -----------------------------------------------------
+
+    def undefined_names(self) -> Iterator[UndefinedName]:
+        """Names loaded with no binding in any enclosing scope."""
+        yield from self._check(self.tree, self.module_scope)
+
+    def _check(self, node: ast.AST, scope: Scope) -> Iterator[UndefinedName]:
+        for child in ast.iter_child_nodes(node):
+            child_scope = self._scopes.get(id(child), scope)
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                if not scope.lookup(child.id):
+                    yield UndefinedName(child.id, child.lineno, child.col_offset)
+            yield from self._check(child, child_scope)
+
+
+# ---------------------------------------------------------------------------
+# Misc helpers used by several rule modules
+# ---------------------------------------------------------------------------
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding ``(node, ancestor_stack)`` pairs."""
+    stack: List[Tuple[ast.AST, Tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = parents + (node,)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_parents))
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword ``name`` on a call, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_constant(node: Optional[ast.AST], value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every def in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,127 @@
+"""The committed findings baseline.
+
+A baseline is the reviewed debt list: findings that predate a rule (or
+are accepted for a stated reason) live in a committed JSON file, and CI
+fails only on findings *not* in it.  Matching is by line-independent
+fingerprint — ``(rule, path, message)`` — with multiplicity, so an edit
+that moves a grandfathered violation doesn't break the build but a
+*second* occurrence of the same violation does.
+
+The file is written sorted and pretty-printed so diffs review like
+code: shrinking the baseline is progress you can see, and
+:func:`apply` reports entries that no longer match anything (stale
+debt to delete).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.checks.findings import Finding
+from repro.errors import CheckError
+
+BASELINE_VERSION = 1
+
+#: Default committed location, repo-root relative.
+DEFAULT_BASELINE_NAME = ".repro-baseline.json"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of subtracting a baseline from a report."""
+
+    new_findings: List[Finding]
+    baselined: List[Finding]
+    stale_entries: List[Dict[str, str]]
+
+
+def _entry(finding: Finding) -> Dict[str, str]:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "message": finding.message,
+    }
+
+
+def _entry_fingerprint(entry: Dict[str, str]) -> str:
+    try:
+        return f"{entry['rule']}::{entry['path']}::{entry['message']}"
+    except KeyError as exc:
+        raise CheckError(
+            f"baseline entry is missing the {exc.args[0]!r} field: {entry!r}"
+        ) from None
+
+
+def write(findings: List[Finding], path: Path) -> None:
+    """Persist ``findings`` as the new baseline (sorted, diff-friendly)."""
+    entries = sorted(
+        (_entry(finding) for finding in findings),
+        key=lambda e: (e["path"], e["rule"], e["message"]),
+    )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load(path: Path) -> List[Dict[str, str]]:
+    """Read a baseline file, validating shape and version."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise CheckError(f"baseline {path} has no 'entries' list")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise CheckError(
+            f"baseline {path} has version {version!r}; this tool reads "
+            f"version {BASELINE_VERSION}"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise CheckError(f"baseline {path} 'entries' must be a list")
+    for entry in entries:
+        _entry_fingerprint(entry)  # shape validation
+    return entries
+
+
+def apply(
+    findings: List[Finding], entries: List[Dict[str, str]]
+) -> BaselineResult:
+    """Split findings into new-vs-baselined; report stale entries.
+
+    Multiset semantics: a baseline entry absorbs exactly one matching
+    finding, so the baseline can never hide *growth* of a violation
+    the rule already knows about.
+    """
+    budget: Counter = Counter(_entry_fingerprint(e) for e in entries)
+    new_findings: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new_findings.append(finding)
+    stale: List[Dict[str, str]] = []
+    for entry in entries:
+        fingerprint = _entry_fingerprint(entry)
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            stale.append(entry)
+    return BaselineResult(
+        new_findings=new_findings, baselined=baselined, stale_entries=stale
+    )
+
+
+def find_default(start: Optional[Path] = None) -> Optional[Path]:
+    """The nearest committed baseline, walking up from ``start`` (cwd)."""
+    cursor = (start or Path.cwd()).resolve()
+    for candidate_dir in [cursor] + list(cursor.parents):
+        candidate = candidate_dir / DEFAULT_BASELINE_NAME
+        if candidate.exists():
+            return candidate
+    return None

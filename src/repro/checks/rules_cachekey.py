@@ -1,0 +1,321 @@
+"""Cache-key completeness rules (KEY001–KEY003).
+
+A content-addressed cache is only as honest as its keys: an input that
+doesn't participate in the key means two different computations share
+an artifact.  ``runtime/keys.py`` publishes two introspection hooks for
+this rule family — :data:`~repro.runtime.keys.KEY_RECORD_FIELDS` (the
+fields every key record must carry) and
+:data:`~repro.runtime.keys.TASK_FIELD_KEYING` (how each
+:class:`~repro.runtime.tasks.Task` dataclass field is, or deliberately
+is not, keyed).  The rules cross-check both hooks against the actual
+AST, so *adding a task input without extending the key* and *deleting a
+field-consumption line from the key builder* are both CI failures.
+
+All three rules are project-scoped: they pair each ``runtime/keys.py``
+in the analyzed set with the ``runtime/tasks.py`` beside it, so the
+fixtures exercise them the same way the real modules do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.astutils import ModuleSource
+from repro.checks.findings import Finding
+from repro.checks.registry import get_rule, rule
+
+if TYPE_CHECKING:
+    from repro.checks.engine import ProjectContext
+
+_KEYS_SUFFIX = ("runtime", "keys.py")
+_TASKS_SUFFIX = ("runtime", "tasks.py")
+_KEYING_HOOK = "TASK_FIELD_KEYING"
+_RECORD_HOOK = "KEY_RECORD_FIELDS"
+_KEY_BUILDER = "task_key"
+_TASK_CLASS = "Task"
+
+
+def _pairs(
+    modules: List[ModuleSource],
+) -> Iterator[Tuple[ModuleSource, Optional[ModuleSource]]]:
+    """Each ``runtime/keys.py`` with the ``runtime/tasks.py`` beside it."""
+    by_dir: Dict[str, Dict[str, ModuleSource]] = {}
+    for module in modules:
+        parts = module.path.parts
+        if len(parts) >= 2 and parts[-2:] == _KEYS_SUFFIX:
+            by_dir.setdefault(str(module.path.parent), {})["keys"] = module
+        elif len(parts) >= 2 and parts[-2:] == _TASKS_SUFFIX:
+            by_dir.setdefault(str(module.path.parent), {})["tasks"] = module
+    for _, entry in sorted(by_dir.items()):
+        if "keys" in entry:
+            yield entry["keys"], entry.get("tasks")
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> Optional[List[Tuple[str, int]]]:
+    """``(field, line)`` for each annotated field of a dataclass."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+            return fields
+    return None
+
+
+def _string_dict_keys(
+    tree: ast.Module, name: str
+) -> Optional[Tuple[Set[str], int]]:
+    """Keys of a module-level ``NAME = {...}`` / ``NAME: T = {...}`` literal."""
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == name
+            and isinstance(value, ast.Dict)
+        ):
+            keys = {
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            return keys, node.lineno
+    return None
+
+
+def _string_tuple(
+    tree: ast.Module, name: str
+) -> Optional[Tuple[List[str], int]]:
+    """Members of a module-level ``NAME = ("a", "b", ...)`` literal."""
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == name
+            and isinstance(value, (ast.Tuple, ast.List))
+        ):
+            members = [
+                element.value
+                for element in value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+            return members, node.lineno
+    return None
+
+
+def _find_function(
+    tree: ast.Module, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+@rule(
+    "KEY001",
+    name="task-field-not-keyed",
+    scope="project",
+    hint=(
+        "add the field to TASK_FIELD_KEYING in runtime/keys.py, stating how "
+        "it reaches the cache key (or why it never influences results)"
+    ),
+)
+def task_field_not_keyed(ctx: "ProjectContext") -> Iterator[Finding]:
+    """Every ``Task`` dataclass field needs a declared keying policy.
+
+    Adding a field to the task vocabulary without deciding how it
+    participates in cache keys is exactly how caches go quietly stale:
+    the new input changes results but not keys.  The policy table makes
+    that decision explicit and reviewable — an exemption is a documented
+    claim, not an accident.
+    """
+    this = get_rule("KEY001")
+    for keys_module, tasks_module in _pairs(ctx.modules):
+        if tasks_module is None:
+            continue
+        fields = _dataclass_fields(tasks_module.tree, _TASK_CLASS)
+        if fields is None:
+            continue
+        hook = _string_dict_keys(keys_module.tree, _KEYING_HOOK)
+        if hook is None:
+            yield this.finding(
+                keys_module.relpath,
+                1,
+                0,
+                f"missing {_KEYING_HOOK} introspection hook "
+                f"(required beside {_TASK_CLASS} in {tasks_module.relpath})",
+            )
+            continue
+        declared, hook_line = hook
+        for field_name, field_line in fields:
+            if field_name not in declared:
+                yield this.finding(
+                    tasks_module.relpath,
+                    field_line,
+                    0,
+                    f"Task field {field_name!r} has no keying policy in "
+                    f"{_KEYING_HOOK} ({keys_module.relpath})",
+                )
+        field_names = {name for name, _ in fields}
+        for stale in sorted(declared - field_names):
+            yield this.finding(
+                keys_module.relpath,
+                hook_line,
+                0,
+                f"{_KEYING_HOOK} names {stale!r}, which is not a field of "
+                f"{_TASK_CLASS} ({tasks_module.relpath})",
+                hint="remove the stale entry so the policy table stays exact",
+            )
+
+
+@rule(
+    "KEY002",
+    name="key-param-not-consumed",
+    scope="project",
+    hint=(
+        "feed the parameter into the key record (digest it if needed) or "
+        "remove it from the signature"
+    ),
+)
+def key_param_not_consumed(ctx: "ProjectContext") -> Iterator[Finding]:
+    """Every ``task_key`` parameter must flow into the key.
+
+    A parameter the builder accepts but never reads is an input the
+    cache cannot see: callers believe they keyed on it, and two calls
+    differing only in that input collide on one artifact.  This is the
+    rule that fires when a field-consumption line is deleted from
+    ``runtime/keys.py``.
+    """
+    this = get_rule("KEY002")
+    for keys_module, _tasks_module in _pairs(ctx.modules):
+        builder = _find_function(keys_module.tree, _KEY_BUILDER)
+        if builder is None:
+            yield this.finding(
+                keys_module.relpath,
+                1,
+                0,
+                f"key builder {_KEY_BUILDER}() not found",
+                hint=f"define {_KEY_BUILDER}() or rename the hook target",
+            )
+            continue
+        params = [
+            arg.arg
+            for arg in builder.args.posonlyargs
+            + builder.args.args
+            + builder.args.kwonlyargs
+            if arg.arg != "self"
+        ]
+        loaded: Set[str] = set()
+        for node in ast.walk(builder):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+        for param in params:
+            if param not in loaded:
+                yield this.finding(
+                    keys_module.relpath,
+                    builder.lineno,
+                    builder.col_offset,
+                    f"{_KEY_BUILDER}() parameter {param!r} never reaches "
+                    "the key record",
+                )
+
+
+@rule(
+    "KEY003",
+    name="key-record-fields-drift",
+    scope="project",
+    hint=(
+        "keep the record dict literal and KEY_RECORD_FIELDS in lockstep — "
+        "both must list every key input"
+    ),
+)
+def key_record_fields_drift(ctx: "ProjectContext") -> Iterator[Finding]:
+    """The key record must carry exactly the declared fields.
+
+    ``KEY_RECORD_FIELDS`` is the reviewed contract of what a cache key
+    pins; the ``record`` dict literal inside ``task_key`` is the
+    implementation.  Any drift — a field deleted from the literal, a
+    field added without declaring it — is a finding, so the contract
+    can only change in a diff that touches the declaration.
+    """
+    this = get_rule("KEY003")
+    for keys_module, _tasks_module in _pairs(ctx.modules):
+        declared = _string_tuple(keys_module.tree, _RECORD_HOOK)
+        builder = _find_function(keys_module.tree, _KEY_BUILDER)
+        if declared is None:
+            yield this.finding(
+                keys_module.relpath,
+                1,
+                0,
+                f"missing {_RECORD_HOOK} introspection hook",
+                hint=(
+                    f"declare {_RECORD_HOOK} = (...) listing every field of "
+                    "the key record"
+                ),
+            )
+            continue
+        if builder is None:
+            continue  # KEY002 already reports the missing builder
+        declared_fields, _line = declared
+        record = _record_dict(builder)
+        if record is None:
+            yield this.finding(
+                keys_module.relpath,
+                builder.lineno,
+                builder.col_offset,
+                f"{_KEY_BUILDER}() has no literal `record = {{...}}` dict "
+                "to cross-check",
+                hint="build the key from a literal dict so the rule can see it",
+            )
+            continue
+        record_node, record_keys = record
+        for missing in [f for f in declared_fields if f not in record_keys]:
+            yield this.finding(
+                keys_module.relpath,
+                record_node.lineno,
+                record_node.col_offset,
+                f"key record is missing declared field {missing!r}",
+            )
+        for extra in sorted(set(record_keys) - set(declared_fields)):
+            yield this.finding(
+                keys_module.relpath,
+                record_node.lineno,
+                record_node.col_offset,
+                f"key record carries undeclared field {extra!r}",
+            )
+
+
+def _record_dict(
+    builder: ast.FunctionDef,
+) -> Optional[Tuple[ast.Dict, List[str]]]:
+    """The ``record = {...}`` literal assigned inside the key builder."""
+    for node in ast.walk(builder):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "record"
+            and isinstance(node.value, ast.Dict)
+        ):
+            keys = [
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+            return node.value, keys
+    return None

@@ -8,6 +8,7 @@ Subcommands::
     repro subset    trace.jsonl --preset mainstream --radius 0.16
     repro sweep     trace.jsonl --preset mainstream
     repro experiment e1 [--full-scale]   # e1..e9
+    repro check     src/repro --format github
 """
 
 from __future__ import annotations
@@ -287,6 +288,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--seed", type=int, default=datasets.DEFAULT_SEED)
     _add_runtime_flags(exp)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: determinism, cache-safety, and import hygiene",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    check.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help="finding output format (default: text)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings (default: nearest "
+            ".repro-baseline.json walking up from the cwd)"
+        ),
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    check.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    check.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    check.add_argument(
+        "--load-rules",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import a plugin module so its @rule registrations apply",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -506,6 +566,63 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.checks import baseline as baseline_mod
+    from repro.checks import reporting
+    from repro.checks.engine import run_checks
+    from repro.checks.registry import all_rules
+
+    if args.list_rules:
+        rows = [
+            [rule.rule_id, rule.name, rule.severity, rule.scope]
+            for rule in all_rules()
+        ]
+        print(format_table(["rule", "name", "severity", "scope"], rows,
+                           title="repro check rule catalog"))
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    select = args.select.split(",") if args.select else None
+    report = run_checks(paths, select=select, plugins=args.load_rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = baseline_mod.find_default()
+    if args.write_baseline:
+        target = baseline_path or Path(baseline_mod.DEFAULT_BASELINE_NAME)
+        baseline_mod.write(report.findings, target)
+        print(
+            f"baseline written to {target} "
+            f"({len(report.findings)} accepted finding(s))"
+        )
+        return 0
+
+    entries = []
+    if baseline_path is not None and not args.no_baseline:
+        entries = baseline_mod.load(baseline_path)
+    applied = baseline_mod.apply(report.findings, entries)
+
+    fmt = "json" if args.json else args.format
+    summary = reporting.summarize(
+        applied.new_findings,
+        files_scanned=report.files_scanned,
+        noqa_suppressed=report.noqa_suppressed,
+        baselined=len(applied.baselined),
+    )
+    output = reporting.render(fmt, applied.new_findings, summary)
+    if output:
+        print(output)
+    if fmt == "text" and applied.stale_entries:
+        print(
+            f"note: {len(applied.stale_entries)} stale baseline entr"
+            f"{'y' if len(applied.stale_entries) == 1 else 'ies'} no longer "
+            f"match anything — prune with --write-baseline"
+        )
+    return 1 if applied.new_findings else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -516,6 +633,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "characterize": _cmd_characterize,
     "experiment": _cmd_experiment,
+    "check": _cmd_check,
 }
 
 

@@ -43,3 +43,7 @@ class SubsetError(ReproError):
 
 class SimulationError(ReproError):
     """The GPU model could not simulate the given workload."""
+
+
+class CheckError(ReproError):
+    """The static-analysis subsystem was misconfigured or misused."""

@@ -28,8 +28,9 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +43,16 @@ from repro.runtime.keys import task_key
 from repro.runtime.tasks import Task, TaskResult, resolve_task_function
 from repro.runtime.telemetry import Telemetry, TelemetrySnapshot
 from repro.util.rng import spawn_worker_seed
+
+if TYPE_CHECKING:
+    from repro.gfx.trace import Trace
+    from repro.simgpu.batch import BatchFrameOutput
+    from repro.simgpu.config import GpuConfig
+    from repro.simgpu.simulator import TraceResult
+
+#: Anything the engine can consult for artifacts: the real store or the
+#: inert default.  (A Protocol would be overkill for two shapes.)
+CacheLike = Union[ArtifactCache, NullCache]
 
 _WORKER_CONTEXT: Any = None
 
@@ -141,7 +152,7 @@ class TaskEngine:
     def __init__(
         self,
         jobs: int = 1,
-        cache: Optional[Any] = None,
+        cache: Optional[CacheLike] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -239,7 +250,7 @@ class TaskEngine:
             initializer=_init_worker,
             initargs=(context,),
         )
-        futures: Dict[Any, Task] = {}
+        futures: Dict[Future[TaskResult], Task] = {}
         tracer = self.telemetry.tracer
 
         def submit(task: Task) -> None:
@@ -308,8 +319,8 @@ class Runtime:
     def __init__(
         self,
         jobs: int = 1,
-        cache: Optional[Any] = None,
-        cache_dir: Optional[Any] = None,
+        cache: Optional[CacheLike] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
         tracer: Optional[object] = None,
         seed: int = 0,
@@ -346,7 +357,7 @@ class Runtime:
         return self.engine.jobs
 
     @property
-    def tracer(self):
+    def tracer(self) -> Any:
         """The span tracer observability layers record into."""
         return self.telemetry.tracer
 
@@ -370,8 +381,11 @@ class Runtime:
     # -- simulation --------------------------------------------------------
 
     def simulate_frames_many(
-        self, trace, configs, label: str = "simulate"
-    ) -> List[list]:
+        self,
+        trace: Trace,
+        configs: Sequence[GpuConfig],
+        label: str = "simulate",
+    ) -> List[List[BatchFrameOutput]]:
         """Per-frame outputs of ``trace`` on every config, cache-first.
 
         One artifact per (trace content, config) pair; configs missing
@@ -422,18 +436,24 @@ class Runtime:
                 self.cache.put(key, outputs)
         return [list(by_key[key]) for key in keys]
 
-    def simulate_frames(self, trace, config, label: str = "simulate") -> list:
+    def simulate_frames(
+        self, trace: Trace, config: GpuConfig, label: str = "simulate"
+    ) -> List[BatchFrameOutput]:
         """Per-frame :class:`~repro.simgpu.batch.BatchFrameOutput` list."""
         return self.simulate_frames_many(trace, [config], label=label)[0]
 
-    def simulate_trace(self, trace, config, label: str = "simulate"):
+    def simulate_trace(
+        self, trace: Trace, config: GpuConfig, label: str = "simulate"
+    ) -> TraceResult:
         """Cache-aware, parallel equivalent of ``simulate_trace_batch``."""
         from repro.simgpu.batch import trace_result_from_outputs
 
         outputs = self.simulate_frames(trace, config, label=label)
         return trace_result_from_outputs(trace.name, config.name, outputs)
 
-    def total_time_ns(self, trace, config, label: str = "simulate") -> float:
+    def total_time_ns(
+        self, trace: Trace, config: GpuConfig, label: str = "simulate"
+    ) -> float:
         """Whole-trace time on ``config`` (sum over per-frame outputs)."""
         return float(
             sum(out.time_ns for out in self.simulate_frames(trace, config, label))
@@ -441,7 +461,7 @@ class Runtime:
 
     # -- clustering --------------------------------------------------------
 
-    def cluster_frames(self, trace, **params) -> list:
+    def cluster_frames(self, trace: Trace, **params: object) -> list:
         """Per-frame clusterings of ``trace``, cache-first.
 
         ``params`` are forwarded to

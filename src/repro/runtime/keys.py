@@ -24,7 +24,7 @@ import hashlib
 import io
 import json
 import weakref
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.gfx.trace import Trace
 from repro.gfx.tracebin import write_trace_binary
@@ -36,9 +36,47 @@ from repro.simgpu.config import GpuConfig
 #: v2: BatchFrameOutput grew the optional ``stage_cycles`` field.
 CACHE_FORMAT_VERSION = 2
 
+#: Introspection hook for the ``repro.checks`` cache-key-completeness
+#: rules (KEY003): the exact fields the :func:`task_key` record carries.
+#: The checker cross-checks this tuple against the literal ``record``
+#: dict in :func:`task_key`, so the set of key inputs can only change in
+#: a diff that touches this declaration.
+KEY_RECORD_FIELDS: Tuple[str, ...] = (
+    "kind",
+    "version",
+    "trace",
+    "config",
+    "params",
+    "extra",
+)
+
+#: Introspection hook for the cache-key-completeness rules (KEY001): how
+#: each field of :class:`repro.runtime.tasks.Task` participates in cache
+#: keys — or why it deliberately does not.  Adding a ``Task`` field
+#: without a row here is a CI failure: every new task input must state
+#: how the cache sees it.
+TASK_FIELD_KEYING: Mapping[str, str] = {
+    "task_id": "label only: names the result slot, never changes the value",
+    "kind": "keyed directly via the 'kind' record field",
+    "payload": (
+        "keyed via the trace/config/params/extra digests at the key-"
+        "building call sites (Runtime.simulate_frames_many / "
+        "cluster_frames pass every payload component to task_key)"
+    ),
+    "deps": (
+        "dependency values are keyed by their own task keys; the id "
+        "list itself is graph wiring, not an input"
+    ),
+    "cache_key": "is the key — self-referential by construction",
+    "seed": (
+        "derived from (run seed, kind, frame range) by spawn_worker_seed; "
+        "the run seed participates via params at the call sites"
+    ),
+}
+
 # Digests are memoized per live Trace object: traces are immutable, and
 # paper-scale serialization is the expensive part of key construction.
-_TRACE_DIGEST_MEMO: dict = {}
+_TRACE_DIGEST_MEMO: Dict[int, Tuple["weakref.ReferenceType[Trace]", str]] = {}
 
 
 def _sha256_hex(data: bytes) -> str:
