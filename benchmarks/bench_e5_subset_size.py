@@ -6,7 +6,6 @@ fraction falls as 1/length; this bench sweeps capture length and checks
 the curve heads below 1% (and crosses it at full scale).
 """
 
-import os
 
 from repro import datasets
 from repro.analysis.experiments import e5_subset_size

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.gfx.trace import Trace
 from repro.simgpu.config import GpuConfig

@@ -9,7 +9,7 @@ be simulated per architecture candidate, before vs after subsetting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.validation import SubsetValidation, validate_subset
 from repro.core.pipeline import PipelineResult, SubsettingPipeline

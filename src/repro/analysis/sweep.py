@@ -10,7 +10,7 @@ the simulation cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.subsetting import WorkloadSubset
 from repro.errors import ValidationError

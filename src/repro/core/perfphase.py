@@ -13,7 +13,7 @@ agreement 1.0 by construction; performance phases score lower.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

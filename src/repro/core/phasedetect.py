@@ -8,7 +8,7 @@ workload's repeating pattern (e.g. ``0 1 2 1 3 1`` — phase 1 recurs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.shadervector import (
     Interval,

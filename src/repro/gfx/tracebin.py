@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Dict, List, Optional, Tuple, Union
+from typing import BinaryIO, Dict, List, Union
 
 from repro.errors import TraceFormatError
 from repro.gfx.drawcall import DrawCall

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Default histogram buckets: one per decade, covering everything from
 #: sub-microsecond latencies to billions of cycles.  Values above the

@@ -14,7 +14,14 @@ from typing import Optional, Sequence, Tuple
 from repro.gfx.drawcall import DrawCall
 from repro.gfx.resources import RenderTargetDesc, TextureDesc
 from repro.gfx.shader import ShaderProgram
-from repro.simgpu import memory, raster, rop, shadercore, texture
+# Leaf imports rather than `from repro.simgpu import ...`: the package
+# __init__ imports this module, so importing through the package would
+# make cost.py part of an import cycle (repro.checks rule IMP003).
+import repro.simgpu.memory as memory
+import repro.simgpu.raster as raster
+import repro.simgpu.rop as rop
+import repro.simgpu.shadercore as shadercore
+import repro.simgpu.texture as texture
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.memory import TrafficBreakdown
 from repro.simgpu.state_tracker import TrackerEffects

@@ -7,7 +7,7 @@ deferred lighting, transparents, post chain, HUD).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

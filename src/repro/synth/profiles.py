@@ -10,7 +10,7 @@ the subsetting methodology consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import ConfigError

@@ -1,7 +1,5 @@
 """Suite runs with non-default pipelines and mixed validation outcomes."""
 
-import pytest
-
 from repro.analysis.suite import subset_suite
 from repro.core.pipeline import SubsettingPipeline
 from repro.simgpu.config import GpuConfig

@@ -9,7 +9,7 @@ from repro.core.features import FEATURE_NAMES, NUM_FEATURES, FeatureExtractor
 from repro.errors import ValidationError
 from repro.gfx.frame import Frame
 
-from tests.conftest import make_draw, make_world
+from tests.conftest import make_draw
 
 
 @pytest.fixture

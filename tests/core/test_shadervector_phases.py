@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core.phasedetect import PhaseDetection, detect_phases, phase_purity
+from repro.core.phasedetect import detect_phases, phase_purity
 from repro.core.shadervector import (
-    interval_signature,
     partition_intervals,
     quantize_count,
     relative_l1_distance,

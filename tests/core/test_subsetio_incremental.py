@@ -192,7 +192,6 @@ class TestIncrementalClusterer:
         assert run() == run()
 
     def test_prediction_quality_reasonable(self, game_trace, matrices):
-        from repro.core.metrics import cluster_quality
         from repro.core.predict import predict_time_ns, rep_times_from_draw_times
         from repro.simgpu.batch import precompute_trace, simulate_frames_batch
         from repro.simgpu.config import GpuConfig

@@ -13,7 +13,6 @@ from repro.gfx.commands import (
     SetVertexStream,
 )
 from repro.gfx.commandstream import (
-    CommandInterpreter,
     frames_to_commands,
     interpret_commands,
 )

@@ -11,7 +11,7 @@ from repro.gfx.state import FULLSCREEN_STATE, OPAQUE_STATE
 from repro.gfx.trace import Trace
 from repro.gfx.validate import validate_trace
 
-from tests.conftest import COLOR_RT, DEPTH_RT, make_draw, make_world
+from tests.conftest import COLOR_RT, DEPTH_RT, make_draw
 
 
 def rebuild_with_draw(trace: Trace, draw: DrawCall) -> Trace:

@@ -1,8 +1,6 @@
 """Engine-shape sanity: the simulator's view of generated games matches
 renderer intuition (the cross-check between synth and simgpu)."""
 
-import pytest
-
 from repro.simgpu.batch import simulate_frames_batch
 from repro.simgpu.config import GpuConfig
 from repro.synth.generator import TraceGenerator

@@ -1,7 +1,5 @@
 """Property-based tests on cross-module invariants (hypothesis)."""
 
-import dataclasses
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
