@@ -1,0 +1,1 @@
+"""IMP003 clean twin package: dependencies flow one way only."""

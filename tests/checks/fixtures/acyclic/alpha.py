@@ -1,0 +1,7 @@
+"""Clean twin: alpha depends on beta, beta depends on nothing."""
+
+from acyclic import beta
+
+
+def ping(depth: int) -> int:
+    return beta.pong(depth) + 1

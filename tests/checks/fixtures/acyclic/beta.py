@@ -1,0 +1,5 @@
+"""Clean twin leaf module: no imports back into the package."""
+
+
+def pong(depth: int) -> int:
+    return depth

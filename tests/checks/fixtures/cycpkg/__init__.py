@@ -1,0 +1,1 @@
+"""IMP003 fixture package: alpha and beta import each other."""

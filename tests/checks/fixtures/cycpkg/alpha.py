@@ -1,0 +1,9 @@
+"""Half of the cycle: alpha needs beta at import time."""
+
+from cycpkg import beta  # expect: IMP003
+
+
+def ping(depth: int) -> int:
+    if depth <= 0:
+        return 0
+    return beta.pong(depth - 1) + 1

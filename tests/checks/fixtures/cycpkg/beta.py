@@ -1,0 +1,9 @@
+"""Other half of the cycle: beta needs alpha at import time."""
+
+import cycpkg.alpha as alpha
+
+
+def pong(depth: int) -> int:
+    if depth <= 0:
+        return 0
+    return alpha.ping(depth - 1) + 1

@@ -1,0 +1,17 @@
+"""DET001 fixture: draws from the interpreter-global RNG stream."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def sample_frames(count: int) -> list:
+    frames = [random.random() for _ in range(count)]  # expect: DET001
+    np.random.shuffle(frames)  # expect: DET001
+    shuffle(frames)  # expect: DET001
+    return frames
+
+
+def pick() -> float:
+    return np.random.rand()  # expect: DET001

@@ -1,0 +1,16 @@
+"""DET001 clean twin: every RNG stream derives from an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def sample_frames(count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    frames = list(rng.random(count))
+    random.Random(seed).shuffle(frames)
+    return frames
+
+
+def reseed_guard(seed: int) -> None:
+    np.random.seed(seed)

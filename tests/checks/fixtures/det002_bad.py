@@ -1,0 +1,16 @@
+"""DET002 fixture: wall-clock reads outside the obs allowlist."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # expect: DET002
+
+
+def nanos() -> int:
+    return time.time_ns()  # expect: DET002
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # expect: DET002

@@ -1,0 +1,10 @@
+"""DET002 clean twin: perf_counter measures durations, never feeds results."""
+
+import time
+from typing import Callable
+
+
+def measure(fn: Callable[[], None]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

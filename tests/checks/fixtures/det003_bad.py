@@ -1,0 +1,11 @@
+"""DET003 fixture: environment reads the cache key cannot see."""
+
+import os
+
+
+def cache_root() -> str:
+    return os.environ["REPRO_SCRATCH"]  # expect: DET003
+
+
+def dataset_scale() -> str:
+    return os.getenv("REPRO_SCALE", "small")  # expect: DET003

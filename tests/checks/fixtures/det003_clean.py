@@ -1,0 +1,9 @@
+"""DET003 clean twin: configuration arrives as an explicit parameter."""
+
+
+def cache_root(scratch_dir: str) -> str:
+    return scratch_dir
+
+
+def dataset_scale(scale: str = "small") -> str:
+    return scale

@@ -1,0 +1,15 @@
+"""DET004 fixture: mutable defaults shared across every call."""
+
+
+def collect(frame: int, bucket=[]):  # expect: DET004
+    bucket.append(frame)
+    return bucket
+
+
+def tally(counts=dict()):  # expect: DET004
+    return counts
+
+
+def label(parts: tuple, *, seen=set()):  # expect: DET004
+    seen.update(parts)
+    return sorted(seen)

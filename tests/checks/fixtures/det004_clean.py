@@ -1,0 +1,10 @@
+"""DET004 clean twin: default to None, construct inside the body."""
+
+from typing import List, Optional
+
+
+def collect(frame: int, bucket: Optional[List[int]] = None) -> List[int]:
+    if bucket is None:
+        bucket = []
+    bucket.append(frame)
+    return bucket

@@ -1,0 +1,17 @@
+"""DET005 fixture: digest inputs that depend on dict insertion order."""
+
+import hashlib
+import json
+
+
+def digest_params(params: dict) -> str:
+    hasher = hashlib.sha256()
+    for key, value in params.items():  # expect: DET005
+        hasher.update(f"{key}={value!r}".encode())
+    hasher.update(json.dumps(params).encode())  # expect: DET005
+    return hasher.hexdigest()
+
+
+def key_for(params: dict) -> str:
+    parts = [f"{k}={v!r}" for k, v in params.items()]  # expect: DET005
+    return digest_params({"joined": "|".join(parts)})

@@ -1,0 +1,12 @@
+"""DET005 clean twin: digest inputs are canonically ordered."""
+
+import hashlib
+import json
+
+
+def digest_params(params: dict) -> str:
+    hasher = hashlib.sha256()
+    for key, value in sorted(params.items()):
+        hasher.update(f"{key}={value!r}".encode())
+    hasher.update(json.dumps(params, sort_keys=True).encode())
+    return hasher.hexdigest()

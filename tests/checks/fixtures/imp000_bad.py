@@ -1,0 +1,4 @@
+"""IMP000 fixture: a file that does not parse."""
+
+def broken(:  # expect: IMP000
+    return 1

@@ -1,0 +1,15 @@
+"""IMP001 fixture: the PR 2 batch.py bug shape — a NameError in waiting."""
+
+from typing import List
+
+
+def total(items: List[int]) -> int:
+    acc = 0
+    for item in items:
+        acc += item
+    return acc
+
+
+def error_path(frame_count: int) -> None:
+    if frame_count < 0:
+        raise SimulationError(f"bad frame count: {frame_count}")  # expect: IMP001

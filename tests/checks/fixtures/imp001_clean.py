@@ -1,0 +1,12 @@
+"""IMP001 clean twin: every loaded name has a binding."""
+
+from typing import List
+
+
+class SimulationError(ValueError):
+    pass
+
+
+def error_path(frames: List[int]) -> None:
+    if not frames:
+        raise SimulationError("empty frame list")

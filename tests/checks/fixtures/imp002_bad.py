@@ -1,0 +1,10 @@
+"""IMP002 fixture: imports no code in the module ever loads."""
+
+import json  # expect: IMP002
+from typing import Dict, Optional  # expect: IMP002
+
+
+def merge(left: Dict[str, int], right: Dict[str, int]) -> Dict[str, int]:
+    out = dict(left)
+    out.update(right)
+    return out

@@ -1,0 +1,15 @@
+"""IMP002 clean twin: used imports, re-export idiom, __all__ members."""
+
+import json
+from typing import Dict
+from typing import Optional as Optional  # re-export idiom: not flagged
+
+__all__ = ["merge", "VERSION"]
+
+VERSION = json.dumps({"v": 1}, sort_keys=True)
+
+
+def merge(left: Dict[str, int], right: Dict[str, int]) -> Dict[str, int]:
+    out = dict(left)
+    out.update(right)
+    return out

@@ -1,0 +1,19 @@
+"""KEY fixture: drifted hooks and a builder that drops an input."""
+
+KEY_RECORD_FIELDS = ("kind", "version", "trace")
+
+TASK_FIELD_KEYING = {  # expect: KEY001
+    "task_id": "label only",
+    "kind": "keyed directly",
+    "payload": "keyed via digests",
+    "ghost": "names a field Task no longer has",
+}
+
+
+def task_key(kind, *, trace=None, config=None):  # expect: KEY002
+    record = {  # expect: KEY003, KEY003
+        "kind": kind,
+        "trace": repr(trace),
+        "surprise": 1,
+    }
+    return repr(sorted(record.items()))

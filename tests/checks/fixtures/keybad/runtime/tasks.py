@@ -1,0 +1,11 @@
+"""KEY fixture: a Task field added without a keying decision."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    task_id: str
+    kind: str
+    payload: object
+    priority: int  # expect: KEY001

@@ -1,0 +1,20 @@
+"""KEY clean twin: hooks, builder, and record in lockstep."""
+
+KEY_RECORD_FIELDS = ("kind", "version", "payload")
+
+TASK_FIELD_KEYING = {
+    "task_id": "label only",
+    "kind": "keyed directly via the 'kind' record field",
+    "payload": "keyed via the 'payload' record field",
+}
+
+FORMAT_VERSION = 1
+
+
+def task_key(kind, *, payload=None):
+    record = {
+        "kind": kind,
+        "version": FORMAT_VERSION,
+        "payload": repr(payload),
+    }
+    return repr(sorted(record.items()))

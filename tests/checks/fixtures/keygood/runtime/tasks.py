@@ -1,0 +1,10 @@
+"""KEY clean twin: every Task field has a declared keying policy."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    task_id: str
+    kind: str
+    payload: object

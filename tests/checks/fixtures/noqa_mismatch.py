@@ -1,0 +1,7 @@
+"""Suppression fixture: a noqa for the wrong rule does not suppress."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # repro: noqa[DET002]  # expect: DET001

@@ -1,0 +1,11 @@
+"""Suppression fixture: each violation carries its own noqa."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # repro: noqa[DET001]
+
+
+def widen(values: list, extra=[]):  # repro: noqa
+    return list(values) + extra

@@ -1,0 +1,7 @@
+"""Target file for the --load-rules plugin test."""
+
+BANNER = "carries the PLUGIN-MARKER token on line 3"
+
+
+def describe() -> str:
+    return BANNER

@@ -1,0 +1,14 @@
+"""WRK002 fixture: worker-side writes that evaporate under a pool."""
+
+from repro.runtime.tasks import task_function
+
+RESULT_CACHE = {}
+CALL_COUNT = 0
+
+
+@task_function("fixture_mutating_kind")
+def accumulate(context, payload, deps):
+    global CALL_COUNT  # expect: WRK002
+    CALL_COUNT = CALL_COUNT + 1
+    RESULT_CACHE[payload] = deps  # expect: WRK002
+    return CALL_COUNT

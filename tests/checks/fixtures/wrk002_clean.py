@@ -1,0 +1,9 @@
+"""WRK002 clean twin: results flow back through the return value."""
+
+from repro.runtime.tasks import task_function
+
+
+@task_function("fixture_pure_kind")
+def accumulate(context, payload, deps):
+    local_cache = {payload: deps}
+    return {"cache": local_cache, "calls": 1}

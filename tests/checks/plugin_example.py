@@ -1,0 +1,33 @@
+"""A ``--load-rules`` extension module exercised by the registry tests.
+
+Registered ids must not collide with built-ins; the TST9xx namespace is
+reserved for the test suite.  The rule only fires on an explicit marker
+token so its registration (which persists for the rest of the pytest
+process) cannot disturb unrelated fixture runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.checks.findings import Finding
+from repro.checks.registry import get_rule, rule
+
+if TYPE_CHECKING:
+    from repro.checks.engine import ModuleContext
+
+
+@rule(
+    "TST901",
+    name="plugin-marker",
+    severity="warning",
+    hint="remove the marker token",
+)
+def plugin_marker(ctx: "ModuleContext") -> Iterator[Finding]:
+    """Flags lines carrying the literal PLUGIN-MARKER token."""
+    this = get_rule("TST901")
+    for lineno, line in enumerate(ctx.module.lines, start=1):
+        if "PLUGIN-MARKER" in line:
+            yield this.finding(
+                ctx.module.relpath, lineno, 0, "plugin marker token"
+            )

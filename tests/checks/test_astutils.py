@@ -1,0 +1,122 @@
+"""Scope-analysis corner cases that keep IMP001 false-positive free."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.checks.astutils import infer_module_name, parse_noqa
+from repro.checks.engine import run_checks
+
+
+def _imp001(tmp_path: Path, source: str):
+    target = tmp_path / "sample.py"
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = run_checks([target], select=["IMP001"])
+    return [(f.message, f.line) for f in report.findings]
+
+
+def test_comprehension_and_walrus_bindings_are_visible(tmp_path):
+    findings = _imp001(
+        tmp_path,
+        """
+        def shape(rows):
+            widths = [len(row) for row in rows]
+            if (longest := max(widths, default=0)) > 8:
+                return longest
+            return sum(widths)
+        """,
+    )
+    assert findings == []
+
+
+def test_class_scope_is_invisible_to_nested_functions(tmp_path):
+    # Python semantics: methods cannot see class-body names directly.
+    findings = _imp001(
+        tmp_path,
+        """
+        class Config:
+            DEFAULT_RADIUS = 3
+
+            def radius(self):
+                return DEFAULT_RADIUS
+        """,
+    )
+    assert findings == [("undefined name 'DEFAULT_RADIUS'", 6)]
+
+
+def test_flow_free_forward_reference_is_allowed(tmp_path):
+    # Bound anywhere in the scope counts everywhere: mutual recursion
+    # and helper-after-caller layouts must not be flagged.
+    findings = _imp001(
+        tmp_path,
+        """
+        def caller(n):
+            return helper(n) + 1
+
+
+        def helper(n):
+            return n
+        """,
+    )
+    assert findings == []
+
+
+def test_star_import_disables_the_rule_for_the_module(tmp_path):
+    findings = _imp001(
+        tmp_path,
+        """
+        from os.path import *
+
+        def anything():
+            return could_be_from_the_star(1)
+        """,
+    )
+    assert findings == []
+
+
+def test_except_and_with_bindings_are_visible(tmp_path):
+    findings = _imp001(
+        tmp_path,
+        """
+        import io
+
+
+        def read(path):
+            try:
+                with io.open(path) as handle:
+                    return handle.read()
+            except OSError as exc:
+                return str(exc)
+        """,
+    )
+    assert findings == []
+
+
+def test_parse_noqa_targeted_bare_and_absent():
+    noqa = parse_noqa(
+        [
+            "x = 1  # repro: noqa[DET001]",
+            "y = 2  # repro: noqa[DET001, IMP002]",
+            "z = 3  # repro: noqa",
+            "plain = 4",
+        ]
+    )
+    assert noqa[1] == frozenset({"DET001"})
+    assert noqa[2] == frozenset({"DET001", "IMP002"})
+    assert noqa[3] is None  # bare noqa: every rule
+    assert 4 not in noqa
+
+
+def test_infer_module_name_walks_packages(tmp_path):
+    pkg = tmp_path / "outer" / "inner"
+    pkg.mkdir(parents=True)
+    (tmp_path / "outer" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "leaf.py").write_text("x = 1\n")
+    assert infer_module_name(pkg / "leaf.py") == "outer.inner.leaf"
+    assert infer_module_name(pkg / "__init__.py") == "outer.inner"
+    # A module outside any package is just its stem.
+    lone = tmp_path / "lone.py"
+    lone.write_text("x = 1\n")
+    assert infer_module_name(lone) == "lone"

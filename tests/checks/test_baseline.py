@@ -1,0 +1,104 @@
+"""Baseline semantics: round-trip, multiset budget, staleness, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checks import baseline
+from repro.checks.findings import Finding
+from repro.errors import CheckError
+
+
+def _finding(message: str, line: int = 10, path: str = "src/x.py") -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        rule_id="DET001",
+        severity="error",
+        message=message,
+    )
+
+
+def test_round_trip_absorbs_every_written_finding(tmp_path):
+    findings = [_finding("first"), _finding("second", line=20)]
+    target = tmp_path / "baseline.json"
+    baseline.write(findings, target)
+
+    entries = baseline.load(target)
+    result = baseline.apply(findings, entries)
+    assert result.new_findings == []
+    assert len(result.baselined) == 2
+    assert result.stale_entries == []
+
+
+def test_written_file_is_sorted_and_versioned(tmp_path):
+    target = tmp_path / "baseline.json"
+    baseline.write([_finding("zz"), _finding("aa")], target)
+    payload = json.loads(target.read_text())
+    assert payload["version"] == baseline.BASELINE_VERSION
+    messages = [e["message"] for e in payload["entries"]]
+    assert messages == sorted(messages)
+
+
+def test_fingerprint_is_line_independent():
+    # The violation moved 40 lines down; the baseline still matches.
+    entries = [{"rule": "DET001", "path": "src/x.py", "message": "moved"}]
+    result = baseline.apply([_finding("moved", line=50)], entries)
+    assert result.new_findings == []
+    assert len(result.baselined) == 1
+
+
+def test_multiset_budget_blocks_violation_growth():
+    # One baselined occurrence cannot absorb two findings: growth of a
+    # known violation is still a failure.
+    entries = [{"rule": "DET001", "path": "src/x.py", "message": "dup"}]
+    findings = [_finding("dup", line=5), _finding("dup", line=9)]
+    result = baseline.apply(findings, entries)
+    assert len(result.baselined) == 1
+    assert len(result.new_findings) == 1
+
+
+def test_stale_entries_are_reported(tmp_path):
+    entries = [
+        {"rule": "DET001", "path": "src/x.py", "message": "still here"},
+        {"rule": "DET001", "path": "src/gone.py", "message": "fixed ages ago"},
+    ]
+    result = baseline.apply([_finding("still here")], entries)
+    assert result.new_findings == []
+    assert [e["path"] for e in result.stale_entries] == ["src/gone.py"]
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(CheckError, match="version"):
+        baseline.load(target)
+
+
+def test_load_rejects_malformed_json_and_shape(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text("{not json")
+    with pytest.raises(CheckError, match="not valid JSON"):
+        baseline.load(target)
+    target.write_text(json.dumps({"version": 1}))
+    with pytest.raises(CheckError, match="entries"):
+        baseline.load(target)
+    target.write_text(
+        json.dumps({"version": 1, "entries": [{"rule": "DET001"}]})
+    )
+    with pytest.raises(CheckError, match="missing"):
+        baseline.load(target)
+
+
+def test_find_default_walks_up_from_nested_directories(tmp_path):
+    (tmp_path / baseline.DEFAULT_BASELINE_NAME).write_text(
+        json.dumps({"version": 1, "entries": []})
+    )
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    found = baseline.find_default(start=nested)
+    assert found is not None
+    assert found.parent == tmp_path

@@ -1,0 +1,101 @@
+"""`repro check` end to end: exit codes, formats, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+from tests.checks.support import FIXTURES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BAD = str(FIXTURES / "det001_bad.py")
+CLEAN = str(FIXTURES / "det001_clean.py")
+
+
+def test_violations_exit_nonzero_with_text_findings(capsys):
+    assert main(["check", BAD, "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "hint:" in out
+    assert "finding(s)" in out  # summary footer
+
+
+def test_clean_file_exits_zero(capsys):
+    assert main(["check", CLEAN, "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_json_output_parses(capsys):
+    assert main(["check", BAD, "--no-baseline", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert {f["rule"] for f in payload["findings"]} == {"DET001"}
+
+
+def test_github_format_annotates(capsys):
+    assert main(["check", BAD, "--no-baseline", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "title=DET001" in out
+
+
+def test_select_narrows_the_run(capsys):
+    assert main(["check", BAD, "--no-baseline", "--select", "DET004"]) == 0
+    assert main(["check", BAD, "--no-baseline", "--select", "det001"]) == 1
+    capsys.readouterr()
+
+
+def test_unknown_select_is_a_clean_cli_error(capsys):
+    assert main(["check", BAD, "--no-baseline", "--select", "NOPE1"]) == 1
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules_prints_the_catalog(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "IMP003", "KEY003", "WRK002"):
+        assert rule_id in out
+
+
+def test_write_baseline_then_rerun_is_green(tmp_path, capsys):
+    baseline = tmp_path / "accepted.json"
+    assert main(["check", BAD, "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    assert baseline.exists()
+    # Same violations, now grandfathered: the gate passes...
+    assert main(["check", BAD, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "4 baselined" in out
+    # ...but a file with violations outside the baseline still fails.
+    assert main(["check", BAD, str(FIXTURES / "det002_bad.py"),
+                 "--baseline", str(baseline)]) == 1
+
+
+def test_stale_baseline_entries_are_noted(tmp_path, capsys):
+    baseline = tmp_path / "accepted.json"
+    assert main(["check", BAD, "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["check", CLEAN, "--baseline", str(baseline)]) == 0
+    assert "stale baseline entr" in capsys.readouterr().out
+
+
+def test_load_rules_flag_runs_plugin_rules(capsys):
+    assert main([
+        "check", str(FIXTURES / "plugin_target.py"), "--no-baseline",
+        "--load-rules", "tests.checks.plugin_example",
+        "--select", "TST901",
+    ]) == 1
+    assert "TST901" in capsys.readouterr().out
+
+
+def test_repo_gate_src_repro_is_clean(monkeypatch, capsys):
+    # The CI invocation: the shipped tree plus the committed (empty)
+    # baseline must be green.
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["check", "src/repro"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out

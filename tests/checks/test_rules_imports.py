@@ -1,0 +1,69 @@
+"""IMP rule family: syntax errors, undefined names, dead imports, cycles."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.checks.support import (
+    FIXTURES,
+    assert_matches_markers,
+    check,
+    observed,
+)
+
+
+def test_syntax_error_becomes_a_structured_imp000_finding():
+    path = FIXTURES / "imp000_bad.py"
+    report = check(path)
+    assert_matches_markers(report, path)
+    (finding,) = report.findings
+    assert finding.rule_id == "IMP000"
+    assert finding.message.startswith("syntax error:")
+
+
+def test_syntax_error_skipped_when_imp000_not_selected():
+    report = check(FIXTURES / "imp000_bad.py", select=["IMP001"])
+    assert report.findings == []
+
+
+@pytest.mark.parametrize("stem", ("imp001", "imp002"))
+def test_bad_fixture_matches_markers(stem):
+    path = FIXTURES / f"{stem}_bad.py"
+    assert_matches_markers(check(path), path)
+
+
+@pytest.mark.parametrize("stem", ("imp001", "imp002"))
+def test_clean_twin_is_clean(stem):
+    path = FIXTURES / f"{stem}_clean.py"
+    assert observed(check(path)) == []
+
+
+def test_imp001_names_the_missing_symbol():
+    report = check(FIXTURES / "imp001_bad.py", select=["IMP001"])
+    assert [f.message for f in report.findings] == [
+        "undefined name 'SimulationError'"
+    ]
+
+
+def test_imp002_is_a_warning_not_an_error():
+    report = check(FIXTURES / "imp002_bad.py", select=["IMP002"])
+    assert report.findings
+    assert {f.severity for f in report.findings} == {"warning"}
+    assert sorted(f.message for f in report.findings) == [
+        "unused import 'Optional'",
+        "unused import 'json'",
+    ]
+
+
+def test_imp003_reports_the_cycle_once_at_the_anchor_import():
+    path = FIXTURES / "cycpkg"
+    report = check(path)
+    assert_matches_markers(report, path)
+    (finding,) = report.findings
+    assert finding.rule_id == "IMP003"
+    assert finding.message == "import cycle among: cycpkg.alpha, cycpkg.beta"
+    assert finding.path.endswith("cycpkg/alpha.py")
+
+
+def test_imp003_acyclic_twin_is_clean():
+    assert observed(check(FIXTURES / "acyclic")) == []

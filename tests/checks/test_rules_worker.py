@@ -1,0 +1,48 @@
+"""WRK rule family: task functions must be picklable and side-effect free."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.checks.support import (
+    FIXTURES,
+    assert_matches_markers,
+    check,
+    observed,
+)
+
+
+@pytest.mark.parametrize("stem", ("wrk001", "wrk002"))
+def test_bad_fixture_matches_markers(stem):
+    path = FIXTURES / f"{stem}_bad.py"
+    assert_matches_markers(check(path), path)
+
+
+@pytest.mark.parametrize("stem", ("wrk001", "wrk002"))
+def test_clean_twin_is_clean(stem):
+    path = FIXTURES / f"{stem}_clean.py"
+    assert observed(check(path)) == []
+
+
+def test_wrk001_names_the_nested_function():
+    report = check(FIXTURES / "wrk001_bad.py", select=["WRK001"])
+    assert [f.message for f in report.findings] == [
+        "task function run_nested() is not defined at module level"
+    ]
+
+
+def test_wrk002_reports_global_decl_and_subscript_store():
+    report = check(FIXTURES / "wrk002_bad.py", select=["WRK002"])
+    messages = sorted(f.message for f in report.findings)
+    assert messages == [
+        "task function accumulate() declares global CALL_COUNT",
+        "task function accumulate() writes through module-level name "
+        "'RESULT_CACHE'",
+    ]
+
+
+def test_wrk002_rebinding_a_local_is_not_a_global_write():
+    # wrk002_clean assigns `local_cache` inside the task body; a plain
+    # local store must never be confused with a module-global write.
+    report = check(FIXTURES / "wrk002_clean.py", select=["WRK002"])
+    assert report.findings == []
