@@ -47,14 +47,30 @@ EXPERIMENT_RUNNERS = (
 )
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` accepts a positive worker count or the string 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     """Execution-backend flags shared by every simulating subcommand."""
     group = parser.add_argument_group("runtime")
     group.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for simulation/clustering (default: 1, serial)",
+        help=(
+            "worker processes for simulation/clustering: a count, or "
+            "'auto' to size to the host and run small workloads inline "
+            "(default: 1, serial)"
+        ),
     )
     group.add_argument(
         "--cache-dir",

@@ -14,8 +14,7 @@ simulated cost.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,30 +51,39 @@ NUM_FEATURES = len(FEATURE_NAMES)
 class FeatureExtractor:
     """Extracts feature vectors/matrices for the draws of one trace.
 
-    Shader- and texture-derived sub-vectors are cached per id, so paper-
-    scale corpora extract quickly.
+    Matrix extraction is column-vectorized: scalar draw attributes are
+    gathered into numpy columns in one pass, shader sub-vectors come from
+    a per-trace ``(num_shaders, 5)`` table via fancy indexing, and the
+    ``log1p`` compression runs over whole columns.  :meth:`extract` stays
+    as the one-draw reference; :meth:`draws_matrix` produces bit-identical
+    rows without paying a Python-level model evaluation per draw.
     """
 
     def __init__(self, trace: Trace) -> None:
         self.trace = trace
-        self._shader_cache: Dict[int, np.ndarray] = {}
+        self._shader_lookup: Optional[Tuple[np.ndarray, Dict[int, int]]] = None
         self._footprint_cache: Dict[tuple, float] = {}
         self._rt_bpp_cache: Dict[tuple, float] = {}
 
     def extract(self, draw: DrawCall) -> np.ndarray:
-        """The feature vector of one draw (length ``NUM_FEATURES``)."""
+        """The feature vector of one draw (length ``NUM_FEATURES``).
+
+        Uses ``np.log1p`` (not ``math.log1p``) so scalar extraction is
+        bit-identical to the vectorized :meth:`draws_matrix` columns —
+        the two can differ by 1 ULP on some inputs.
+        """
         row = np.empty(NUM_FEATURES)
-        row[0] = math.log1p(draw.total_vertices)
-        row[1] = math.log1p(draw.primitive_count)
-        row[2] = math.log1p(draw.pixels_rasterized)
-        row[3] = math.log1p(draw.pixels_shaded)
+        row[0] = np.log1p(draw.total_vertices)
+        row[1] = np.log1p(draw.primitive_count)
+        row[2] = np.log1p(draw.pixels_rasterized)
+        row[3] = np.log1p(draw.pixels_shaded)
         row[4:9] = self._shader_features(draw.shader_id)
-        row[9] = math.log1p(self._footprint(draw.texture_ids))
+        row[9] = np.log1p(self._footprint(draw.texture_ids))
         row[10] = len(draw.texture_ids)
         row[11] = self._rt_bytes_per_pixel(draw.render_target_ids)
         row[12] = len(draw.render_target_ids)
-        row[13] = math.log1p(draw.vertex_stride_bytes)
-        row[14] = math.log1p(draw.instance_count)
+        row[13] = np.log1p(draw.vertex_stride_bytes)
+        row[14] = np.log1p(draw.instance_count)
         row[15] = 1.0 if draw.state.depth.reads_depth else 0.0
         row[16] = 1.0 if draw.state.depth.writes_depth else 0.0
         row[17] = 1.0 if draw.state.blend.reads_destination else 0.0
@@ -90,10 +98,54 @@ class FeatureExtractor:
         return self.draws_matrix(draws)
 
     def draws_matrix(self, draws: Sequence[DrawCall]) -> np.ndarray:
-        """Feature matrix for an arbitrary draw sequence."""
-        matrix = np.empty((len(draws), NUM_FEATURES))
-        for i, draw in enumerate(draws):
-            matrix[i] = self.extract(draw)
+        """Feature matrix for an arbitrary draw sequence, vectorized.
+
+        Row ``i`` equals ``extract(draws[i])`` exactly (``math.log1p``
+        and ``np.log1p`` are the same libm call).
+        """
+        n = len(draws)
+        matrix = np.empty((n, NUM_FEATURES))
+        if n == 0:
+            return matrix
+        counts = np.array(
+            [
+                (
+                    d.total_vertices,
+                    d.primitive_count,
+                    d.pixels_rasterized,
+                    d.pixels_shaded,
+                    d.vertex_stride_bytes,
+                    d.instance_count,
+                )
+                for d in draws
+            ],
+            dtype=float,
+        )
+        np.log1p(counts, out=counts)
+        matrix[:, 0:4] = counts[:, 0:4]
+        matrix[:, 13] = counts[:, 4]
+        matrix[:, 14] = counts[:, 5]
+        table, index = self._shader_table()
+        try:
+            rows = np.array(
+                [index[d.shader_id] for d in draws], dtype=np.intp
+            )
+        except KeyError as missing:
+            self.trace.shader(missing.args[0])  # raises "unknown shader"
+            raise
+        matrix[:, 4:9] = table[rows]
+        matrix[:, 9] = np.log1p(
+            [self._footprint(d.texture_ids) for d in draws]
+        )
+        matrix[:, 10] = [len(d.texture_ids) for d in draws]
+        matrix[:, 11] = [
+            self._rt_bytes_per_pixel(d.render_target_ids) for d in draws
+        ]
+        matrix[:, 12] = [len(d.render_target_ids) for d in draws]
+        matrix[:, 15] = [d.state.depth.reads_depth for d in draws]
+        matrix[:, 16] = [d.state.depth.writes_depth for d in draws]
+        matrix[:, 17] = [d.state.blend.reads_destination for d in draws]
+        matrix[:, 18] = [d.state.cull.value == "none" for d in draws]
         return matrix
 
     def trace_matrices(self) -> List[np.ndarray]:
@@ -102,21 +154,32 @@ class FeatureExtractor:
 
     # -- cached lookups ------------------------------------------------------
 
+    def _shader_table(self) -> Tuple[np.ndarray, Dict[int, int]]:
+        """Per-trace shader feature table + shader-id -> row mapping."""
+        if self._shader_lookup is None:
+            index: Dict[int, int] = {}
+            rows = []
+            for shader_id, shader in self.trace.shaders.items():
+                index[shader_id] = len(rows)
+                rows.append(
+                    (
+                        float(shader.vertex.alu_ops),
+                        float(shader.vertex.tex_ops),
+                        float(shader.pixel.alu_ops),
+                        float(shader.pixel.tex_ops),
+                        float(shader.pixel.interpolants),
+                    )
+                )
+            table = np.array(rows) if rows else np.empty((0, 5))
+            self._shader_lookup = (table, index)
+        return self._shader_lookup
+
     def _shader_features(self, shader_id: int) -> np.ndarray:
-        cached = self._shader_cache.get(shader_id)
-        if cached is None:
-            shader = self.trace.shader(shader_id)
-            cached = np.array(
-                [
-                    float(shader.vertex.alu_ops),
-                    float(shader.vertex.tex_ops),
-                    float(shader.pixel.alu_ops),
-                    float(shader.pixel.tex_ops),
-                    float(shader.pixel.interpolants),
-                ]
-            )
-            self._shader_cache[shader_id] = cached
-        return cached
+        table, index = self._shader_table()
+        row = index.get(shader_id)
+        if row is None:
+            self.trace.shader(shader_id)  # raises "unknown shader"
+        return table[index[shader_id]]
 
     def _footprint(self, texture_ids: tuple) -> float:
         cached = self._footprint_cache.get(texture_ids)

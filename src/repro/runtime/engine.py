@@ -186,7 +186,11 @@ class TaskEngine:
             pending.append(task)
         if not pending:
             return results
-        if self.jobs == 1:
+        if self.jobs == 1 or len(pending) == 1:
+            # A one-task graph gains nothing from a pool: spinning up a
+            # worker process costs orders of magnitude more than the
+            # inline dispatch, and the inline path is the reference
+            # behavior anyway.
             self._run_serial(pending, context, results)
         else:
             self._run_pool(pending, context, results)
@@ -288,8 +292,18 @@ class TaskEngine:
             pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _chunk_ranges(num_items: int, num_chunks: int) -> List[Tuple[int, int]]:
-    """Split ``[0, num_items)`` into contiguous near-equal ranges."""
+def _chunk_ranges(
+    num_items: int, num_chunks: int, min_items: int = 1
+) -> List[Tuple[int, int]]:
+    """Split ``[0, num_items)`` into contiguous near-equal ranges.
+
+    ``min_items`` floors the chunk size: chunks smaller than it cost more
+    in task dispatch than the work they carry, so the chunk count is
+    reduced until every range holds at least ``min_items`` items (or one
+    chunk remains).
+    """
+    if min_items > 1:
+        num_chunks = min(num_chunks, max(1, num_items // min_items))
     num_chunks = max(1, min(num_chunks, num_items))
     base, extra = divmod(num_items, num_chunks)
     ranges: List[Tuple[int, int]] = []
@@ -307,24 +321,35 @@ class Runtime:
     The default construction (``Runtime()`` / :meth:`Runtime.serial`) is
     the zero-surprise configuration: one process, no cache, results
     bit-identical to the historical serial code paths.  ``jobs=N`` adds
-    process-pool parallelism; ``cache_dir=...`` (or a prebuilt ``cache``)
-    adds the content-addressed artifact store, so repeated experiments
-    and interrupted sweeps skip every already-computed simulation.
+    process-pool parallelism; ``jobs="auto"`` sizes the pool to the host
+    CPU count *and* falls back to inline execution for workloads smaller
+    than ``serial_cutoff`` frames, where pool startup and pickling cost
+    more than the simulation itself (results are identical either way —
+    only the execution strategy adapts).  ``cache_dir=...`` (or a
+    prebuilt ``cache``) adds the content-addressed artifact store, so
+    repeated experiments and interrupted sweeps skip every
+    already-computed simulation.
 
     ``tracer=Tracer()`` (or a prebuilt ``telemetry`` bound to one)
     enables hierarchical span tracing; the default
     :data:`~repro.obs.spans.NULL_TRACER` makes every span a no-op.
     """
 
+    #: Below this many work items, ``jobs="auto"`` runs inline: on traces
+    #: this small the process pool's startup + serialization overhead
+    #: exceeds the simulation work (measured in BENCH_runtime.json).
+    DEFAULT_SERIAL_CUTOFF = 32
+
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache: Optional[CacheLike] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         telemetry: Optional[Telemetry] = None,
         tracer: Optional[object] = None,
         seed: int = 0,
         chunks_per_job: int = 2,
+        serial_cutoff: Optional[int] = None,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ConfigError("pass either cache or cache_dir, not both")
@@ -336,6 +361,21 @@ class Runtime:
             raise ConfigError(
                 f"chunks_per_job must be an int >= 1, got {chunks_per_job!r}"
             )
+        if serial_cutoff is not None and (
+            not isinstance(serial_cutoff, int)
+            or isinstance(serial_cutoff, bool)
+            or serial_cutoff < 0
+        ):
+            raise ConfigError(
+                f"serial_cutoff must be an int >= 0, got {serial_cutoff!r}"
+            )
+        self.adaptive = jobs == "auto"
+        if self.adaptive:
+            jobs = os.cpu_count() or 1
+        self.serial_cutoff = (
+            serial_cutoff if serial_cutoff is not None
+            else self.DEFAULT_SERIAL_CUTOFF
+        )
         if telemetry is None:
             telemetry = Telemetry(tracer=tracer)
         self.telemetry = telemetry
@@ -374,8 +414,23 @@ class Runtime:
     # -- chunking ----------------------------------------------------------
 
     def _ranges(self, num_items: int) -> List[Tuple[int, int]]:
+        """Work partition for ``num_items`` frames under this runtime.
+
+        ``jobs="auto"`` runtimes return a single range for workloads
+        under ``serial_cutoff`` (the engine runs one-task graphs inline,
+        so small traces never touch the pool) and floor the chunk size
+        for everything else; explicit ``jobs=N`` keeps the historical
+        fixed partition.
+        """
         if self.jobs == 1:
             return [(0, num_items)]
+        if self.adaptive:
+            if num_items < self.serial_cutoff:
+                return [(0, num_items)]
+            min_items = max(1, self.serial_cutoff // 4)
+            return _chunk_ranges(
+                num_items, self.jobs * self.chunks_per_job, min_items=min_items
+            )
         return _chunk_ranges(num_items, self.jobs * self.chunks_per_job)
 
     # -- simulation --------------------------------------------------------

@@ -34,7 +34,9 @@ from repro.simgpu.config import GpuConfig
 #: or on-disk artifact encoding.  Old entries become unreachable (never
 #: silently reused) because the version participates in every key.
 #: v2: BatchFrameOutput grew the optional ``stage_cycles`` field.
-CACHE_FORMAT_VERSION = 2
+#: v3: feature extraction standardized on ``np.log1p`` (1 ULP shift vs
+#: ``math.log1p`` on some inputs) when the matrix path was vectorized.
+CACHE_FORMAT_VERSION = 3
 
 #: Introspection hook for the ``repro.checks`` cache-key-completeness
 #: rules (KEY003): the exact fields the :func:`task_key` record carries.

@@ -1,18 +1,34 @@
 """Vectorized simulation path for paper-scale corpora.
 
 Reimplements exactly the model in :mod:`repro.simgpu.cost` over numpy
-arrays, one frame at a time.  Only the order-dependent context (texture
-warmth, switch penalties) runs as a light per-draw loop via the same
-:class:`~repro.simgpu.state_tracker.StateTracker` the sequential
-simulator uses, so the two paths agree bit-for-bit up to float rounding.
+arrays, one frame at a time.  The order-dependent context (texture
+warmth, switch penalties) is *also* array-valued: per-draw switch events
+and texture reuse distances are config-independent, so they are computed
+once per trace (:func:`precompute_frame`) and combined with any
+architecture point by cheap numpy arithmetic — warmth is a reuse-distance
+vs. cache-capacity comparison, switch penalties are event flags times the
+per-config costs.  See ``DESIGN.md`` ("Reuse-distance warmth") for why
+this reformulation is exact for the tracker's size-weighted LRU, not an
+approximation.
 
-The config-independent per-draw arrays are precomputed once per trace
-(:func:`precompute_trace`) and reused across architecture points, which
-is what makes DVFS sweeps over 828K-draw corpora tractable.
+Two evaluation shapes exist on top of the shared precompute:
+
+- :func:`simulate_frame_arrays` — one config, ``(num_draws,)`` arrays
+  (the historical batch path, kept as a bridge and for parity tests);
+- :func:`simulate_frame_multi` — **all** candidate configs at once as a
+  ``(num_configs, num_draws)`` broadcast against a :class:`ConfigTable`,
+  which is what makes architecture sweeps over 828K-draw corpora
+  tractable: the per-config Python draw loop is gone entirely.
+
+Worker processes memoize per-frame precompute keyed by the trace's
+content digest (:func:`frame_precomp_cached`), so consecutive sweep /
+validate tasks on the same trace never redo table resolution or
+reuse-distance analysis.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,13 +40,19 @@ from repro.obs.context import current_obs
 from repro.simgpu import raster, rop, shadercore, texture
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.simulator import FrameResult, TraceResult
-from repro.simgpu.state_tracker import StateTracker
 from repro.util.rng import stable_unit
 
 
 @dataclass
 class FramePrecomp:
-    """Config-independent per-draw arrays for one frame."""
+    """Config-independent per-draw arrays for one frame.
+
+    Beyond the resolved cost-model inputs, this carries the two
+    order-dependent event streams the state tracker used to rebuild per
+    config: binding-switch flags (``*_switch``) and the texture-slot
+    reuse distances (``tex_slot_*``), from which any config's warmth and
+    switch-penalty arrays follow by pure arithmetic.
+    """
 
     frame_index: int
     verts: np.ndarray
@@ -56,8 +78,24 @@ class FramePrecomp:
     depth_bpp: np.ndarray  # 0 when no depth target bound
     noise_units: np.ndarray
     pass_spans: List[Tuple[str, int, int]]
-    draws: list  # DrawCall refs, for the tracker loop
-    textures_by_draw: list  # resolved TextureDesc lists, for the tracker loop
+    draws: list  # DrawCall refs (length/debugging)
+    # Switch-event flags: does draw i change shader / fixed-function
+    # state / render-target binding relative to draw i-1?  (Draw 0 pays
+    # all three, exactly like a fresh StateTracker.)
+    shader_switch: np.ndarray = field(default=None)  # type: ignore[assignment]
+    state_switch: np.ndarray = field(default=None)  # type: ignore[assignment]
+    rt_switch: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # Texture-slot arrays, flattened over each draw's bound-texture list:
+    # byte sizes, LRU reuse distances (np.inf on first touch), the
+    # [offsets[i], offsets[i+1]) segment of draw i, and per-draw totals.
+    tex_slot_sizes: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tex_slot_reuse: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tex_slot_offsets: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tex_totals: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.draws)
 
 
 @dataclass
@@ -98,22 +136,132 @@ def context_signature(config: GpuConfig) -> tuple:
     )
 
 
+class _Fenwick:
+    """Fenwick (binary-indexed) tree over texture-touch timestamps.
+
+    Position t holds the byte size of the texture whose *latest* touch
+    happened at time t (0 otherwise), so a suffix sum over (ts, now] is
+    the total size of distinct textures touched since timestamp ts.
+    """
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self.size:
+            self.tree[i] += delta
+            i += i & -i
+
+    def prefix(self, count: int) -> int:
+        """Sum of the first ``count`` positions."""
+        total = 0
+        i = count
+        tree = self.tree
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return total
+
+
+def _texture_reuse_arrays(
+    textures_by_draw: Sequence[Sequence],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(sizes, reuse, offsets, totals) for one frame's texture bindings.
+
+    ``reuse[s]`` is the size-weighted LRU stack distance of slot ``s``:
+    the slot's own byte size plus the total size of *distinct* textures
+    touched since that texture's previous touch (``np.inf`` on first
+    touch).  A texture is resident in the tracker's LRU of capacity C
+    exactly when ``reuse <= C`` — see DESIGN.md for the equivalence
+    argument — so per-config warmth reduces to one vector comparison.
+    """
+    num_draws = len(textures_by_draw)
+    num_slots = sum(len(textures) for textures in textures_by_draw)
+    sizes = np.zeros(num_slots, dtype=np.int64)
+    reuse = np.full(num_slots, np.inf)
+    offsets = np.zeros(num_draws + 1, dtype=np.int64)
+    fenwick = _Fenwick(num_slots)
+    last_touch: Dict[int, int] = {}
+    live_total = 0  # sum of sizes currently tracked in the fenwick tree
+    slot = 0
+    now = 0
+    for d, textures in enumerate(textures_by_draw):
+        offsets[d] = slot
+        # Residency is checked for every slot of the draw *before* any
+        # of the draw's touches land, mirroring StateTracker.observe.
+        for tex in textures:
+            size = tex.byte_size
+            sizes[slot] = size
+            prev = last_touch.get(tex.texture_id)
+            if prev is not None:
+                reuse[slot] = size + (live_total - fenwick.prefix(prev + 1))
+            slot += 1
+        for tex in textures:
+            prev = last_touch.get(tex.texture_id)
+            if prev is not None:
+                fenwick.add(prev, -tex.byte_size)
+                live_total -= tex.byte_size
+            fenwick.add(now, tex.byte_size)
+            live_total += tex.byte_size
+            last_touch[tex.texture_id] = now
+            now += 1
+    offsets[num_draws] = slot
+    cumulative = np.concatenate(([0], np.cumsum(sizes)))
+    totals = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+    return sizes, reuse, offsets, totals
+
+
+def warm_fractions(fp: FramePrecomp, capacity_bytes: int) -> np.ndarray:
+    """Per-draw warm fraction for an LRU capacity, from reuse distances."""
+    resident = np.where(
+        fp.tex_slot_reuse <= capacity_bytes, fp.tex_slot_sizes, 0
+    )
+    cumulative = np.concatenate(([0], np.cumsum(resident)))
+    warm_bytes = (
+        cumulative[fp.tex_slot_offsets[1:]] - cumulative[fp.tex_slot_offsets[:-1]]
+    )
+    return np.divide(
+        warm_bytes,
+        fp.tex_totals,
+        out=np.zeros(fp.num_draws),
+        where=fp.tex_totals > 0,
+    )
+
+
+def switch_cycles(
+    fp: FramePrecomp,
+    shader_cost: float,
+    state_cost: float,
+    rt_cost: float,
+) -> np.ndarray:
+    """Per-draw switch penalty: event flags times per-config costs."""
+    return (
+        fp.shader_switch * shader_cost
+        + fp.state_switch * state_cost
+        + fp.rt_switch * rt_cost
+    )
+
+
 def context_for_frame(
     fp: FramePrecomp, config: GpuConfig
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(warm_fraction, switch_cycles) for one frame's draws on ``config``.
 
-    Each frame starts from a fresh :class:`StateTracker`, so frames are
-    independent — the property the parallel runtime relies on.
+    Pure array arithmetic over the frame's precomputed event streams;
+    agrees bit-for-bit with walking a fresh
+    :class:`~repro.simgpu.state_tracker.StateTracker` over the frame.
     """
-    tracker = StateTracker(config)
-    tracker.begin_frame()
-    warm = np.empty(len(fp.draws))
-    switch = np.empty(len(fp.draws))
-    for i, (draw, textures) in enumerate(zip(fp.draws, fp.textures_by_draw)):
-        effects = tracker.observe(draw, textures)
-        warm[i] = effects.warm_fraction
-        switch[i] = effects.switch_cycles
+    warm = warm_fractions(fp, config.warm_capacity_bytes)
+    switch = switch_cycles(
+        fp,
+        config.shader_switch_cycles,
+        config.state_switch_cycles,
+        config.rt_switch_cycles,
+    )
     return warm, switch
 
 
@@ -147,15 +295,21 @@ def precompute_frame(trace: Trace, frame) -> FramePrecomp:
         noise_units=np.empty(n),
         pass_spans=[],
         draws=draws,
-        textures_by_draw=[],
+        shader_switch=np.empty(n, dtype=bool),
+        state_switch=np.empty(n, dtype=bool),
+        rt_switch=np.empty(n, dtype=bool),
     )
+    textures_by_draw: List[list] = []
+    prev_shader = None
+    prev_state_key = None
+    prev_rt_key = None
     position = 0
     for render_pass in frame.passes:
         start = position
         for draw in render_pass.draws:
             shader = trace.shader(draw.shader_id)
             textures = [trace.texture(tid) for tid in draw.texture_ids]
-            fp.textures_by_draw.append(textures)
+            textures_by_draw.append(textures)
             color_targets = [
                 trace.render_target(rid) for rid in draw.render_target_ids
             ]
@@ -188,8 +342,21 @@ def precompute_frame(trace: Trace, frame) -> FramePrecomp:
             fp.noise_units[i] = stable_unit(
                 "simgpu-noise", frame.index, position
             )
+            fp.shader_switch[i] = draw.shader_id != prev_shader
+            fp.state_switch[i] = draw.state.state_key != prev_state_key
+            rt_key = (draw.render_target_ids, draw.depth_target_id)
+            fp.rt_switch[i] = rt_key != prev_rt_key
+            prev_shader = draw.shader_id
+            prev_state_key = draw.state.state_key
+            prev_rt_key = rt_key
             position += 1
         fp.pass_spans.append((render_pass.pass_type.value, start, position))
+    (
+        fp.tex_slot_sizes,
+        fp.tex_slot_reuse,
+        fp.tex_slot_offsets,
+        fp.tex_totals,
+    ) = _texture_reuse_arrays(textures_by_draw)
     return fp
 
 
@@ -197,6 +364,53 @@ def precompute_trace(trace: Trace) -> TracePrecomp:
     """Resolve tables and build the per-draw arrays for every frame."""
     frames = [precompute_frame(trace, frame) for frame in trace.frames]
     return TracePrecomp(trace=trace, frames=frames)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side precompute memo
+# ---------------------------------------------------------------------------
+
+#: Per-process FramePrecomp cache: trace content digest -> frame index ->
+#: precomputed arrays.  Keyed by digest (not object identity) so a trace
+#: deserialized anew in each task of a sweep still shares the work, and
+#: bounded so long-lived workers touring many traces don't accumulate.
+_FRAME_PRECOMP_MEMO: "OrderedDict[str, Dict[int, FramePrecomp]]" = OrderedDict()
+_FRAME_PRECOMP_TRACE_LIMIT = 2
+
+
+def frame_precomp_cached(trace: Trace, frame) -> FramePrecomp:
+    """Per-frame precompute, memoized per process by trace content digest.
+
+    The digest comes from :func:`repro.runtime.keys.trace_digest` — the
+    same identity the artifact cache uses — so identical traces share
+    entries regardless of which task (or object) asks.
+    """
+    from repro.runtime.keys import trace_digest
+
+    digest = trace_digest(trace)
+    frames = _FRAME_PRECOMP_MEMO.get(digest)
+    if frames is None:
+        while len(_FRAME_PRECOMP_MEMO) >= _FRAME_PRECOMP_TRACE_LIMIT:
+            _FRAME_PRECOMP_MEMO.popitem(last=False)
+        frames = {}
+        _FRAME_PRECOMP_MEMO[digest] = frames
+    else:
+        _FRAME_PRECOMP_MEMO.move_to_end(digest)
+    fp = frames.get(frame.index)
+    if fp is None:
+        fp = precompute_frame(trace, frame)
+        frames[frame.index] = fp
+    return fp
+
+
+def clear_precomp_cache() -> None:
+    """Drop the per-process precompute memo (tests, memory pressure)."""
+    _FRAME_PRECOMP_MEMO.clear()
+
+
+# ---------------------------------------------------------------------------
+# Single-config evaluation (the historical batch path)
+# ---------------------------------------------------------------------------
 
 
 def _throughput(regs: np.ndarray, config: GpuConfig) -> np.ndarray:
@@ -336,6 +550,238 @@ def simulate_frame_arrays(
     )
 
 
+# ---------------------------------------------------------------------------
+# Config-vectorized evaluation (all candidates in one pass)
+# ---------------------------------------------------------------------------
+
+
+class ConfigTable:
+    """Struct-of-arrays view of N candidate configs for broadcasting.
+
+    Every model parameter becomes a ``(N, 1)`` float column so the cost
+    model can evaluate ``(num_configs, num_draws)`` in one numpy pass.
+    Context inputs (warm capacities, switch costs) stay exact Python
+    scalars because warmth needs integer-exact capacity comparisons and
+    both are shared across configs that agree on them.
+    """
+
+    def __init__(self, configs: Sequence[GpuConfig]) -> None:
+        if not configs:
+            raise SimulationError("ConfigTable needs at least one config")
+        for config in configs:
+            if not isinstance(config, GpuConfig):
+                raise SimulationError(
+                    f"config must be GpuConfig, got {type(config).__name__}"
+                )
+        self.configs: Tuple[GpuConfig, ...] = tuple(configs)
+
+        def col(get) -> np.ndarray:
+            return np.array(
+                [float(get(c)) for c in self.configs]
+            ).reshape(-1, 1)
+
+        self.alu_lanes = col(lambda c: c.alu_lanes)
+        self.max_occ_regs = col(lambda c: c.max_full_occupancy_registers)
+        self.vertex_fetch_bpc = col(lambda c: c.vertex_fetch_bytes_per_cycle)
+        self.raster_prims_pc = col(lambda c: c.raster_prims_per_cycle)
+        self.raster_pixels_pc = col(lambda c: c.raster_pixels_per_cycle)
+        self.tex_rate = col(lambda c: c.tex_units_total * c.tex_rate_per_unit)
+        self.tex_capacity = col(lambda c: c.tex_cache_kb * 1024)
+        self.cacheline = col(lambda c: c.cacheline_bytes)
+        self.rop_rate = col(lambda c: c.rop_pixels_total_per_cycle)
+        self.depth_compression = col(lambda c: c.depth_compression)
+        self.serial_fraction = col(lambda c: c.serial_fraction)
+        self.draw_overhead = col(lambda c: c.draw_overhead_cycles)
+        self.noise_amplitude = col(lambda c: c.noise_amplitude)
+        self.l2_miss_vertex = col(lambda c: 1.0 - c.l2_hit_vertex)
+        self.l2_miss_tex = col(lambda c: 1.0 - c.l2_hit_tex)
+        self.l2_miss_rt = col(lambda c: 1.0 - c.l2_hit_rt)
+        self.dram_bpc = col(lambda c: c.dram_bytes_per_mem_cycle)
+        self.core_clock = col(lambda c: c.core_clock_mhz)
+        self.memory_clock = col(lambda c: c.memory_clock_mhz)
+        self.mem_overlap = col(lambda c: c.mem_overlap_residual)
+        self.warm_capacities: Tuple[int, ...] = tuple(
+            c.warm_capacity_bytes for c in self.configs
+        )
+        self.switch_costs: Tuple[Tuple[float, float, float], ...] = tuple(
+            (c.shader_switch_cycles, c.state_switch_cycles, c.rt_switch_cycles)
+            for c in self.configs
+        )
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+def _context_matrix(
+    fp: FramePrecomp, table: ConfigTable
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(warm, switch) as ``(num_configs, num_draws)``, shared per value.
+
+    Rows are computed once per *distinct* warm capacity / switch-cost
+    triple, so a DVFS sweep (identical caches and penalties at every
+    clock) pays for exactly one row each.
+    """
+    num_configs = len(table)
+    n = fp.num_draws
+    warm = np.empty((num_configs, n))
+    switch = np.empty((num_configs, n))
+    warm_rows: Dict[int, np.ndarray] = {}
+    switch_rows: Dict[Tuple[float, float, float], np.ndarray] = {}
+    for ci in range(num_configs):
+        capacity = table.warm_capacities[ci]
+        row = warm_rows.get(capacity)
+        if row is None:
+            row = warm_fractions(fp, capacity)
+            warm_rows[capacity] = row
+        warm[ci] = row
+        costs = table.switch_costs[ci]
+        srow = switch_rows.get(costs)
+        if srow is None:
+            srow = switch_cycles(fp, *costs)
+            switch_rows[costs] = srow
+        switch[ci] = srow
+    return warm, switch
+
+
+def _throughput_multi(regs: np.ndarray, max_occ_regs: np.ndarray) -> np.ndarray:
+    occ = np.minimum(1.0, max_occ_regs / regs)
+    return shadercore.MIN_THROUGHPUT_FACTOR + (
+        1.0 - shadercore.MIN_THROUGHPUT_FACTOR
+    ) * occ
+
+
+def simulate_frame_multi(
+    fp: FramePrecomp,
+    table: ConfigTable,
+    collect_stages: bool = False,
+) -> List[BatchFrameOutput]:
+    """Evaluate one frame on every config as a ``(C, N)`` numpy pass.
+
+    Returns one :class:`BatchFrameOutput` per config, in table order —
+    row ``i`` of every intermediate is numerically identical to running
+    :func:`simulate_frame_arrays` with ``table.configs[i]``.
+    """
+    warm, switch = _context_matrix(fp, table)
+
+    vs_ops = (
+        fp.vs_alu
+        + shadercore.TEX_OP_ALU_COST * fp.vs_tex
+        + shadercore.BRANCH_OP_ALU_COST * fp.vs_branch
+    )
+    ps_ops = (
+        fp.ps_alu
+        + shadercore.TEX_OP_ALU_COST * fp.ps_tex
+        + shadercore.BRANCH_OP_ALU_COST * fp.ps_branch
+    )
+    vertex_cycles = (
+        fp.verts * vs_ops
+        / (table.alu_lanes * _throughput_multi(fp.vs_regs, table.max_occ_regs))
+    )
+    pixel_cycles = (
+        fp.pix_shaded * ps_ops
+        / (table.alu_lanes * _throughput_multi(fp.ps_regs, table.max_occ_regs))
+    )
+
+    vertex_bytes = fp.verts * fp.stride
+    fetch_cycles = vertex_bytes / table.vertex_fetch_bpc
+
+    setup_prims = np.where(fp.cull_none, fp.prims, fp.prims * raster.CULL_SURVIVAL)
+    raster_cycles = (
+        setup_prims / table.raster_prims_pc + fp.pix_rast / table.raster_pixels_pc
+    )
+
+    samples = fp.pix_shaded * fp.ps_tex + fp.verts * fp.vs_tex
+    tex_cycles = samples / table.tex_rate
+    pressure = fp.footprint / table.tex_capacity
+    cold = np.minimum(
+        texture.MAX_MISS, texture.BASE_MISS + texture.CAPACITY_MISS_SCALE * pressure
+    )
+    miss = np.where(
+        fp.footprint == 0,
+        0.0,
+        cold * (warm * texture.WARM_MISS_MULTIPLIER + (1.0 - warm)),
+    )
+    tex_bytes = np.minimum(
+        samples * miss * table.cacheline,
+        texture.FOOTPRINT_OVERFETCH_CAP * fp.footprint,
+    )
+
+    writes = fp.pix_shaded * fp.n_color
+    rop_rate = table.rop_rate * np.where(
+        fp.blend_dest, rop.BLEND_THROUGHPUT_FACTOR, 1.0
+    )
+    depth_tests = np.where(fp.depth_reads, fp.pix_rast, 0.0)
+    rop_cycles = (writes + 0.25 * depth_tests) / rop_rate
+
+    color_write = fp.pix_shaded * fp.color_bpp
+    rt_base = color_write + np.where(fp.blend_dest, color_write, 0.0)
+    depth_pp = fp.depth_bpp * table.depth_compression
+    rt_bytes = rt_base + np.where(fp.depth_reads, fp.pix_rast * depth_pp, 0.0)
+    rt_bytes = rt_bytes + np.where(fp.depth_writes, fp.pix_shaded * depth_pp, 0.0)
+
+    stages = np.stack(
+        [vertex_cycles, fetch_cycles, raster_cycles, pixel_cycles, tex_cycles, rop_cycles]
+    )
+    slowest = stages.max(axis=0)
+    residual = table.serial_fraction * (stages.sum(axis=0) - slowest)
+    core = slowest + residual + switch + table.draw_overhead
+    core = core * (1.0 + table.noise_amplitude * (2.0 * fp.noise_units - 1.0))
+
+    dram_bytes = (
+        vertex_bytes * table.l2_miss_vertex
+        + tex_bytes * table.l2_miss_tex
+        + rt_bytes * table.l2_miss_rt
+    )
+    dram = dram_bytes / table.dram_bpc
+
+    core_ns = 1e3 * core / table.core_clock
+    mem_ns = 1e3 * dram / table.memory_clock
+    times = np.maximum(core_ns, mem_ns) + table.mem_overlap * np.minimum(
+        core_ns, mem_ns
+    )
+
+    time_totals = times.sum(axis=1)
+    core_totals = core.sum(axis=1)
+    dram_totals = dram.sum(axis=1)
+
+    outputs: List[BatchFrameOutput] = []
+    for ci in range(len(table)):
+        pass_times: Dict[str, float] = {}
+        for pass_name, start, end in fp.pass_spans:
+            total = float(times[ci, start:end].sum())
+            pass_times[pass_name] = pass_times.get(pass_name, 0.0) + total
+        stage_cycles: Optional[Dict[str, float]] = None
+        if collect_stages:
+            stage_cycles = {
+                "shader": float(
+                    vertex_cycles[ci].sum() + pixel_cycles[ci].sum()
+                ),
+                "fetch": float(fetch_cycles[ci].sum()),
+                "raster": float(raster_cycles[ci].sum()),
+                "texture": float(tex_cycles[ci].sum()),
+                "rop": float(rop_cycles[ci].sum()),
+                "memory": float(dram[ci].sum()),
+            }
+        outputs.append(
+            BatchFrameOutput(
+                frame_index=fp.frame_index,
+                time_ns=float(time_totals[ci]),
+                core_cycles=float(core_totals[ci]),
+                dram_cycles=float(dram_totals[ci]),
+                draw_times_ns=times[ci],
+                draw_core_cycles=core[ci],
+                pass_times_ns=pass_times,
+                stage_cycles=stage_cycles,
+            )
+        )
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# Trace-level drivers
+# ---------------------------------------------------------------------------
+
+
 def simulate_frames_batch(
     trace: Trace, config: GpuConfig, precomp: Optional[TracePrecomp] = None
 ) -> List[BatchFrameOutput]:
@@ -355,54 +801,55 @@ def simulate_frame_range_multi(
     start: int,
     stop: int,
 ) -> List[List[BatchFrameOutput]]:
-    """Simulate frames ``[start, stop)`` on every config, one frame at a time.
+    """Simulate frames ``[start, stop)`` on every config, config-vectorized.
 
-    Per-frame precompute happens once per frame; the order-dependent
-    context arrays are computed once per distinct context signature (so
-    a DVFS sweep over N clocks walks each frame's draws once, matching
-    :meth:`TracePrecomp.context_arrays` sharing).  Frames are mutually
-    independent, which makes this the unit of work the parallel runtime
-    distributes — any partition of ``[0, num_frames)`` concatenates to
-    exactly the full-trace result.
+    One ``(num_configs, num_draws)`` numpy pass per frame; per-frame
+    precompute comes from the per-process digest-keyed memo, so repeated
+    sweep/validate tasks on the same trace skip it entirely.  Frames are
+    mutually independent, which makes this the unit of work the parallel
+    runtime distributes — any partition of ``[0, num_frames)``
+    concatenates to exactly the full-trace result.
     """
     if not 0 <= start <= stop <= trace.num_frames:
         raise SimulationError(
             f"frame range [{start}, {stop}) invalid for "
             f"{trace.num_frames}-frame trace"
         )
+    configs = tuple(configs)
+    if not configs:
+        return []
     obs = current_obs()
     tracer = obs.tracer
+    table = ConfigTable(configs)
     per_config: List[List[BatchFrameOutput]] = [[] for _ in configs]
     for frame in trace.frames[start:stop]:
-        fp = precompute_frame(trace, frame)
-        contexts: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
-        for slot, config in enumerate(configs):
-            signature = context_signature(config)
-            if signature not in contexts:
-                contexts[signature] = context_for_frame(fp, config)
-            warm, switch = contexts[signature]
-            if tracer.enabled:
-                # A span per simulated frame, carrying where the cycles
-                # went: the trace answers "which stage dominated".
-                with tracer.span(
-                    "simulate_frame",
-                    category="simgpu",
-                    frame=fp.frame_index,
-                    config=config.name,
-                    draws=len(fp.draws),
-                ) as span:
-                    out = simulate_frame_arrays(
-                        fp, warm, switch, config, collect_stages=True
-                    )
-                    span.set(
-                        time_ns=out.time_ns,
-                        **{
-                            f"{stage}_cycles": cycles
-                            for stage, cycles in (out.stage_cycles or {}).items()
-                        },
-                    )
-            else:
-                out = simulate_frame_arrays(fp, warm, switch, config)
+        fp = frame_precomp_cached(trace, frame)
+        if tracer.enabled:
+            # A span per simulated frame, carrying where the cycles went
+            # (summed over the candidate configs): the trace answers
+            # "which stage dominated".
+            with tracer.span(
+                "simulate_frame",
+                category="simgpu",
+                frame=fp.frame_index,
+                draws=fp.num_draws,
+                configs=len(configs),
+            ) as span:
+                outputs = simulate_frame_multi(fp, table, collect_stages=True)
+                totals: Dict[str, float] = {}
+                for out in outputs:
+                    for stage, cycles in (out.stage_cycles or {}).items():
+                        totals[stage] = totals.get(stage, 0.0) + cycles
+                span.set(
+                    time_ns=sum(out.time_ns for out in outputs),
+                    **{
+                        f"{stage}_cycles": cycles
+                        for stage, cycles in totals.items()
+                    },
+                )
+        else:
+            outputs = simulate_frame_multi(fp, table)
+        for slot, out in enumerate(outputs):
             obs.metrics.observe("frame_core_cycles", out.core_cycles)
             per_config[slot].append(out)
     return per_config
@@ -444,3 +891,30 @@ def simulate_trace_batch(
     """Vectorized equivalent of :meth:`GpuSimulator.simulate_trace`."""
     outputs = simulate_frames_batch(trace, config, precomp)
     return trace_result_from_outputs(trace.name, config.name, outputs)
+
+
+def simulate_trace_multi(
+    trace: Trace,
+    configs: Sequence[GpuConfig],
+    precomp: Optional[TracePrecomp] = None,
+) -> List[TraceResult]:
+    """Config-vectorized: the whole trace on every candidate, one pass.
+
+    The fast path for architecture sweeps: per-frame precompute happens
+    once, and every frame is evaluated on all configs as a single
+    ``(num_configs, num_draws)`` broadcast.
+    """
+    configs = tuple(configs)
+    if not configs:
+        return []
+    table = ConfigTable(configs)
+    if precomp is None:
+        precomp = precompute_trace(trace)
+    per_config: List[List[BatchFrameOutput]] = [[] for _ in configs]
+    for fp in precomp.frames:
+        for slot, out in enumerate(simulate_frame_multi(fp, table)):
+            per_config[slot].append(out)
+    return [
+        trace_result_from_outputs(trace.name, config.name, outputs)
+        for config, outputs in zip(configs, per_config)
+    ]

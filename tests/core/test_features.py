@@ -92,3 +92,23 @@ class TestMatrices:
         first = extractor.extract(draw)
         second = extractor.extract(draw)
         assert np.array_equal(first, second)
+
+    def test_matrix_rows_are_extract_vectors(self, extractor, simple_trace):
+        # The vectorized matrix build must be bit-identical to stacking
+        # per-draw extract() calls — it is the same arithmetic in
+        # column order instead of row order.
+        for frame in simple_trace.frames:
+            draws = frame.draw_list
+            matrix = extractor.draws_matrix(draws)
+            rows = np.stack([extractor.extract(d) for d in draws])
+            assert np.array_equal(matrix, rows)
+
+    def test_empty_draws_matrix(self, extractor):
+        matrix = extractor.draws_matrix([])
+        assert matrix.shape == (0, NUM_FEATURES)
+        assert matrix.dtype == np.float64
+
+    def test_matrix_unknown_shader_raises(self, extractor):
+        draws = [make_draw(shader_id=1), make_draw(shader_id=404)]
+        with pytest.raises(ValidationError, match="unknown shader"):
+            extractor.draws_matrix(draws)

@@ -1,11 +1,13 @@
 """Tests for the task engine: graphs, pools, caching, seeding, failures."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigError
 from repro.runtime.cache import ArtifactCache
-from repro.runtime.engine import TaskEngine, _chunk_ranges
+from repro.runtime.engine import Runtime, TaskEngine, _chunk_ranges
 from repro.runtime.tasks import Task, TaskResult, task_function
 from repro.runtime.telemetry import Telemetry
 
@@ -41,6 +43,11 @@ def _draw(context, payload, deps):
 @task_function("test.counted")
 def _counted(context, payload, deps):
     return TaskResult(payload, {"widgets_made": payload})
+
+
+@task_function("test.pid")
+def _pid(context, payload, deps):
+    return TaskResult(os.getpid())
 
 
 def _fan_out(n):
@@ -224,3 +231,94 @@ class TestChunkRanges:
     def test_balanced(self):
         sizes = [stop - start for start, stop in _chunk_ranges(10, 4)]
         assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_items(self):
+        assert _chunk_ranges(0, 4) == [(0, 0)]
+
+    def test_fewer_items_than_chunks(self):
+        assert _chunk_ranges(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_exact_multiple(self):
+        assert _chunk_ranges(16, 4) == [(0, 4), (4, 8), (8, 12), (12, 16)]
+
+    def test_min_items_floors_chunk_size(self):
+        ranges = _chunk_ranges(20, 8, min_items=8)
+        assert ranges == [(0, 10), (10, 20)]
+        for start, stop in ranges:
+            assert stop - start >= 8
+
+    def test_min_items_never_empties(self):
+        # Fewer items than the floor still yields one full-cover range.
+        assert _chunk_ranges(3, 4, min_items=8) == [(0, 3)]
+
+    def test_min_items_one_is_historical_behavior(self):
+        assert _chunk_ranges(10, 4, min_items=1) == _chunk_ranges(10, 4)
+
+
+class TestSingleTaskInline:
+    def test_one_pending_task_runs_in_parent(self):
+        # A one-task graph must not pay pool startup: it runs inline
+        # even on a parallel engine.
+        results = TaskEngine(jobs=4).run([Task("only", "test.pid")])
+        assert results["only"] == os.getpid()
+
+    def test_multi_task_graph_still_uses_workers(self):
+        tasks = [Task(f"p{i}", "test.pid") for i in range(4)]
+        results = TaskEngine(jobs=2).run(tasks)
+        assert any(pid != os.getpid() for pid in results.values())
+
+
+class TestAdaptiveRuntime:
+    def test_auto_resolves_to_host_cpus(self):
+        runtime = Runtime(jobs="auto")
+        assert runtime.adaptive
+        assert runtime.jobs == (os.cpu_count() or 1)
+
+    def test_explicit_jobs_is_not_adaptive(self):
+        assert not Runtime(jobs=4).adaptive
+        assert not Runtime().adaptive
+
+    def test_small_workload_gets_single_range(self):
+        runtime = Runtime(jobs="auto", serial_cutoff=32)
+        assert runtime._ranges(8) == [(0, 8)]
+        assert runtime._ranges(31) == [(0, 31)]
+
+    def test_large_workload_chunks_with_floor(self):
+        runtime = Runtime(jobs="auto", serial_cutoff=32)
+        ranges = runtime._ranges(64)
+        flat = [i for start, stop in ranges for i in range(start, stop)]
+        assert flat == list(range(64))
+        if runtime.jobs > 1:
+            for start, stop in ranges:
+                assert stop - start >= 8
+
+    def test_cutoff_zero_disables_fallback(self):
+        runtime = Runtime(jobs="auto", serial_cutoff=0)
+        ranges = runtime._ranges(4)
+        flat = [i for start, stop in ranges for i in range(start, stop)]
+        assert flat == list(range(4))
+
+    def test_explicit_jobs_partition_unchanged(self):
+        runtime = Runtime(jobs=4)
+        assert runtime._ranges(8) == [
+            (0, 1), (1, 2), (2, 3), (3, 4),
+            (4, 5), (5, 6), (6, 7), (7, 8),
+        ]
+
+    def test_bad_serial_cutoff_rejected(self):
+        with pytest.raises(ConfigError, match="serial_cutoff"):
+            Runtime(jobs="auto", serial_cutoff=-1)
+        with pytest.raises(ConfigError, match="serial_cutoff"):
+            Runtime(jobs="auto", serial_cutoff=True)
+
+    def test_bad_jobs_string_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            Runtime(jobs="fast")
+
+    def test_auto_matches_serial_results(self, simple_trace):
+        from repro.simgpu.config import GpuConfig
+
+        config = GpuConfig.preset("mainstream")
+        reference = Runtime.serial().simulate_trace(simple_trace, config)
+        adaptive = Runtime(jobs="auto").simulate_trace(simple_trace, config)
+        assert adaptive == reference

@@ -13,7 +13,16 @@ from repro.gfx.state import (
     OPAQUE_STATE,
     TRANSPARENT_STATE,
 )
-from repro.simgpu.batch import precompute_trace, simulate_frames_batch, simulate_trace_batch
+from repro.errors import SimulationError
+from repro.simgpu.batch import (
+    clear_precomp_cache,
+    frame_precomp_cached,
+    precompute_trace,
+    simulate_frame_range_multi,
+    simulate_frames_batch,
+    simulate_trace_batch,
+    simulate_trace_multi,
+)
 from repro.simgpu.config import GpuConfig
 from repro.simgpu.simulator import GpuSimulator
 
@@ -34,6 +43,28 @@ draw_strategy = st.builds(
     state=st.sampled_from(STATES),
     topology=st.sampled_from(list(PrimitiveTopology)),
     instance_count=st.integers(min_value=1, max_value=8),
+)
+
+config_strategy = st.builds(
+    lambda cores, tex_kb, l2_kb, clock, mem_clock, shader_sw, rt_sw: (
+        GpuConfig().scaled(
+            name="rnd",
+            num_shader_cores=cores,
+            tex_cache_kb=tex_kb,
+            l2_cache_kb=l2_kb,
+            core_clock_mhz=clock,
+            memory_clock_mhz=mem_clock,
+            shader_switch_cycles=shader_sw,
+            rt_switch_cycles=rt_sw,
+        )
+    ),
+    cores=st.integers(min_value=1, max_value=16),
+    tex_kb=st.integers(min_value=16, max_value=512),
+    l2_kb=st.integers(min_value=128, max_value=4096),
+    clock=st.floats(min_value=400.0, max_value=2000.0),
+    mem_clock=st.floats(min_value=800.0, max_value=3000.0),
+    shader_sw=st.integers(min_value=0, max_value=500),
+    rt_sw=st.integers(min_value=0, max_value=2000),
 )
 
 
@@ -70,6 +101,117 @@ class TestEquivalence:
         seq = GpuSimulator(config).simulate_trace(trace)
         bat = simulate_trace_batch(trace, config)
         assert bat.total_time_ns == pytest.approx(seq.total_time_ns, rel=1e-9)
+
+
+class TestMultiConfigParity:
+    """The config-vectorized pass must agree with both earlier paths."""
+
+    def _candidates(self):
+        return [
+            CFG,
+            CFG.scaled(name="small-caches", tex_cache_kb=16, l2_cache_kb=256),
+            CFG.with_core_clock(1400.0),
+            GpuConfig.preset("lowpower"),
+            GpuConfig.preset("highend"),
+        ]
+
+    def test_matches_single_config_batch_exactly(self, simple_trace):
+        # Row i of the (C, N) broadcast is the same arithmetic as the
+        # 1-D pass — bit-identical, not just close.
+        configs = self._candidates()
+        multi = simulate_trace_multi(simple_trace, configs)
+        for config, result in zip(configs, multi):
+            single = simulate_trace_batch(simple_trace, config)
+            for fs, fm in zip(single.frame_results, result.frame_results):
+                assert fm.time_ns == fs.time_ns
+                assert fm.core_cycles == fs.core_cycles
+                assert fm.dram_cycles == fs.dram_cycles
+                assert fm.pass_times_ns == fs.pass_times_ns
+
+    def test_three_way_parity_on_fixture(self, simple_trace):
+        configs = self._candidates()
+        multi = simulate_trace_multi(simple_trace, configs)
+        for config, result in zip(configs, multi):
+            seq = GpuSimulator(config).simulate_trace(simple_trace)
+            for fs, fm in zip(seq.frame_results, result.frame_results):
+                assert fm.time_ns == pytest.approx(fs.time_ns, rel=1e-12)
+                assert fm.core_cycles == pytest.approx(
+                    fs.core_cycles, rel=1e-12
+                )
+                assert fm.dram_cycles == pytest.approx(
+                    fs.dram_cycles, rel=1e-12
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        frames=st.lists(
+            st.lists(draw_strategy, min_size=1, max_size=8),
+            min_size=1,
+            max_size=3,
+        ),
+        configs=st.lists(config_strategy, min_size=1, max_size=4),
+    )
+    def test_random_traces_and_configs_agree(self, frames, configs):
+        """Sequential, single-config batch, and config-vectorized paths
+        agree per frame on time_ns / core_cycles / dram_cycles."""
+        trace = make_world(frames)
+        multi = simulate_trace_multi(trace, configs)
+        for config, result in zip(configs, multi):
+            seq = GpuSimulator(config).simulate_trace(trace)
+            bat = simulate_trace_batch(trace, config)
+            triples = zip(
+                seq.frame_results, bat.frame_results, result.frame_results
+            )
+            for fs, fb, fm in triples:
+                for attr in ("time_ns", "core_cycles", "dram_cycles"):
+                    want = getattr(fs, attr)
+                    assert getattr(fb, attr) == pytest.approx(want, rel=1e-9)
+                    assert getattr(fm, attr) == pytest.approx(want, rel=1e-9)
+
+    def test_empty_configs(self, simple_trace):
+        assert simulate_trace_multi(simple_trace, []) == []
+        assert simulate_frame_range_multi(simple_trace, [], 0, 1) == []
+
+    def test_shared_precomp_matches_fresh(self, simple_trace):
+        configs = self._candidates()
+        precomp = precompute_trace(simple_trace)
+        shared = simulate_trace_multi(simple_trace, configs, precomp)
+        fresh = simulate_trace_multi(simple_trace, configs)
+        for a, b in zip(shared, fresh):
+            assert a.total_time_ns == b.total_time_ns
+
+    def test_invalid_range_rejected(self, simple_trace):
+        with pytest.raises(SimulationError, match="frame range"):
+            simulate_frame_range_multi(
+                simple_trace, [CFG], 0, simple_trace.num_frames + 1
+            )
+
+
+class TestFramePrecompMemo:
+    def test_cached_by_trace_digest(self, simple_trace):
+        clear_precomp_cache()
+        frame = simple_trace.frames[0]
+        first = frame_precomp_cached(simple_trace, frame)
+        second = frame_precomp_cached(simple_trace, frame)
+        assert first is second
+        clear_precomp_cache()
+        third = frame_precomp_cached(simple_trace, frame)
+        assert third is not first
+
+    def test_memoized_range_matches_direct(self, simple_trace):
+        clear_precomp_cache()
+        warmup = simulate_frame_range_multi(
+            simple_trace, [CFG], 0, simple_trace.num_frames
+        )
+        memoized = simulate_frame_range_multi(
+            simple_trace, [CFG], 0, simple_trace.num_frames
+        )
+        direct = simulate_trace_batch(simple_trace, CFG)
+        for out, warm_out, frame_result in zip(
+            memoized[0], warmup[0], direct.frame_results
+        ):
+            assert out.time_ns == warm_out.time_ns
+            assert out.time_ns == frame_result.time_ns
 
 
 class TestPrecompCache:
