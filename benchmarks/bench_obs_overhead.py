@@ -33,6 +33,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import datasets  # noqa: E402
 from repro.core.pipeline import SubsettingPipeline  # noqa: E402
+from repro.obs.history import record_run  # noqa: E402
 from repro.obs.spans import Tracer  # noqa: E402
 from repro.runtime import Runtime  # noqa: E402
 from repro.simgpu.config import GpuConfig  # noqa: E402
@@ -99,6 +100,21 @@ def main(argv=None) -> int:
     payload = run_benchmark(args.frames, args.repeats)
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+
+    record_run(
+        "bench:obs_overhead",
+        argv=sys.argv[1:],
+        metrics={
+            "gauge:disabled_overhead_pct": payload["disabled_overhead_pct"],
+            "gauge:enabled_overhead_pct": payload["enabled_overhead_pct"],
+            "counter:spans_per_traced_run": payload["spans_per_traced_run"],
+        },
+        stages={
+            "pipeline_disabled": payload["disabled_median_s"],
+            "pipeline_enabled": payload["enabled_median_s"],
+        },
+        extra={"frames": args.frames, "repeats": args.repeats},
+    )
 
     if abs(payload["disabled_overhead_pct"]) > DISABLED_OVERHEAD_LIMIT_PCT:
         print(

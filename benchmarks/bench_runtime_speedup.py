@@ -28,6 +28,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import datasets  # noqa: E402
 from repro.core.pipeline import SubsettingPipeline  # noqa: E402
+from repro.obs.history import record_run  # noqa: E402
 from repro.runtime import Runtime  # noqa: E402
 from repro.simgpu.config import GpuConfig  # noqa: E402
 
@@ -114,6 +115,36 @@ def main(argv=None) -> int:
 
     record = run_benchmark(args.frames, args.scale, args.jobs)
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    timings_s = record["timings_s"]
+    stages = {
+        f"pipeline_{name}": seconds
+        for name, seconds in timings_s.items()
+        if seconds is not None
+    }
+    run_metrics = {
+        "counter:frames_simulated": float(
+            record["cold_counters"]["frames_simulated"]
+        ),
+        "counter:warm_cache_hits": float(
+            record["warm_counters"]["cache_hits"]
+        ),
+        "gauge:warm_vs_cold_speedup": float(
+            record["speedups"]["warm_vs_cold"]
+        ),
+    }
+    if timings_s["parallel"] is not None:
+        run_metrics["gauge:parallel_vs_serial_speedup"] = float(
+            record["speedups"]["parallel_vs_serial"]
+        )
+    record_run(
+        "bench:runtime_speedup",
+        argv=sys.argv[1:],
+        jobs=record["jobs"],
+        metrics=run_metrics,
+        stages=stages,
+        extra={"trace": record["trace"], "draws": record["draws"]},
+    )
 
     timings = record["timings_s"]
     print(

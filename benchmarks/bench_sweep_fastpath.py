@@ -39,6 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import datasets  # noqa: E402
 from repro.core.features import FeatureExtractor  # noqa: E402
 from repro.obs.context import ObsContext, activate_obs  # noqa: E402
+from repro.obs.history import record_run  # noqa: E402
 from repro.obs.metrics import Metrics  # noqa: E402
 from repro.obs.spans import Tracer  # noqa: E402
 from repro.simgpu.batch import (  # noqa: E402
@@ -197,6 +198,27 @@ def main(argv=None) -> int:
 
     record = run_benchmark(args.frames, args.scale, args.configs)
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+
+    record_run(
+        "bench:sweep_fastpath",
+        argv=sys.argv[1:],
+        metrics={
+            "gauge:vectorized_vs_loop_speedup": float(
+                record["speedups"]["vectorized_vs_loop"]
+            ),
+            "gauge:sweep_parity_max_rel_error": float(
+                record["parity"]["max_rel_err_cold"]
+            ),
+        },
+        stages={
+            f"sweep_{name}": seconds
+            for name, seconds in record["timings_s"].items()
+        },
+        extra={
+            "trace": record["trace"],
+            "num_configs": record["num_configs"],
+        },
+    )
 
     timings = record["timings_s"]
     speedups = record["speedups"]

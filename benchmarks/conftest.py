@@ -19,9 +19,29 @@ import pytest
 from repro import datasets
 from repro.analysis.report import ExperimentResult
 from repro.gfx.trace import Trace
+from repro.obs.history import record_run
 from repro.simgpu.config import GpuConfig
 
 _RESULTS: List[ExperimentResult] = []
+
+
+def _result_metrics(result: ExperimentResult) -> Dict[str, float]:
+    """Numeric cells of a result table as flat gauge series.
+
+    Keyed ``gauge:<row label>:<column header>`` so the run store can
+    track a reproduced number (a per-game error percentage, a speedup
+    factor) across sessions and ``repro runs regress`` can gate drifting
+    accuracy metrics.
+    """
+    metrics: Dict[str, float] = {}
+    for row in result.rows:
+        label = str(row[0]).strip() if row else ""
+        for header, cell in zip(result.headers[1:], row[1:]):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            key = f"gauge:{label}:{header}".replace(" ", "_")
+            metrics[key] = float(cell)
+    return metrics
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +67,11 @@ def record_result():
 
     def _record(result: ExperimentResult) -> ExperimentResult:
         _RESULTS.append(result)
+        record_run(
+            f"bench:{result.experiment_id}",
+            metrics=_result_metrics(result),
+            extra={"title": result.title},
+        )
         return result
 
     return _record

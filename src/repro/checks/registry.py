@@ -160,6 +160,7 @@ def _ensure_builtin_rules() -> None:
         "rules_cachekey",
         "rules_determinism",
         "rules_imports",
+        "rules_obs",
         "rules_perf",
         "rules_worker",
     ):

@@ -1,0 +1,68 @@
+"""Observability hygiene rules (OBS001).
+
+Library code that ``print``\\ s bypasses every output contract the
+subsystem maintains: structured JSON-lines logs stay machine-parseable,
+CLI stdout stays stable for the golden tests, and worker processes
+don't interleave garbage into the parent's report.  OBS001 keeps bare
+``print`` calls confined to the two modules whose *job* is user-facing
+output: the CLI itself and the checks reporting renderer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.checks.findings import Finding
+from repro.checks.registry import get_rule, rule
+
+if TYPE_CHECKING:
+    from repro.checks.engine import ModuleContext
+
+#: Relpath fragments where ``print`` IS the module's output contract.
+PRINT_ALLOWLIST = (
+    "repro/cli.py",
+    "repro/checks/reporting.py",
+)
+
+
+def _is_allowlisted(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return any(fragment in normalized for fragment in PRINT_ALLOWLIST)
+
+
+@rule(
+    "OBS001",
+    name="print-in-library-code",
+    severity="warning",
+    hint=(
+        "route library output through repro.obs.logjson (structured "
+        "events), the progress reporter (live status), or return values "
+        "the CLI renders; bare print() belongs only in repro/cli.py and "
+        "repro/checks/reporting.py"
+    ),
+)
+def print_in_library_code(ctx: "ModuleContext") -> Iterator[Finding]:
+    """A bare ``print(...)`` call outside the CLI/reporting modules.
+
+    Only direct ``print`` name calls count — method calls like
+    ``device.print()`` and references without a call are fine.  Debug
+    prints that must stay (none are known) carry
+    ``# repro: noqa[OBS001]``.
+    """
+    this = get_rule("OBS001")
+    module = ctx.module
+    if _is_allowlisted(module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield this.finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                "print() in library code bypasses structured logging",
+            )

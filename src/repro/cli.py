@@ -9,6 +9,8 @@ Subcommands::
     repro sweep     trace.jsonl --preset mainstream
     repro experiment e1 [--full-scale]   # e1..e9
     repro check     src/repro --format github
+    repro runs      list|show|diff|regress   # run-history store
+    repro trace     report spans.jsonl       # span hotspot rollup
 """
 
 from __future__ import annotations
@@ -30,11 +32,13 @@ from repro.gfx.traceio import save_trace_auto as save_trace
 from repro.obs import (
     JsonLogger,
     NullLogger,
+    ProgressReporter,
     RunManifest,
     Tracer,
     write_chrome_trace,
     write_spans_jsonl,
 )
+from repro.obs.history import record_run
 from repro.runtime.engine import Runtime
 from repro.runtime.telemetry import Telemetry
 from repro.simgpu.config import GpuConfig
@@ -116,15 +120,44 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit structured JSON log lines on stderr",
     )
+    obs.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "emit live progress lines on stderr while task graphs run "
+            "(tasks done, frames/sec, ETA; heartbeats while workers are "
+            "busy) and record the throughput as progress_* gauges"
+        ),
+    )
+    obs.add_argument(
+        "--run-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append this run's record (digests, metrics, stage rollups) "
+            "to the run-history store at DIR (default: $REPRO_RUN_STORE "
+            "or .repro/runs)"
+        ),
+    )
+    obs.add_argument(
+        "--no-run-store",
+        action="store_true",
+        help="do not append a run record to the run-history store",
+    )
 
 
-def _runtime_from_args(args, telemetry: Optional[Telemetry] = None) -> Runtime:
+def _runtime_from_args(
+    args, telemetry: Optional[Telemetry] = None, progress=None
+) -> Runtime:
     if args.no_cache:
-        return Runtime(jobs=args.jobs, telemetry=telemetry)
+        return Runtime(jobs=args.jobs, telemetry=telemetry, progress=progress)
     from repro.runtime.cache import default_cache_dir
 
     cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
-    return Runtime(jobs=args.jobs, cache_dir=cache_dir, telemetry=telemetry)
+    return Runtime(
+        jobs=args.jobs, cache_dir=cache_dir, telemetry=telemetry,
+        progress=progress,
+    )
 
 
 class _ObsSession:
@@ -145,7 +178,14 @@ class _ObsSession:
         )
         tracer = Tracer() if getattr(args, "trace_out", None) else None
         self.telemetry = Telemetry(tracer=tracer)
-        self.runtime = _runtime_from_args(args, telemetry=self.telemetry)
+        progress = (
+            ProgressReporter(metrics=self.telemetry.metrics)
+            if getattr(args, "progress", False)
+            else None
+        )
+        self.runtime = _runtime_from_args(
+            args, telemetry=self.telemetry, progress=progress
+        )
         self.seeds: dict = {}
         self.configs: dict = {}
         self.traces: dict = {}
@@ -192,6 +232,28 @@ class _ObsSession:
             )
             manifest.write(manifest_out)
             print(f"run manifest written to {manifest_out}")
+        if not getattr(args, "no_run_store", False):
+            from repro.runtime.keys import config_digest, trace_digest
+
+            record_path = record_run(
+                self.command,
+                store=getattr(args, "run_store", None),
+                argv=sys.argv[1:],
+                telemetry=self.telemetry,
+                seeds=self.seeds,
+                config_digests={
+                    name: config_digest(config)
+                    for name, config in self.configs.items()
+                },
+                trace_digests={
+                    name: trace_digest(trace)
+                    for name, trace in self.traces.items()
+                },
+                jobs=runtime.jobs,
+                duration_s=duration_s,
+            )
+            if record_path is not None:
+                self.logger.log("run_recorded", path=str(record_path))
         snapshot = runtime.snapshot()
         self.logger.log(
             "run_end",
@@ -362,6 +424,124 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the append-only run-history store (.repro/runs)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_store_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help=(
+                "run-store directory (default: $REPRO_RUN_STORE or "
+                ".repro/runs)"
+            ),
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list stored run records")
+    _add_store_flag(runs_list)
+    runs_list.add_argument(
+        "--command", dest="command_filter", default=None,
+        help="only runs of this command"
+    )
+    runs_list.add_argument(
+        "--limit", type=int, default=20, help="newest N records (default 20)"
+    )
+
+    runs_show = runs_sub.add_parser(
+        "show", help="print one run record as JSON"
+    )
+    _add_store_flag(runs_show)
+    runs_show.add_argument(
+        "ref", help="run id prefix, or a negative index (-1 = newest)"
+    )
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="metric-by-metric delta between two run records"
+    )
+    _add_store_flag(runs_diff)
+    runs_diff.add_argument("ref_a", help="baseline run (id prefix or index)")
+    runs_diff.add_argument("ref_b", help="candidate run (id prefix or index)")
+
+    regress = runs_sub.add_parser(
+        "regress",
+        help=(
+            "gate the newest run against a baseline window "
+            "(median threshold + Mann-Whitney noise check)"
+        ),
+    )
+    _add_store_flag(regress)
+    regress.add_argument(
+        "--command",
+        dest="command_filter",
+        default=None,
+        help="gate runs of this command (default: the newest run's command)",
+    )
+    regress.add_argument(
+        "--window", type=int, default=5,
+        help="baseline window: the N runs before the current one (default 5)",
+    )
+    regress.add_argument(
+        "--current-window", type=int, default=1,
+        help=(
+            "treat the newest N runs as the current sample (>=3 upgrades "
+            "the noise prong to a Mann-Whitney U test; default 1)"
+        ),
+    )
+    regress.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative threshold vs the baseline median (default 0.2)",
+    )
+    regress.add_argument(
+        "--alpha", type=float, default=None,
+        help="Mann-Whitney significance level (default 0.05)",
+    )
+    regress.add_argument(
+        "--min-baseline", type=int, default=None,
+        help="fewest baseline samples a series needs to be gated (default 3)",
+    )
+    regress.add_argument(
+        "--select",
+        default=None,
+        metavar="GLOBS",
+        help=(
+            "comma-separated series globs to gate, e.g. "
+            "'stage:*,counter:*' (default: every gated series)"
+        ),
+    )
+    regress.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help="output format (default: text)",
+    )
+    regress.add_argument(
+        "--verbose",
+        action="store_true",
+        help="text format: show passing series too, not just regressions",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="analyze exported execution traces"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="self-time/total-time hotspot table from a span JSONL export",
+    )
+    trace_report.add_argument("spans", help="span JSONL file (--trace-out *.jsonl)")
+    trace_report.add_argument(
+        "--sort", choices=["self", "total"], default="self",
+        help="hotspot ordering (default: self time)",
+    )
+    trace_report.add_argument(
+        "--limit", type=int, default=30,
+        help="show the top N span names (default 30; 0 = all)",
     )
     return parser
 
@@ -639,6 +819,129 @@ def _cmd_check(args) -> int:
     return 1 if applied.new_findings else 0
 
 
+def _cmd_runs(args) -> int:
+    import json as _json
+
+    from repro.obs.analyze import (
+        compare_to_baseline,
+        diff_records,
+        render_regressions,
+    )
+    from repro.obs.history import RunStore
+
+    store = RunStore(args.store)
+
+    if args.runs_command == "list":
+        records = store.records(command=args.command_filter, limit=args.limit)
+        if not records:
+            print(f"no run records in {store.root}")
+            return 0
+        rows = []
+        for record in records:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(record.created_unix)
+            )
+            rows.append(
+                [
+                    record.run_id,
+                    record.command,
+                    stamp,
+                    (record.git_sha or "-")[:10],
+                    record.jobs if record.jobs is not None else "-",
+                    f"{record.metrics.get('derived:duration_s', 0.0):.2f}",
+                ]
+            )
+        print(
+            format_table(
+                ["run", "command", "created", "git", "jobs", "dur s"],
+                rows,
+                title=f"run store {store.root} (oldest first)",
+            )
+        )
+        return 0
+
+    if args.runs_command == "show":
+        record = store.resolve(args.ref)
+        print(_json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.runs_command == "diff":
+        record_a = store.resolve(args.ref_a)
+        record_b = store.resolve(args.ref_b)
+        rows = [
+            [
+                name,
+                "-" if va is None else f"{va:.6g}",
+                "-" if vb is None else f"{vb:.6g}",
+                "-" if delta is None else f"{delta:+.1%}",
+            ]
+            for name, va, vb, delta in diff_records(record_a, record_b)
+        ]
+        print(
+            format_table(
+                ["series", record_a.run_id, record_b.run_id, "delta"],
+                rows,
+                title=f"run diff ({record_a.command} vs {record_b.command})",
+            )
+        )
+        return 0
+
+    # regress
+    current_n = max(1, args.current_window)
+    command = args.command_filter
+    if command is None:
+        newest = store.records(limit=1)
+        if not newest:
+            print(f"error: run store {store.root} is empty", file=sys.stderr)
+            return 1
+        command = newest[-1].command
+    window = store.records(
+        command=command, limit=args.window + current_n
+    )
+    if len(window) <= current_n:
+        print(
+            f"error: need more than {current_n} run(s) of {command!r} "
+            f"to gate (have {len(window)})",
+            file=sys.stderr,
+        )
+        return 1
+    current = window[-current_n:]
+    baseline = window[:-current_n]
+    select = args.select.split(",") if args.select else None
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["rel_threshold"] = args.threshold
+    if args.alpha is not None:
+        kwargs["alpha"] = args.alpha
+    if args.min_baseline is not None:
+        kwargs["min_baseline"] = args.min_baseline
+    report = compare_to_baseline(current, baseline, select=select, **kwargs)
+    output = render_regressions(args.format, report, verbose=args.verbose)
+    if output:
+        print(output)
+    return 0 if report.passed else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.analyze import load_spans_jsonl, render_rollup, rollup_spans
+
+    spans = load_spans_jsonl(args.spans)
+    rollups = rollup_spans(spans)
+    if not rollups:
+        print(f"no spans in {args.spans}")
+        return 0
+    limit = args.limit if args.limit > 0 else None
+    print(
+        render_rollup(
+            rollups,
+            sort=args.sort,
+            limit=limit,
+            title=f"span hotspots — {args.spans} ({len(spans)} spans)",
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -650,6 +953,8 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "experiment": _cmd_experiment,
     "check": _cmd_check,
+    "runs": _cmd_runs,
+    "trace": _cmd_trace,
 }
 
 

@@ -15,7 +15,13 @@ pool; this subsystem makes those runs explainable:
   (config/trace digests, seeds, CLI args, package version, host);
 - :mod:`repro.obs.context` — ambient (tracer, metrics) propagation so
   deep call sites (simgpu kernels, task functions) need no plumbing;
-- :mod:`repro.obs.logjson` — structured JSON-lines logging for the CLI.
+- :mod:`repro.obs.logjson` — structured JSON-lines logging for the CLI;
+- :mod:`repro.obs.history` — the append-only run store under
+  ``.repro/runs/`` every CLI run and benchmark appends to;
+- :mod:`repro.obs.analyze` — statistical perf-regression gates over
+  run-store windows and span-rollup hotspot profiling;
+- :mod:`repro.obs.progress` — live progress/heartbeat telemetry for
+  long-running task graphs (``--progress``).
 
 The disabled path is the default and costs essentially nothing: the
 :data:`~repro.obs.spans.NULL_TRACER` turns every span into a shared
@@ -26,6 +32,13 @@ See ``docs/OBSERVABILITY.md`` for the span model, metric naming
 conventions, and how to open a trace in Perfetto.
 """
 
+from repro.obs.analyze import (
+    RegressionReport,
+    SpanRollup,
+    compare_to_baseline,
+    render_regressions,
+    rollup_spans,
+)
 from repro.obs.context import ObsContext, activate_obs, current_obs, current_tracer
 from repro.obs.export import (
     chrome_trace_document,
@@ -33,6 +46,12 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_spans_jsonl,
+)
+from repro.obs.history import (
+    RUN_STORE_VERSION,
+    RunRecord,
+    RunStore,
+    record_run,
 )
 from repro.obs.logjson import JsonLogger, NullLogger
 from repro.obs.manifest import MANIFEST_VERSION, RunManifest, load_manifest
@@ -43,6 +62,7 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     label_key,
 )
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
 from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -52,20 +72,32 @@ __all__ = [
     "MANIFEST_VERSION",
     "Metrics",
     "MetricsSnapshot",
+    "NULL_PROGRESS",
     "NULL_TRACER",
     "NullLogger",
+    "NullProgress",
     "NullTracer",
     "ObsContext",
+    "ProgressReporter",
+    "RUN_STORE_VERSION",
+    "RegressionReport",
     "RunManifest",
+    "RunRecord",
+    "RunStore",
     "Span",
+    "SpanRollup",
     "Tracer",
     "activate_obs",
     "chrome_trace_document",
     "chrome_trace_events",
+    "compare_to_baseline",
     "current_obs",
     "current_tracer",
     "label_key",
     "load_manifest",
+    "record_run",
+    "render_regressions",
+    "rollup_spans",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_spans_jsonl",

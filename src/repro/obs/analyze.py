@@ -1,0 +1,538 @@
+"""Regression gates and span-rollup profiling over the run store.
+
+Two consumers of longitudinal observability data live here:
+
+- :func:`compare_to_baseline` — the noise-aware perf-regression gate
+  behind ``repro runs regress``.  Each scalar series of the current run
+  (stage wall-times, cache hit rate, sweep throughput, accuracy
+  gauges, counters) is compared against a baseline window of prior
+  records.  A series regresses only when **both** prongs fire: the
+  relative-threshold prong (current vs the baseline *median*, direction
+  aware) and the noise prong (Mann–Whitney U between windows when both
+  sides have enough samples, otherwise "current lies beyond every
+  baseline sample").  Requiring both keeps a noisy single run from
+  tripping the gate while a genuine 1.5x stage slowdown cannot hide.
+
+- :func:`rollup_spans` — the hotspot profiler behind
+  ``repro trace report``: exported span trees reduced to per-name
+  self-time/total-time tables (self time = a span's duration minus its
+  direct children's durations), the per-stage aggregation LUMINA-style
+  bottleneck analysis starts from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ValidationError
+from repro.obs.history import RunRecord
+from repro.util.stats import mann_whitney_u
+
+REGRESS_JSON_VERSION = 1
+
+#: Default relative-threshold prong: 20% beyond the baseline median.
+DEFAULT_REL_THRESHOLD = 0.2
+
+#: Default Mann–Whitney significance level for the noise prong.
+DEFAULT_ALPHA = 0.05
+
+#: Fewest baseline samples a series needs before it is gated at all.
+DEFAULT_MIN_BASELINE = 3
+
+#: Fewest samples *per side* before the noise prong uses Mann–Whitney U
+#: instead of the beyond-every-baseline-sample extreme-rank check.
+MWU_MIN_SAMPLES = 3
+
+#: Series-name glob -> gate direction.  ``worse_high`` flags increases
+#: (wall times), ``worse_low`` flags decreases (throughput, hit rates,
+#: accuracy), ``both`` flags any drift (counters — workload shape is
+#: deterministic, so a count change is a behavior change).
+_DIRECTION_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("stage:*", "worse_high"),
+    ("hist:task_wall_s*:mean", "worse_high"),
+    ("hist:cache_lookup_s*:mean", "worse_high"),
+    ("derived:duration_s", "worse_high"),
+    ("derived:frames_per_s", "worse_low"),
+    ("derived:cache_hit_rate", "worse_low"),
+    ("gauge:*accuracy*", "worse_low"),
+    ("gauge:*agreement*", "worse_low"),
+    ("gauge:*error*", "worse_high"),
+    ("counter:*", "both"),
+)
+
+#: Series never gated: run-local bookkeeping with no cross-run meaning.
+_IGNORED_PATTERNS: Tuple[str, ...] = (
+    "gauge:progress_*",
+    "hist:*:count",
+)
+
+
+def series_direction(name: str) -> Optional[str]:
+    """The gate direction for a series name, ``None`` when ungated."""
+    for pattern in _IGNORED_PATTERNS:
+        if fnmatchcase(name, pattern):
+            return None
+    for pattern, direction in _DIRECTION_PATTERNS:
+        if fnmatchcase(name, pattern):
+            return direction
+    return None
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The verdict for one scalar series."""
+
+    metric: str
+    verdict: str  # "ok" | "regression" | "skipped"
+    direction: str
+    current: float
+    baseline_median: float
+    baseline_n: int
+    rel_delta: Optional[float]
+    p_value: Optional[float]
+    reason: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "verdict": self.verdict,
+            "direction": self.direction,
+            "current": self.current,
+            "baseline_median": self.baseline_median,
+            "baseline_n": self.baseline_n,
+            "rel_delta": self.rel_delta,
+            "p_value": self.p_value,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Everything one ``repro runs regress`` invocation decided."""
+
+    command: str
+    current_run_id: str
+    baseline_run_ids: Sequence[str]
+    rel_threshold: float
+    alpha: float
+    results: Sequence[GateResult] = field(default_factory=tuple)
+
+    @property
+    def regressions(self) -> List[GateResult]:
+        return [r for r in self.results if r.verdict == "regression"]
+
+    @property
+    def checked(self) -> int:
+        return sum(1 for r in self.results if r.verdict != "skipped")
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _gate_series(
+    name: str,
+    direction: str,
+    current_values: Sequence[float],
+    baseline_values: Sequence[float],
+    rel_threshold: float,
+    alpha: float,
+) -> GateResult:
+    """Apply the two-prong gate to one series."""
+    current = current_values[-1]
+    median = _median(baseline_values)
+    n = len(baseline_values)
+
+    if median == 0.0:
+        if all(v == 0.0 for v in current_values):
+            return GateResult(
+                name, "ok", direction, current, median, n, None, None,
+                "baseline and current both zero",
+            )
+        rel_delta = None
+        threshold_fired = True  # any appearance from a zero baseline
+        over = current > 0
+    else:
+        rel_delta = (current - median) / abs(median)
+        over = rel_delta > 0
+        if direction == "worse_high":
+            threshold_fired = rel_delta > rel_threshold
+        elif direction == "worse_low":
+            threshold_fired = rel_delta < -rel_threshold
+        else:
+            threshold_fired = abs(rel_delta) > rel_threshold
+    if not threshold_fired:
+        return GateResult(
+            name, "ok", direction, current, median, n, rel_delta, None,
+            f"within {rel_threshold:.0%} of baseline median",
+        )
+
+    # Noise prong: the shift must also stand out from baseline noise.
+    p_value: Optional[float] = None
+    if len(current_values) >= MWU_MIN_SAMPLES and n >= MWU_MIN_SAMPLES:
+        if direction == "worse_high":
+            alternative = "greater"
+        elif direction == "worse_low":
+            alternative = "less"
+        else:
+            alternative = "greater" if over else "less"
+        result = mann_whitney_u(
+            current_values, baseline_values, alternative=alternative
+        )
+        p_value = result.p_value
+        noise_fired = p_value <= alpha
+        noise_reason = (
+            f"Mann-Whitney U p={p_value:.4f} "
+            f"{'<=' if noise_fired else '>'} alpha={alpha}"
+        )
+    else:
+        # Extreme-rank fallback: with a single current sample the
+        # strongest available evidence is lying beyond every baseline
+        # observation in the bad direction.
+        if direction == "worse_high":
+            noise_fired = current > max(baseline_values)
+        elif direction == "worse_low":
+            noise_fired = current < min(baseline_values)
+        else:
+            noise_fired = (
+                current > max(baseline_values)
+                or current < min(baseline_values)
+            )
+        noise_reason = (
+            "beyond every baseline sample"
+            if noise_fired
+            else "inside the baseline sample range (noise)"
+        )
+    if noise_fired:
+        delta_text = (
+            f"{rel_delta:+.1%} vs baseline median"
+            if rel_delta is not None
+            else "appeared from a zero baseline"
+        )
+        return GateResult(
+            name, "regression", direction, current, median, n, rel_delta,
+            p_value, f"{delta_text}; {noise_reason}",
+        )
+    return GateResult(
+        name, "ok", direction, current, median, n, rel_delta, p_value,
+        f"threshold exceeded but {noise_reason}",
+    )
+
+
+def compare_to_baseline(
+    current: Union[RunRecord, Sequence[RunRecord]],
+    baseline: Sequence[RunRecord],
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+    min_baseline: int = DEFAULT_MIN_BASELINE,
+    select: Optional[Sequence[str]] = None,
+) -> RegressionReport:
+    """Gate the current run (or window) against a baseline window.
+
+    ``current`` may be one record or a window of records — the newest is
+    the run under test; with :data:`MWU_MIN_SAMPLES` or more on each
+    side the noise prong upgrades from the extreme-rank check to a
+    Mann–Whitney U test.  ``select`` restricts gating to series whose
+    name matches any of the given globs (e.g. ``["stage:*"]``).
+    """
+    current_window = (
+        [current] if isinstance(current, RunRecord) else list(current)
+    )
+    if not current_window:
+        raise ValidationError("current window must hold at least one record")
+    if min_baseline < 1:
+        raise ValidationError("min_baseline must be >= 1")
+    current_record = current_window[-1]
+    current_series = [record.all_series() for record in current_window]
+    baseline_series = [record.all_series() for record in baseline]
+
+    results: List[GateResult] = []
+    for name, value in sorted(current_series[-1].items()):
+        direction = series_direction(name)
+        if direction is None:
+            continue
+        if select is not None and not any(
+            fnmatchcase(name, pattern) for pattern in select
+        ):
+            continue
+        baseline_values = [s[name] for s in baseline_series if name in s]
+        if len(baseline_values) < min_baseline:
+            results.append(
+                GateResult(
+                    name, "skipped", direction, value,
+                    _median(baseline_values) if baseline_values else 0.0,
+                    len(baseline_values), None, None,
+                    f"baseline has {len(baseline_values)} sample(s), "
+                    f"need {min_baseline}",
+                )
+            )
+            continue
+        current_values = [s[name] for s in current_series if name in s]
+        results.append(
+            _gate_series(
+                name, direction, current_values, baseline_values,
+                rel_threshold, alpha,
+            )
+        )
+    return RegressionReport(
+        command=current_record.command,
+        current_run_id=current_record.run_id,
+        baseline_run_ids=tuple(r.run_id for r in baseline),
+        rel_threshold=rel_threshold,
+        alpha=alpha,
+        results=tuple(results),
+    )
+
+
+# -- record diffing ---------------------------------------------------------
+
+
+def diff_records(
+    a: RunRecord, b: RunRecord
+) -> List[Tuple[str, Optional[float], Optional[float], Optional[float]]]:
+    """``(series, a_value, b_value, rel_delta)`` rows for two records.
+
+    Series present in only one record carry ``None`` on the other side;
+    ``rel_delta`` is ``None`` when undefined (missing side or zero
+    base).  Rows are sorted by series name.
+    """
+    series_a = a.all_series()
+    series_b = b.all_series()
+    rows: List[
+        Tuple[str, Optional[float], Optional[float], Optional[float]]
+    ] = []
+    for name in sorted(set(series_a) | set(series_b)):
+        va = series_a.get(name)
+        vb = series_b.get(name)
+        delta: Optional[float] = None
+        if va is not None and vb is not None and va != 0.0:
+            delta = (vb - va) / abs(va)
+        rows.append((name, va, vb, delta))
+    return rows
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def render_regressions(
+    fmt: str, report: RegressionReport, *, verbose: bool = False
+) -> str:
+    """``--format`` dispatch: ``text`` / ``json`` / ``github``."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "version": REGRESS_JSON_VERSION,
+                "command": report.command,
+                "current_run_id": report.current_run_id,
+                "baseline_run_ids": list(report.baseline_run_ids),
+                "rel_threshold": report.rel_threshold,
+                "alpha": report.alpha,
+                "passed": report.passed,
+                "checked": report.checked,
+                "results": [r.as_dict() for r in report.results],
+            },
+            indent=2,
+        )
+    if fmt == "github":
+        lines = [
+            f"::error title=perf regression::{r.metric}: {r.reason} "
+            f"(current {r.current:.6g}, baseline median "
+            f"{r.baseline_median:.6g}, n={r.baseline_n})"
+            for r in report.regressions
+        ]
+        return "\n".join(lines)
+    if fmt != "text":
+        raise ValidationError(
+            f"unknown format {fmt!r}; expected text, json, or github"
+        )
+    lines = []
+    shown = report.results if verbose else report.regressions
+    for r in shown:
+        lines.append(
+            f"{r.verdict.upper():10s} {r.metric}: current {r.current:.6g} "
+            f"vs baseline median {r.baseline_median:.6g} (n={r.baseline_n})"
+            f" — {r.reason}"
+        )
+    lines.append(
+        f"{'PASS' if report.passed else 'FAIL'}: "
+        f"{len(report.regressions)} regression(s) in {report.checked} "
+        f"gated series (baseline window: {len(report.baseline_run_ids)} "
+        f"run(s), threshold {report.rel_threshold:.0%}, "
+        f"alpha {report.alpha})"
+    )
+    return "\n".join(lines)
+
+
+# -- span rollups -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanRollup:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    category: str
+    count: int
+    total_s: float
+    self_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+        }
+
+
+def load_spans_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Span dicts from a ``write_spans_jsonl`` file, blank lines skipped."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "span_id" not in record:
+                raise ValidationError(
+                    f"{path}:{lineno}: not a span object "
+                    "(missing 'span_id')"
+                )
+            spans.append(record)
+    return spans
+
+
+def rollup_spans(spans: Sequence[Mapping[str, Any]]) -> List[SpanRollup]:
+    """Per-name hotspot aggregation of a span tree.
+
+    Self time is a span's own duration minus the summed durations of its
+    *direct* children, floored at zero (worker clocks can make a child
+    overshoot its parent by scheduling noise).  Spans accept either
+    :meth:`~repro.obs.spans.Span.to_dict` dicts or anything mapping the
+    same keys.  Sorted by self time, descending.
+    """
+    child_time_ns: Dict[str, int] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_time_ns[str(parent)] = (
+                child_time_ns.get(str(parent), 0)
+                + int(span.get("duration_ns", 0))
+            )
+
+    grouped: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for span in spans:
+        name = str(span.get("name", "<unnamed>"))
+        category = str(span.get("category", ""))
+        duration_ns = int(span.get("duration_ns", 0))
+        self_ns = max(
+            0, duration_ns - child_time_ns.get(str(span.get("span_id")), 0)
+        )
+        entry = grouped.setdefault(
+            (name, category),
+            {"count": 0, "total": 0, "self": 0, "min": None, "max": 0},
+        )
+        entry["count"] += 1
+        entry["total"] += duration_ns
+        entry["self"] += self_ns
+        entry["min"] = (
+            duration_ns
+            if entry["min"] is None
+            else min(entry["min"], duration_ns)
+        )
+        entry["max"] = max(entry["max"], duration_ns)
+
+    rollups = [
+        SpanRollup(
+            name=name,
+            category=category,
+            count=entry["count"],
+            total_s=entry["total"] / 1e9,
+            self_s=entry["self"] / 1e9,
+            min_s=(entry["min"] or 0) / 1e9,
+            max_s=entry["max"] / 1e9,
+        )
+        for (name, category), entry in grouped.items()
+    ]
+    rollups.sort(key=lambda r: (-r.self_s, -r.total_s, r.name))
+    return rollups
+
+
+def render_rollup(
+    rollups: Sequence[SpanRollup],
+    *,
+    sort: str = "self",
+    limit: Optional[int] = None,
+    title: str = "span hotspots",
+) -> str:
+    """The ``repro trace report`` table."""
+    from repro.util.tables import format_table
+
+    if sort == "total":
+        ordered = sorted(rollups, key=lambda r: (-r.total_s, r.name))
+    elif sort == "self":
+        ordered = list(rollups)
+    else:
+        raise ValidationError(
+            f"unknown sort {sort!r}; expected 'self' or 'total'"
+        )
+    if limit is not None and limit > 0:
+        ordered = ordered[:limit]
+    total_self = sum(r.self_s for r in rollups) or 1.0
+    rows = [
+        [
+            r.name,
+            r.category,
+            r.count,
+            round(r.self_s, 6),
+            f"{100.0 * r.self_s / total_self:.1f}",
+            round(r.total_s, 6),
+            round(r.mean_s, 6),
+            round(r.max_s, 6),
+        ]
+        for r in ordered
+    ]
+    return format_table(
+        ["span", "category", "count", "self s", "self %", "total s",
+         "mean s", "max s"],
+        rows,
+        title=title,
+        precision=6,
+    )

@@ -29,6 +29,13 @@ def _json_safe(value: Any) -> Any:
         return {str(k): _json_safe(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        # numpy arrays and scalars: item()/tolist() yields builtin types.
+        try:
+            return _json_safe(tolist())
+        except (TypeError, ValueError):
+            pass
     try:
         return float(value)
     except (TypeError, ValueError):
@@ -104,7 +111,11 @@ def validate_chrome_trace(document: Any) -> List[str]:
     Returns an empty list when the document is a valid JSON-object-format
     trace: a dict with a ``traceEvents`` list whose events all carry a
     phase, and whose ``X`` events have a name, numeric non-negative
-    ``ts``/``dur``, and integer ``pid``/``tid``.
+    ``ts``/``dur``, and integer ``pid``/``tid``.  Span hierarchy is
+    cross-checked too: an ``X`` event whose ``args.parent_id`` names a
+    span id no event in the document carries is an orphan — its subtree
+    renders detached in Perfetto, which almost always means an export
+    dropped spans.
     """
     problems: List[str] = []
     if not isinstance(document, dict):
@@ -114,6 +125,13 @@ def validate_chrome_trace(document: Any) -> List[str]:
         return ["document must contain a 'traceEvents' list"]
     if not events:
         problems.append("'traceEvents' is empty")
+    span_ids = {
+        event["args"]["span_id"]
+        for event in events
+        if isinstance(event, dict)
+        and isinstance(event.get("args"), dict)
+        and "span_id" in event["args"]
+    }
     for position, event in enumerate(events):
         where = f"traceEvents[{position}]"
         if not isinstance(event, dict):
@@ -138,5 +156,13 @@ def validate_chrome_trace(document: Any) -> List[str]:
             if not isinstance(event.get(field_name), int):
                 problems.append(
                     f"{where}: X event field {field_name!r} must be an int"
+                )
+        args = event.get("args")
+        if isinstance(args, dict):
+            parent_id = args.get("parent_id")
+            if parent_id is not None and parent_id not in span_ids:
+                problems.append(
+                    f"{where}: X event parent_id {parent_id!r} matches no "
+                    f"span_id in the document (orphaned span)"
                 )
     return problems

@@ -1,0 +1,397 @@
+"""Append-only run-history store under ``.repro/runs/``.
+
+Every simulating CLI subcommand and every benchmark appends one
+:class:`RunRecord` per invocation through the shared :func:`record_run`
+hook, so the repository accumulates a longitudinal, queryable record of
+execution telemetry instead of a single overwritten snapshot: manifest
+digests, a flattened metrics snapshot, per-stage wall-time rollups, the
+git SHA, and an environment fingerprint.  The regression gates in
+:mod:`repro.obs.analyze` read windows of these records back to decide
+whether the current run drifted.
+
+The store is **append-only by construction**: each record lands in its
+own file named by creation time plus a random run id, opened with
+``"x"`` (exclusive create), so two consecutive invocations can never
+overwrite each other — the failure mode the old ``BENCH_*.json``
+overwrite-in-place workflow made invisible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ValidationError
+
+#: Bump when the record layout changes meaning.
+RUN_STORE_VERSION = 1
+
+#: Environment override for the store directory.  An empty value
+#: disables recording entirely (used by hermetic test runs).
+RUN_STORE_ENV = "REPRO_RUN_STORE"
+
+#: Default store location, relative to the working directory.
+DEFAULT_STORE_DIR = ".repro/runs"
+
+
+def default_store_dir() -> Optional[Path]:
+    """The run-store directory: ``$REPRO_RUN_STORE`` or ``.repro/runs``.
+
+    Returns ``None`` when the environment variable is set but empty —
+    the documented way to disable run recording wholesale.
+    """
+    value = os.environ.get(RUN_STORE_ENV)
+    if value is None:
+        return Path(DEFAULT_STORE_DIR)
+    if not value.strip():
+        return None
+    return Path(value)
+
+
+def git_sha() -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """The host/runtime facts that explain run-to-run perf variance."""
+    from repro import __version__
+
+    return {
+        "package_version": __version__,
+        "python_version": sys.version.split()[0],
+        "platform": platform.platform(),
+        "host_cpu_count": os.cpu_count(),
+    }
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def flatten_metrics(snapshot: Any) -> Dict[str, float]:
+    """A :class:`~repro.obs.metrics.MetricsSnapshot` as flat scalars.
+
+    Naming scheme (stable — the regression gate keys on it):
+
+    - ``counter:<name>`` — counter total aggregated over labels;
+    - ``counter:<name>{k=v,...}`` — one entry per labeled series;
+    - ``gauge:<name>{...}`` — gauges verbatim;
+    - ``hist:<name>{...}:mean`` / ``:count`` — histogram rollups.
+    """
+    flat: Dict[str, float] = {}
+    for name, total in snapshot.counter_totals().items():
+        flat[f"counter:{name}"] = float(total)
+    for (name, labels), value in snapshot.counters.items():
+        if labels:
+            flat[f"counter:{name}{_render_labels(dict(labels))}"] = float(value)
+    for (name, labels), value in snapshot.gauges.items():
+        flat[f"gauge:{name}{_render_labels(dict(labels))}"] = float(value)
+    for (name, labels), hist in snapshot.histograms.items():
+        prefix = f"hist:{name}{_render_labels(dict(labels))}"
+        flat[f"{prefix}:count"] = float(hist.count)
+        flat[f"{prefix}:mean"] = float(hist.mean)
+    return flat
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One appended run: identity, provenance, metrics, stage rollups."""
+
+    run_id: str
+    created_unix: float
+    command: str
+    argv: Sequence[str] = ()
+    git_sha: Optional[str] = None
+    environment: Mapping[str, Any] = field(default_factory=dict)
+    jobs: Optional[int] = None
+    seeds: Mapping[str, int] = field(default_factory=dict)
+    config_digests: Mapping[str, str] = field(default_factory=dict)
+    trace_digests: Mapping[str, str] = field(default_factory=dict)
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    stages: Mapping[str, float] = field(default_factory=dict)
+    top_stages: Mapping[str, float] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_store_version": RUN_STORE_VERSION,
+            "run_id": self.run_id,
+            "created_unix": self.created_unix,
+            "command": self.command,
+            "argv": list(self.argv),
+            "git_sha": self.git_sha,
+            "environment": dict(self.environment),
+            "jobs": self.jobs,
+            "seeds": dict(self.seeds),
+            "config_digests": dict(self.config_digests),
+            "trace_digests": dict(self.trace_digests),
+            "metrics": dict(self.metrics),
+            "stages": dict(self.stages),
+            "top_stages": dict(self.top_stages),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        version = data.get("run_store_version")
+        if version != RUN_STORE_VERSION:
+            raise ValidationError(
+                f"unsupported run record version {version!r} "
+                f"(this build reads version {RUN_STORE_VERSION})"
+            )
+        return cls(
+            run_id=str(data["run_id"]),
+            created_unix=float(data["created_unix"]),
+            command=str(data["command"]),
+            argv=tuple(str(a) for a in data.get("argv", [])),
+            git_sha=data.get("git_sha"),
+            environment=dict(data.get("environment", {})),
+            jobs=data.get("jobs"),
+            seeds=dict(data.get("seeds", {})),
+            config_digests=dict(data.get("config_digests", {})),
+            trace_digests=dict(data.get("trace_digests", {})),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            stages={k: float(v) for k, v in data.get("stages", {}).items()},
+            top_stages={
+                k: float(v) for k, v in data.get("top_stages", {}).items()
+            },
+            extra=dict(data.get("extra", {})),
+        )
+
+    def all_series(self) -> Dict[str, float]:
+        """Every gateable scalar: metrics plus ``stage:``-prefixed rollups."""
+        series = dict(self.metrics)
+        for name, seconds in self.stages.items():
+            series[f"stage:{name}"] = float(seconds)
+        return series
+
+
+def collect_record(
+    command: str,
+    *,
+    argv: Optional[Sequence[str]] = None,
+    telemetry: Optional[Any] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    stages: Optional[Mapping[str, float]] = None,
+    seeds: Optional[Mapping[str, int]] = None,
+    config_digests: Optional[Mapping[str, str]] = None,
+    trace_digests: Optional[Mapping[str, str]] = None,
+    jobs: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from live objects.
+
+    ``telemetry`` is a :class:`~repro.runtime.telemetry.Telemetry`; its
+    metrics snapshot is flattened and its stage timers become the
+    per-stage rollups.  ``metrics``/``stages`` accept pre-flattened
+    mappings for callers (benchmarks) without a telemetry object; when
+    both are given the explicit mappings win key-by-key.
+    """
+    flat: Dict[str, float] = {}
+    stage_rollup: Dict[str, float] = {}
+    top_rollup: Dict[str, float] = {}
+    if telemetry is not None:
+        snap = telemetry.snapshot()
+        flat.update(flatten_metrics(telemetry.metrics.snapshot()))
+        stage_rollup.update({k: float(v) for k, v in snap.timers_s.items()})
+        if snap.top_timers_s is not None:
+            top_rollup.update(
+                {k: float(v) for k, v in snap.top_timers_s.items()}
+            )
+    if metrics:
+        flat.update({k: float(v) for k, v in metrics.items()})
+    if stages:
+        stage_rollup.update({k: float(v) for k, v in stages.items()})
+
+    # Derived series the regression gate cares about directly.
+    hits = flat.get("counter:cache_hits", 0.0)
+    misses = flat.get("counter:cache_misses", 0.0)
+    if hits + misses > 0:
+        flat["derived:cache_hit_rate"] = hits / (hits + misses)
+    frames = flat.get("counter:frames_simulated", 0.0)
+    wall = duration_s if duration_s else sum(top_rollup.values()) or None
+    if frames and wall:
+        flat["derived:frames_per_s"] = frames / wall
+    if duration_s is not None:
+        flat["derived:duration_s"] = float(duration_s)
+
+    return RunRecord(
+        run_id=uuid.uuid4().hex[:12],
+        created_unix=time.time(),
+        command=command,
+        argv=tuple(str(a) for a in (argv if argv is not None else [])),
+        git_sha=git_sha(),
+        environment=environment_fingerprint(),
+        jobs=jobs,
+        seeds=dict(seeds or {}),
+        config_digests=dict(config_digests or {}),
+        trace_digests=dict(trace_digests or {}),
+        metrics=flat,
+        stages=stage_rollup,
+        top_stages=top_rollup,
+        extra=dict(extra or {}),
+    )
+
+
+class RunStore:
+    """The append-only record directory (one JSON file per run)."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        resolved = Path(root) if root is not None else default_store_dir()
+        if resolved is None:
+            raise ValidationError(
+                f"run store disabled: ${RUN_STORE_ENV} is set but empty"
+            )
+        self.root = resolved
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: RunRecord) -> Path:
+        """Write ``record`` as a brand-new file; never overwrites."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        stamp = int(record.created_unix * 1e6)
+        base = f"{stamp:017d}-{record.run_id}"
+        path = self.root / f"{base}.json"
+        attempt = 0
+        while True:
+            try:
+                with open(path, "x", encoding="utf-8") as stream:
+                    json.dump(record.to_dict(), stream, indent=2, sort_keys=True)
+                    stream.write("\n")
+                return path
+            except FileExistsError:
+                attempt += 1
+                path = self.root / f"{base}-{attempt}.json"
+
+    # -- reading -----------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """Record files, oldest first (filenames sort by creation time)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def records(
+        self,
+        command: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Stored records, oldest first, optionally filtered by command.
+
+        ``limit`` keeps only the newest N after filtering.  Unreadable
+        or foreign JSON files are skipped rather than fatal — the store
+        directory is long-lived and may accumulate partial writes.
+        """
+        loaded: List[RunRecord] = []
+        for path in self.paths():
+            try:
+                with open(path, "r", encoding="utf-8") as stream:
+                    record = RunRecord.from_dict(json.load(stream))
+            except (OSError, ValueError, KeyError, ValidationError):
+                continue
+            if command is not None and record.command != command:
+                continue
+            loaded.append(record)
+        loaded.sort(key=lambda r: (r.created_unix, r.run_id))
+        if limit is not None and limit >= 0:
+            loaded = loaded[-limit:] if limit else []
+        return loaded
+
+    def resolve(self, ref: str) -> RunRecord:
+        """A record by run-id prefix or negative age index (``-1`` = newest)."""
+        records = self.records()
+        if not records:
+            raise ValidationError(f"run store {self.root} is empty")
+        try:
+            index = int(ref)
+        except ValueError:
+            matches = [r for r in records if r.run_id.startswith(ref)]
+            if len(matches) == 1:
+                return matches[0]
+            if not matches:
+                raise ValidationError(
+                    f"no run record matches id prefix {ref!r}"
+                ) from None
+            raise ValidationError(
+                f"run id prefix {ref!r} is ambiguous "
+                f"({len(matches)} matches)"
+            ) from None
+        try:
+            return records[index]
+        except IndexError:
+            raise ValidationError(
+                f"run index {index} out of range ({len(records)} records)"
+            ) from None
+
+
+def record_run(
+    command: str,
+    *,
+    store: Optional[Union[str, Path, RunStore]] = None,
+    argv: Optional[Sequence[str]] = None,
+    telemetry: Optional[Any] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    stages: Optional[Mapping[str, float]] = None,
+    seeds: Optional[Mapping[str, int]] = None,
+    config_digests: Optional[Mapping[str, str]] = None,
+    trace_digests: Optional[Mapping[str, str]] = None,
+    jobs: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Optional[Path]:
+    """The shared append hook: collect a record and append it to the store.
+
+    Returns the written path, or ``None`` when recording is disabled
+    (``$REPRO_RUN_STORE`` set but empty and no explicit ``store``).
+    Never raises on store I/O problems — a telemetry write must not take
+    the run down — but record *collection* errors (programming bugs)
+    propagate.
+    """
+    record = collect_record(
+        command,
+        argv=argv,
+        telemetry=telemetry,
+        metrics=metrics,
+        stages=stages,
+        seeds=seeds,
+        config_digests=config_digests,
+        trace_digests=trace_digests,
+        jobs=jobs,
+        duration_s=duration_s,
+        extra=extra,
+    )
+    if isinstance(store, RunStore):
+        run_store = store
+    else:
+        root = Path(store) if store is not None else default_store_dir()
+        if root is None:
+            return None
+        run_store = RunStore(root)
+    try:
+        return run_store.append(record)
+    except OSError:
+        return None

@@ -37,6 +37,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.obs.context import ObsContext, activate_obs
 from repro.obs.metrics import Metrics
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.runtime.cache import CACHE_MISS, ArtifactCache, NullCache
 from repro.runtime.keys import task_key
@@ -154,12 +155,14 @@ class TaskEngine:
         jobs: int = 1,
         cache: Optional[CacheLike] = None,
         telemetry: Optional[Telemetry] = None,
+        progress: Optional[Union[ProgressReporter, NullProgress]] = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ConfigError(f"jobs must be an int >= 1, got {jobs!r}")
         self.jobs = jobs
         self.cache = cache if cache is not None else NullCache()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.progress = progress if progress is not None else NULL_PROGRESS
 
     # -- execution ---------------------------------------------------------
 
@@ -186,6 +189,7 @@ class TaskEngine:
             pending.append(task)
         if not pending:
             return results
+        self.progress.begin(len(pending))
         if self.jobs == 1 or len(pending) == 1:
             # A one-task graph gains nothing from a pool: spinning up a
             # worker process costs orders of magnitude more than the
@@ -194,7 +198,13 @@ class TaskEngine:
             self._run_serial(pending, context, results)
         else:
             self._run_pool(pending, context, results)
+        self.progress.finish(
+            len(pending), len(pending), self._frames_simulated()
+        )
         return results
+
+    def _frames_simulated(self) -> int:
+        return self.telemetry.counter("frames_simulated")
 
     def _finish(self, task: Task, result: TaskResult, results: Dict[str, Any]) -> None:
         results[task.task_id] = result.value
@@ -218,8 +228,9 @@ class TaskEngine:
     ) -> None:
         telemetry = self.telemetry
         obs = ObsContext(tracer=telemetry.tracer, metrics=telemetry.metrics)
+        total = len(pending)
         with activate_obs(obs):
-            for task in pending:
+            for done, task in enumerate(pending, start=1):
                 start = time.perf_counter()
                 try:
                     with telemetry.tracer.span(
@@ -236,6 +247,7 @@ class TaskEngine:
                 telemetry.observe("task_wall_s", elapsed, worker="main")
                 telemetry.merge_timers({f"worker.{task.kind}": elapsed})
                 self._finish(task, result, results)
+                self.progress.task_done(done, total, self._frames_simulated())
 
     def _run_pool(
         self, pending: List[Task], context: Any, results: Dict[str, Any]
@@ -271,11 +283,25 @@ class TaskEngine:
                 ) from exc
             futures[pool.submit(_execute_in_worker, blob)] = task
 
+        total = len(pending)
+        finished = 0
+        heartbeat_s = self.progress.heartbeat_interval_s
         try:
             for task in ready:
                 submit(task)
             while futures:
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    set(futures),
+                    timeout=heartbeat_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Workers are still heads-down past the heartbeat
+                    # interval: surface liveness rather than going dark.
+                    self.progress.heartbeat(
+                        finished, total, self._frames_simulated()
+                    )
+                    continue
                 for future in done:
                     task = futures.pop(future)
                     try:
@@ -284,6 +310,10 @@ class TaskEngine:
                         self.telemetry.count("tasks_failed")
                         raise
                     self._finish(task, result, results)
+                    finished += 1
+                    self.progress.task_done(
+                        finished, total, self._frames_simulated()
+                    )
                     for child in children.get(task.task_id, ()):
                         blocked_by[child.task_id] -= 1
                         if blocked_by[child.task_id] == 0:
@@ -350,6 +380,7 @@ class Runtime:
         seed: int = 0,
         chunks_per_job: int = 2,
         serial_cutoff: Optional[int] = None,
+        progress: Optional[Union[ProgressReporter, NullProgress]] = None,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ConfigError("pass either cache or cache_dir, not both")
@@ -390,7 +421,11 @@ class Runtime:
         self.cache = cache
         self.seed = seed
         self.chunks_per_job = chunks_per_job
-        self.engine = TaskEngine(jobs=jobs, cache=cache, telemetry=self.telemetry)
+        self.progress = progress if progress is not None else NULL_PROGRESS
+        self.engine = TaskEngine(
+            jobs=jobs, cache=cache, telemetry=self.telemetry,
+            progress=self.progress,
+        )
 
     @property
     def jobs(self) -> int:

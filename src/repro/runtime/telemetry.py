@@ -67,9 +67,13 @@ class TelemetrySnapshot:
             f"cache_hits={self.counter('cache_hits')}",
             f"cache_misses={self.counter('cache_misses')}",
         ]
-        wall = self.stage_time_s
-        if wall:
-            parts.append(f"stage_time={wall:.2f}s")
+        if not self.timers_s:
+            # A run with zero timers is a real state (all-cache-hit runs,
+            # bare engine use) — say so instead of silently omitting the
+            # stage column.
+            parts.append("no stages recorded")
+        else:
+            parts.append(f"stage_time={self.stage_time_s:.2f}s")
         return "[runtime] " + " ".join(parts)
 
     def report(self) -> str:

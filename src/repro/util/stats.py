@@ -93,6 +93,88 @@ def mean_absolute_percentage_error(
 
 
 @dataclass(frozen=True)
+class MannWhitneyResult:
+    """Mann–Whitney U test result for two independent samples."""
+
+    u_statistic: float
+    p_value: float
+    n_x: int
+    n_y: int
+
+    def as_dict(self) -> dict:
+        return {
+            "u_statistic": self.u_statistic,
+            "p_value": self.p_value,
+            "n_x": self.n_x,
+            "n_y": self.n_y,
+        }
+
+
+def mann_whitney_u(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    alternative: str = "two-sided",
+) -> MannWhitneyResult:
+    """Mann–Whitney U rank-sum test (normal approximation, tie-corrected).
+
+    ``u_statistic`` is the U of the first sample (``xs``): the number of
+    ``(x, y)`` pairs with ``x > y``, ties counting half.  The p-value
+    uses the normal approximation with a continuity correction and the
+    standard tie correction to the variance; for the window sizes the
+    regression gates use (a handful of runs per side) the approximation
+    is deliberately conservative rather than exact.
+
+    ``alternative`` is ``"two-sided"``, ``"greater"`` (xs stochastically
+    larger than ys), or ``"less"``.
+    """
+    if alternative not in ("two-sided", "greater", "less"):
+        raise ValidationError(
+            f"alternative must be 'two-sided', 'greater', or 'less', "
+            f"got {alternative!r}"
+        )
+    x = _as_1d(xs, "xs")
+    y = _as_1d(ys, "ys")
+    n_x, n_y = int(x.size), int(y.size)
+    combined = np.concatenate([x, y])
+    ranks = _rank(combined)
+    rank_sum_x = float(ranks[:n_x].sum())
+    u_x = rank_sum_x - n_x * (n_x + 1) / 2.0
+
+    mean_u = n_x * n_y / 2.0
+    n = n_x + n_y
+    # Tie correction: sum over tie groups of (t^3 - t).
+    _, tie_counts = np.unique(combined, return_counts=True)
+    tie_term = float(np.sum(tie_counts.astype(float) ** 3 - tie_counts))
+    variance = (n_x * n_y / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0.0:
+        # Every value identical: no evidence of a shift either way.
+        p = 1.0
+    else:
+        sd = math.sqrt(variance)
+        # Continuity correction of 0.5 toward the mean.
+        if alternative == "greater":
+            z = (u_x - mean_u - 0.5) / sd
+            p = 1.0 - _normal_cdf(z)
+        elif alternative == "less":
+            z = (u_x - mean_u + 0.5) / sd
+            p = _normal_cdf(z)
+        else:
+            z = (abs(u_x - mean_u) - 0.5) / sd
+            p = 2.0 * (1.0 - _normal_cdf(max(z, 0.0)))
+    return MannWhitneyResult(
+        u_statistic=float(u_x),
+        p_value=float(min(max(p, 0.0), 1.0)),
+        n_x=n_x,
+        n_y=n_y,
+    )
+
+
+def _normal_cdf(z: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
 class Summary:
     """Five-number-plus summary of a sample."""
 

@@ -1,0 +1,16 @@
+"""OBS001 fixture: bare prints in library code."""
+
+
+def simulate_chunk(frames: list) -> int:
+    print(f"simulating {len(frames)} frames")  # expect: OBS001
+    total = 0
+    for frame in frames:
+        total += frame
+        if total > 1000:
+            print("hot frame", frame)  # expect: OBS001
+    return total
+
+
+def report(values: list) -> None:
+    for value in values:
+        print(value)  # expect: OBS001

@@ -1,0 +1,23 @@
+"""OBS001 clean twin: structured logging, no bare prints."""
+
+from repro.obs.logjson import JsonLogger
+
+
+def simulate_chunk(frames: list, logger: JsonLogger) -> int:
+    logger.log("chunk_started", frames=len(frames))
+    total = 0
+    for frame in frames:
+        total += frame
+    logger.log("chunk_finished", total=total)
+    return total
+
+
+class Device:
+    def print(self) -> None:  # a method named print is not the builtin
+        pass
+
+
+def render(device: Device) -> None:
+    device.print()
+    printer = print  # referencing without calling is fine too
+    del printer

@@ -1,0 +1,6 @@
+"""OBS001 allowlist fixture: print is the CLI's output contract."""
+
+
+def main() -> int:
+    print("wrote trace.jsonl: 120 frames")
+    return 0

@@ -33,6 +33,7 @@ BUILTIN_RULES = (
     "KEY001",
     "KEY002",
     "KEY003",
+    "OBS001",
     "PERF001",
     "WRK001",
     "WRK002",

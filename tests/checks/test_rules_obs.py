@@ -1,0 +1,42 @@
+"""OBS rule family: library output goes through structured logging."""
+
+from __future__ import annotations
+
+from tests.checks.support import (
+    FIXTURES,
+    assert_matches_markers,
+    check,
+    observed,
+)
+
+
+def test_bad_fixture_matches_markers():
+    path = FIXTURES / "obs001_bad.py"
+    assert_matches_markers(check(path), path)
+
+
+def test_clean_twin_is_clean():
+    path = FIXTURES / "obs001_clean.py"
+    assert observed(check(path, select=["OBS001"])) == []
+
+
+def test_cli_and_reporting_are_allowlisted():
+    # The fixture lives under .../obsallow/repro/cli.py, so the relpath
+    # carries the allowlisted "repro/cli.py" tail.
+    assert observed(check(FIXTURES / "obsallow", select=["OBS001"])) == []
+
+
+def test_obs001_is_a_warning():
+    report = check(FIXTURES / "obs001_bad.py", select=["OBS001"])
+    assert report.findings
+    assert all(f.severity == "warning" for f in report.findings)
+    assert all(
+        f.message == "print() in library code bypasses structured logging"
+        for f in report.findings
+    )
+
+
+def test_src_tree_has_no_bare_prints():
+    # The rule holds on the real source tree, not just fixtures.
+    report = check("src/repro", select=["OBS001"])
+    assert observed(report) == []

@@ -37,6 +37,20 @@ def _isolated_artifact_cache(tmp_path_factory):
     os.environ.pop("REPRO_CACHE_DIR", None)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_store(tmp_path_factory):
+    """Keep CLI run recording out of the repository's ``.repro/runs``.
+
+    Every simulating CLI invocation appends a run record by default;
+    pointing ``$REPRO_RUN_STORE`` at a session temp dir keeps test runs
+    from polluting the committed store.  Tests that exercise the store
+    itself override the variable (or pass an explicit store path).
+    """
+    os.environ["REPRO_RUN_STORE"] = str(tmp_path_factory.mktemp("run-store"))
+    yield
+    os.environ.pop("REPRO_RUN_STORE", None)
+
+
 def make_draw(
     shader_id: int = 1,
     vertex_count: int = 300,

@@ -1,0 +1,344 @@
+"""Regression gates: sensitivity, zero false positives, span rollups."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.analyze import (
+    compare_to_baseline,
+    diff_records,
+    load_spans_jsonl,
+    render_regressions,
+    render_rollup,
+    rollup_spans,
+    series_direction,
+)
+from repro.obs.history import RunRecord
+from repro.util.stats import mann_whitney_u
+
+#: Realistic run-to-run timing noise: ~2% relative sigma.
+NOISE_SIGMA = 0.02
+
+
+def synth_record(rng, run_id, *, stage_scale=1.0, fps_scale=1.0,
+                 frames=2400.0, command="simulate"):
+    """A synthetic run record with noisy stage times around a nominal."""
+    def noisy(nominal):
+        return float(nominal * rng.normal(1.0, NOISE_SIGMA))
+
+    stages = {
+        "simulate": noisy(2.0) * stage_scale,
+        "cluster": noisy(0.8),
+    }
+    metrics = {
+        "counter:frames_simulated": frames,
+        "counter:cache_hits": 3.0,
+        "counter:cache_misses": 1.0,
+        "derived:cache_hit_rate": 0.75,
+        "derived:frames_per_s": noisy(800.0) * fps_scale,
+        "gauge:subset_error": abs(noisy(0.02)),
+    }
+    return RunRecord(
+        run_id=run_id,
+        created_unix=1000.0,
+        command=command,
+        metrics=metrics,
+        stages=stages,
+        top_stages=stages,
+    )
+
+
+def baseline_window(rng, n=5):
+    return [synth_record(rng, f"base{i:08d}") for i in range(n)]
+
+
+class TestAcceptanceCriteria:
+    """ISSUE acceptance: 1.5x slowdown detected, zero FP in 20 clean runs."""
+
+    def test_injected_1_5x_stage_slowdown_detected(self):
+        rng = np.random.default_rng(42)
+        baseline = baseline_window(rng, n=5)
+        slow = synth_record(rng, "slowrun00001", stage_scale=1.5)
+        report = compare_to_baseline(slow, baseline)
+        regressed = {r.metric for r in report.regressions}
+        assert "stage:simulate" in regressed
+        assert not report.passed
+
+    def test_zero_false_positives_across_20_clean_reruns(self):
+        rng = np.random.default_rng(42)
+        baseline = baseline_window(rng, n=5)
+        for i in range(20):
+            clean = synth_record(rng, f"clean{i:07d}")
+            report = compare_to_baseline(clean, baseline)
+            assert report.passed, (
+                f"clean re-run {i} tripped the gate: "
+                f"{[r.metric for r in report.regressions]}"
+            )
+
+    def test_detection_holds_across_seeds(self):
+        # The gate's sensitivity is not an artifact of one lucky seed.
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            baseline = baseline_window(rng, n=5)
+            slow = synth_record(rng, "slowrun00001", stage_scale=1.5)
+            report = compare_to_baseline(slow, baseline)
+            assert "stage:simulate" in {
+                r.metric for r in report.regressions
+            }, f"seed {seed} missed the 1.5x slowdown"
+
+
+class TestGateMechanics:
+    def test_throughput_drop_detected_as_worse_low(self):
+        rng = np.random.default_rng(7)
+        baseline = baseline_window(rng, n=5)
+        slow = synth_record(rng, "slowfps00001", fps_scale=0.6)
+        report = compare_to_baseline(slow, baseline)
+        assert "derived:frames_per_s" in {
+            r.metric for r in report.regressions
+        }
+
+    def test_counter_drift_detected_both_directions(self):
+        rng = np.random.default_rng(7)
+        baseline = baseline_window(rng, n=5)
+        fewer = synth_record(rng, "fewframes001", frames=1200.0)
+        report = compare_to_baseline(fewer, baseline)
+        assert "counter:frames_simulated" in {
+            r.metric for r in report.regressions
+        }
+
+    def test_within_threshold_shift_passes(self):
+        rng = np.random.default_rng(7)
+        baseline = baseline_window(rng, n=5)
+        mild = synth_record(rng, "mildrun00001", stage_scale=1.05)
+        report = compare_to_baseline(mild, baseline)
+        assert report.passed
+
+    def test_over_threshold_inside_noise_band_passes(self):
+        # Threshold prong fires but the extreme-rank prong holds it back:
+        # current is over threshold yet not beyond every baseline sample.
+        baseline_vals = [1.0, 1.0, 1.0, 1.0, 2.0]
+        baseline = [
+            RunRecord(
+                run_id=f"b{i:011d}", created_unix=0.0, command="x",
+                stages={"s": v},
+            )
+            for i, v in enumerate(baseline_vals)
+        ]
+        current = RunRecord(
+            run_id="c00000000001", created_unix=1.0, command="x",
+            stages={"s": 1.5},
+        )
+        report = compare_to_baseline(current, baseline)
+        (result,) = report.results
+        assert result.verdict == "ok"
+        assert "noise" in result.reason
+
+    def test_small_baseline_skipped_not_gated(self):
+        rng = np.random.default_rng(3)
+        baseline = baseline_window(rng, n=2)
+        current = synth_record(rng, "current00001", stage_scale=3.0)
+        report = compare_to_baseline(current, baseline)
+        assert report.passed
+        assert all(r.verdict == "skipped" for r in report.results)
+
+    def test_current_window_upgrades_to_mann_whitney(self):
+        rng = np.random.default_rng(11)
+        baseline = baseline_window(rng, n=5)
+        current = [
+            synth_record(rng, f"cur{i:09d}", stage_scale=1.5)
+            for i in range(3)
+        ]
+        report = compare_to_baseline(current, baseline)
+        by_name = {r.metric: r for r in report.results}
+        result = by_name["stage:simulate"]
+        assert result.verdict == "regression"
+        assert result.p_value is not None
+        assert result.p_value <= 0.05
+
+    def test_select_globs_restrict_gating(self):
+        rng = np.random.default_rng(5)
+        baseline = baseline_window(rng, n=5)
+        slow = synth_record(rng, "slowrun00001", stage_scale=1.5)
+        report = compare_to_baseline(slow, baseline, select=["counter:*"])
+        assert all(r.metric.startswith("counter:") for r in report.results)
+        assert report.passed
+
+    def test_progress_gauges_never_gated(self):
+        record = RunRecord(
+            run_id="p0000000001", created_unix=0.0, command="x",
+            metrics={"gauge:progress_eta_s": 5.0},
+        )
+        baseline = [
+            RunRecord(
+                run_id=f"b{i:011d}", created_unix=0.0, command="x",
+                metrics={"gauge:progress_eta_s": 100.0},
+            )
+            for i in range(5)
+        ]
+        report = compare_to_baseline(record, baseline)
+        assert not report.results
+
+    def test_zero_baseline_appearance_regresses(self):
+        baseline = [
+            RunRecord(
+                run_id=f"b{i:011d}", created_unix=0.0, command="x",
+                metrics={"counter:cache_misses": 0.0},
+            )
+            for i in range(5)
+        ]
+        current = RunRecord(
+            run_id="c00000000001", created_unix=1.0, command="x",
+            metrics={"counter:cache_misses": 4.0},
+        )
+        report = compare_to_baseline(current, baseline)
+        (result,) = report.results
+        assert result.verdict == "regression"
+
+    def test_empty_current_window_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            compare_to_baseline([], [])
+
+    def test_direction_table(self):
+        assert series_direction("stage:simulate") == "worse_high"
+        assert series_direction("derived:frames_per_s") == "worse_low"
+        assert series_direction("derived:cache_hit_rate") == "worse_low"
+        assert series_direction("gauge:subset_error") == "worse_high"
+        assert series_direction("counter:tasks_run") == "both"
+        assert series_direction("gauge:progress_eta_s") is None
+        assert series_direction("hist:task_wall_s:count") is None
+        assert series_direction("gauge:unknown_thing") is None
+
+
+class TestMannWhitney:
+    def test_matches_known_value(self):
+        # Worked example: clearly separated samples.
+        xs = [10.0, 11.0, 12.0, 13.0, 14.0]
+        ys = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = mann_whitney_u(xs, ys, alternative="greater")
+        assert result.u_statistic == 25.0
+        assert result.p_value < 0.01
+
+    def test_identical_samples_not_significant(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = mann_whitney_u(xs, xs, alternative="two-sided")
+        assert result.p_value > 0.5
+
+    def test_alternative_validated(self):
+        with pytest.raises(ValidationError):
+            mann_whitney_u([1.0], [2.0], alternative="sideways")
+
+
+class TestDiffAndRender:
+    def _report(self):
+        rng = np.random.default_rng(1)
+        baseline = baseline_window(rng, n=5)
+        slow = synth_record(rng, "slowrun00001", stage_scale=1.5)
+        return compare_to_baseline(slow, baseline)
+
+    def test_diff_records_rows(self):
+        rng = np.random.default_rng(1)
+        a = synth_record(rng, "a00000000001")
+        b = synth_record(rng, "b00000000001")
+        rows = diff_records(a, b)
+        names = [name for name, *_ in rows]
+        assert names == sorted(names)
+        by_name = dict((name, rest) for name, *rest in rows)
+        va, vb, delta = by_name["counter:frames_simulated"]
+        assert va == vb == 2400.0
+        assert delta == 0.0
+
+    def test_diff_handles_one_sided_series(self):
+        a = RunRecord(run_id="a" * 12, created_unix=0.0, command="x",
+                      metrics={"counter:only_a": 1.0})
+        b = RunRecord(run_id="b" * 12, created_unix=0.0, command="x",
+                      metrics={"counter:only_b": 2.0})
+        rows = dict((name, (va, vb, d)) for name, va, vb, d in
+                    diff_records(a, b))
+        assert rows["counter:only_a"] == (1.0, None, None)
+        assert rows["counter:only_b"] == (None, 2.0, None)
+
+    def test_text_format(self):
+        text = render_regressions("text", self._report())
+        assert "FAIL" in text
+        assert "stage:simulate" in text
+
+    def test_json_format_parses(self):
+        payload = json.loads(render_regressions("json", self._report()))
+        assert payload["passed"] is False
+        metrics = [r["metric"] for r in payload["results"]
+                   if r["verdict"] == "regression"]
+        assert "stage:simulate" in metrics
+
+    def test_github_format(self):
+        out = render_regressions("github", self._report())
+        assert "::error title=perf regression::" in out
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValidationError, match="unknown format"):
+            render_regressions("yaml", self._report())
+
+
+class TestSpanRollup:
+    def _spans(self):
+        return [
+            {"span_id": "root", "parent_id": None, "name": "pipeline",
+             "category": "cli", "duration_ns": 1_000_000_000},
+            {"span_id": "c1", "parent_id": "root", "name": "simulate",
+             "category": "stage", "duration_ns": 600_000_000},
+            {"span_id": "c2", "parent_id": "root", "name": "cluster",
+             "category": "stage", "duration_ns": 300_000_000},
+            {"span_id": "g1", "parent_id": "c1", "name": "frame",
+             "category": "task", "duration_ns": 250_000_000},
+            {"span_id": "g2", "parent_id": "c1", "name": "frame",
+             "category": "task", "duration_ns": 250_000_000},
+        ]
+
+    def test_self_time_subtracts_direct_children(self):
+        rollups = {r.name: r for r in rollup_spans(self._spans())}
+        assert rollups["pipeline"].self_s == pytest.approx(0.1)
+        assert rollups["simulate"].self_s == pytest.approx(0.1)
+        assert rollups["cluster"].self_s == pytest.approx(0.3)
+        assert rollups["frame"].count == 2
+        assert rollups["frame"].total_s == pytest.approx(0.5)
+
+    def test_child_overshoot_floors_at_zero(self):
+        spans = [
+            {"span_id": "p", "parent_id": None, "name": "parent",
+             "category": "", "duration_ns": 100},
+            {"span_id": "c", "parent_id": "p", "name": "child",
+             "category": "", "duration_ns": 150},
+        ]
+        rollups = {r.name: r for r in rollup_spans(spans)}
+        assert rollups["parent"].self_s == 0.0
+
+    def test_sorted_by_self_time_desc(self):
+        names = [r.name for r in rollup_spans(self._spans())]
+        assert names[0] == "frame"  # 0.5s self (no children)
+
+    def test_render_rollup_table(self):
+        text = render_rollup(rollup_spans(self._spans()), limit=2)
+        assert "span" in text
+        assert "frame" in text
+        assert "pipeline" not in text  # beyond the limit
+        with pytest.raises(ValidationError, match="unknown sort"):
+            render_rollup([], sort="name")
+
+    def test_load_spans_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        lines = [json.dumps(s) for s in self._spans()]
+        path.write_text("\n".join(lines) + "\n\n")
+        assert len(load_spans_jsonl(path)) == 5
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_spans_jsonl(bad)
+
+        nospan = tmp_path / "nospan.jsonl"
+        nospan.write_text('{"name": "x"}\n')
+        with pytest.raises(ValidationError, match="span_id"):
+            load_spans_jsonl(nospan)

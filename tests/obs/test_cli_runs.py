@@ -1,0 +1,228 @@
+"""The run-store CLI: recording hooks, runs list/show/diff/regress, trace report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import RunStore
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-runs") / "t.json"
+    assert (
+        main(
+            [
+                "generate", "--game", "bioshock1_like", "--frames", "5",
+                "--scale", "0.05", "-o", str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+def simulate(trace_file, store, *extra):
+    return main(
+        [
+            "simulate", str(trace_file), "--no-cache",
+            "--run-store", str(store), *extra,
+        ]
+    )
+
+
+class TestRecordingHook:
+    def test_simulate_appends_a_record(self, trace_file, tmp_path, capsys):
+        store = tmp_path / "runs"
+        assert simulate(trace_file, store) == 0
+        capsys.readouterr()
+        records = RunStore(store).records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.command == "simulate"
+        assert record.metrics["counter:frames_simulated"] == 5.0
+        assert record.stages  # stage rollups captured
+        assert record.config_digests and record.trace_digests
+        assert record.metrics["derived:duration_s"] > 0
+
+    def test_consecutive_runs_append_never_overwrite(
+        self, trace_file, tmp_path, capsys
+    ):
+        store = tmp_path / "runs"
+        assert simulate(trace_file, store) == 0
+        assert simulate(trace_file, store) == 0
+        capsys.readouterr()
+        assert len(RunStore(store).paths()) == 2
+
+    def test_no_run_store_flag_disables(self, trace_file, tmp_path, capsys):
+        store = tmp_path / "runs"
+        assert simulate(trace_file, store, "--no-run-store") == 0
+        capsys.readouterr()
+        assert RunStore(store).paths() == []
+
+    def test_env_var_disables_when_empty(
+        self, trace_file, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_RUN_STORE", "")
+        assert main(["simulate", str(trace_file), "--no-cache"]) == 0
+        capsys.readouterr()
+
+    def test_progress_flag_emits_lines(self, trace_file, tmp_path, capsys):
+        store = tmp_path / "runs"
+        assert simulate(trace_file, store, "--progress") == 0
+        captured = capsys.readouterr()
+        assert "[progress]" in captured.err
+        assert "[progress]" not in captured.out
+
+
+class TestRunsCommands:
+    @pytest.fixture(scope="class")
+    def store(self, trace_file, tmp_path_factory):
+        store = tmp_path_factory.mktemp("store") / "runs"
+        for _ in range(6):
+            assert simulate(trace_file, store) == 0
+        return store
+
+    def test_list(self, store, capsys):
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "simulate" in out
+        assert out.count("\n") >= 6
+
+    def test_list_command_filter(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["runs", "list", "--store", str(store), "--command", "sweep"]
+        ) == 0
+        assert "no run records" in capsys.readouterr().out
+
+    def test_show_newest(self, store, capsys):
+        capsys.readouterr()
+        assert main(["runs", "show", "--store", str(store), "--", "-1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert payload["metrics"]["counter:frames_simulated"] == 5.0
+
+    def test_diff(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["runs", "diff", "--store", str(store), "--", "-2", "-1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "counter:frames_simulated" in out
+        assert "+0.0%" in out  # deterministic counter: no drift
+
+    def test_regress_clean_passes(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["runs", "regress", "--store", str(store), "--window", "5"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regress_detects_counter_drift(self, store, tmp_path, capsys):
+        # Copy the store, then append a record with a counter that
+        # drifted: the gate must fail and name the series.
+        import shutil
+
+        drifted = tmp_path / "drifted"
+        shutil.copytree(store, drifted)
+        newest = RunStore(drifted).records()[-1]
+        bad_metrics = dict(newest.metrics)
+        bad_metrics["counter:frames_simulated"] = 999.0
+        from dataclasses import replace
+
+        RunStore(drifted).append(
+            replace(newest, run_id="driftrun0001", metrics=bad_metrics)
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "runs", "regress", "--store", str(drifted),
+                "--window", "5", "--select", "counter:*",
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "counter:frames_simulated" in out
+
+    def test_regress_github_format(self, store, tmp_path, capsys):
+        capsys.readouterr()
+        assert main(
+            [
+                "runs", "regress", "--store", str(store),
+                "--window", "5", "--format", "github",
+            ]
+        ) == 0
+        assert "::error" not in capsys.readouterr().out
+
+    def test_regress_json_format(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            [
+                "runs", "regress", "--store", str(store),
+                "--window", "5", "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["checked"] >= 1
+
+    def test_regress_needs_enough_runs(self, trace_file, tmp_path, capsys):
+        store = tmp_path / "thin"
+        assert simulate(trace_file, store) == 0
+        capsys.readouterr()
+        assert main(["runs", "regress", "--store", str(store)]) == 1
+        assert "need more than" in capsys.readouterr().err
+
+    def test_empty_store_errors_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["runs", "list", "--store", str(tmp_path / "none")]
+        ) == 0
+        assert "no run records" in capsys.readouterr().out
+        assert main(
+            ["runs", "show", "--store", str(tmp_path / "none"), "--", "-1"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceReport:
+    def test_report_from_cli_export(self, trace_file, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "simulate", str(trace_file), "--no-cache",
+                "--no-run-store", "--trace-out", str(spans),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "report", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "span hotspots" in out
+        assert "cli:simulate" in out
+        assert "self s" in out
+
+    def test_sort_and_limit(self, trace_file, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "simulate", str(trace_file), "--no-cache",
+                "--no-run-store", "--trace-out", str(spans),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "report", str(spans), "--sort", "total", "--limit", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Sorted by total time: the CLI root span dominates.
+        assert "cli:simulate" in out
+
+    def test_bad_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["trace", "report", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""Chrome trace validation edge cases and JSON-safe argument export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs.export import (
+    chrome_trace_document,
+    validate_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.spans import Span
+
+
+def make_span(span_id="s1", parent_id=None, start_ns=1000, duration_ns=500,
+              **args):
+    return Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=f"span-{span_id}",
+        category="test",
+        start_ns=start_ns,
+        duration_ns=duration_ns,
+        pid=100,
+        tid=1,
+        args=dict(args),
+    )
+
+
+class TestValidatorShape:
+    def test_valid_document_has_no_problems(self):
+        document = chrome_trace_document(
+            [make_span("a"), make_span("b", parent_id="a")]
+        )
+        assert validate_chrome_trace(document) == []
+
+    def test_non_dict_document(self):
+        assert validate_chrome_trace([1, 2, 3]) == [
+            "document must be a JSON object, got list"
+        ]
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({"other": 1}) == [
+            "document must contain a 'traceEvents' list"
+        ]
+
+    def test_empty_span_list_flagged(self):
+        document = chrome_trace_document([])
+        problems = validate_chrome_trace(document)
+        assert problems == ["'traceEvents' is empty"]
+
+    def test_non_object_event(self):
+        problems = validate_chrome_trace({"traceEvents": ["zap"]})
+        assert any("not an object" in p for p in problems)
+
+    def test_missing_phase(self):
+        problems = validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+        assert any("missing 'ph'" in p for p in problems)
+
+
+class TestValidatorTimestamps:
+    def test_negative_timestamp_flagged(self):
+        document = chrome_trace_document([make_span("a", start_ns=-5_000)])
+        problems = validate_chrome_trace(document)
+        assert any("'ts'" in p and "non-negative" in p for p in problems)
+
+    def test_non_numeric_duration_flagged(self):
+        document = chrome_trace_document([make_span("a")])
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                event["dur"] = "fast"
+        problems = validate_chrome_trace(document)
+        assert any("'dur'" in p for p in problems)
+
+    def test_non_integer_pid_tid_flagged(self):
+        document = chrome_trace_document([make_span("a")])
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                event["pid"] = "one hundred"
+        problems = validate_chrome_trace(document)
+        assert any("'pid'" in p for p in problems)
+
+
+class TestValidatorOrphans:
+    def test_orphaned_parent_id_flagged(self):
+        # Child points at a span id no event in the document carries —
+        # the export dropped the parent.
+        document = chrome_trace_document(
+            [make_span("child", parent_id="vanished")]
+        )
+        problems = validate_chrome_trace(document)
+        assert any("orphaned span" in p for p in problems)
+        assert any("vanished" in p for p in problems)
+
+    def test_root_spans_are_not_orphans(self):
+        document = chrome_trace_document([make_span("root", parent_id=None)])
+        assert validate_chrome_trace(document) == []
+
+    def test_cross_process_parent_resolves(self):
+        # Worker spans carry parents recorded by the coordinating process;
+        # as long as the parent event is in the same document it resolves.
+        parent = make_span("coord")
+        child = make_span("wrk", parent_id="coord")
+        child.pid = 999  # simulate a worker-process span
+        document = chrome_trace_document([parent, child])
+        assert validate_chrome_trace(document) == []
+
+
+class TestJsonSafety:
+    def test_numpy_args_coerced(self, tmp_path):
+        span = make_span(
+            "np",
+            radius=np.float64(0.16),
+            frames=np.int32(24),
+            vector=np.arange(3),
+            flags={"full": np.bool_(True)},
+        )
+        document = chrome_trace_document([span])
+        # The whole document must survive a strict JSON round-trip.
+        payload = json.loads(json.dumps(document))
+        args = [e for e in payload["traceEvents"] if e["ph"] == "X"][0]["args"]
+        assert args["radius"] == 0.16
+        assert args["frames"] == 24
+        assert args["vector"] == [0.0, 1.0, 2.0]
+        assert args["flags"]["full"] in (True, 1.0)
+
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl([span], path)
+        line = json.loads(path.read_text().splitlines()[0])
+        assert line["args"]["radius"] == 0.16
+
+    def test_unconvertible_objects_become_strings(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        document = chrome_trace_document([make_span("o", thing=Opaque())])
+        payload = json.loads(json.dumps(document))
+        args = [e for e in payload["traceEvents"] if e["ph"] == "X"][0]["args"]
+        assert args["thing"] == "<opaque thing>"
+        assert validate_chrome_trace(payload) == []

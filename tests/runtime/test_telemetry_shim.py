@@ -37,6 +37,21 @@ class TestNestedTimerAccounting:
         # Pre-fix this reported outer+inner (~2x the real wall time).
         assert total < 1.5 * telemetry.snapshot().timers_s["outer"]
 
+    def test_summary_line_names_the_zero_timer_state(self):
+        # All-cache-hit runs record no stage timers; the summary must say
+        # so explicitly instead of silently dropping the stage column.
+        line = Telemetry().snapshot().summary_line()
+        assert "no stages recorded" in line
+        assert "stage_time=" not in line
+
+    def test_summary_line_keeps_stage_time_when_timers_exist(self):
+        telemetry = Telemetry()
+        with telemetry.timer("stage"):
+            pass
+        line = telemetry.snapshot().summary_line()
+        assert "stage_time=" in line
+        assert "no stages recorded" not in line
+
     def test_same_stage_reentered_at_top_accumulates(self):
         telemetry = Telemetry()
         for _ in range(2):
