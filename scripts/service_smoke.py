@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""CI smoke for `repro serve`: boot, submit, dedup, fail, restart.
+
+Drives a real server over real sockets through the stdlib client and
+asserts the service contract end to end:
+
+1. healthz answers with build info;
+2. submit -> poll -> result round-trips a tiny generated job, and the
+   job appended a run record (so ``repro runs regress`` sees service
+   traffic);
+3. an identical resubmission is a warm-cache rerun (cache hits, zero
+   frames simulated);
+4. a failing job reports ``failed`` while the server keeps serving;
+5. a restart on the same job dir picks the backlog up;
+6. the ``repro jobs`` CLI drives the same server end to end.
+
+Exit code 0 means every assertion held.  Run it from the repo root:
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+
+def _payload(seed: int, frames: int = 4, game: str = "bioshock1_like") -> dict:
+    return {
+        "kind": "simulate",
+        "trace": {
+            "generate": {"game": game, "frames": frames, "seed": seed,
+                         "scale": 0.05}
+        },
+    }
+
+
+def _serve(workdir: Path, timeout_s: float):
+    from repro.service.client import ServiceClient
+    from repro.service.http import build_server
+
+    server, recovery = build_server(
+        port=0,
+        job_dir=workdir / "jobs",
+        cache_dir=workdir / "cache",
+        run_store=workdir / "runs",
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, timeout_s=timeout_s)
+    return server, thread, client, recovery
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-job wait limit in seconds")
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    server, thread, client, recovery = _serve(workdir, args.timeout)
+    assert recovery == {"requeued": [], "interrupted": []}, recovery
+
+    health = client.healthz()
+    assert health["status"] == "ok", health
+    print(f"[1/6] healthz ok (repro {health['build']['package_version']})")
+
+    cold = client.submit(_payload(seed=1))
+    final = client.wait(cold["job_id"], timeout_s=args.timeout)
+    assert final["state"] == "succeeded", final
+    result = client.result(cold["job_id"])
+    assert result["result"]["total_time_ms"] > 0, result
+    cold_frames = result["metrics"].get("counter:frames_simulated", 0)
+    assert cold_frames > 0, result["metrics"]
+
+    from repro.obs.history import RunStore
+
+    runs = RunStore(workdir / "runs").records(command="service:simulate")
+    assert runs, "no service run record was appended"
+    assert runs[-1].extra.get("job_id") == cold["job_id"], runs[-1].extra
+    print(f"[2/6] submit->poll->result ok ({cold_frames:.0f} frames "
+          "simulated, run record appended)")
+
+    warm = client.submit(_payload(seed=1))
+    client.wait(warm["job_id"], timeout_s=args.timeout)
+    warm_metrics = client.result(warm["job_id"])["metrics"]
+    assert warm_metrics.get("counter:frames_simulated", 0) == 0, warm_metrics
+    assert warm_metrics.get("counter:cache_hits", 0) > 0, warm_metrics
+    print("[3/6] identical resubmission was pure cache hits")
+
+    from repro.service.client import ServiceClientError
+
+    try:
+        client.submit({"kind": "simulate", "trace": {}})
+        raise AssertionError("bad submission was accepted")
+    except ServiceClientError as exc:
+        assert exc.status == 422 and exc.field_errors, exc
+    # Keep the lone worker busy so the doomed job stays queued long
+    # enough for the sabotage below to land before it runs.
+    busy = client.submit(_payload(seed=5, frames=30))
+    doomed = client.submit(_payload(seed=2))
+    store = server.app.executor.store
+    record = store.get(doomed["job_id"])
+    record.spec["trace"]["generate"]["game"] = "no_such_game"
+    store.update(record)
+    failed = client.wait(doomed["job_id"], timeout_s=args.timeout)
+    assert failed["state"] == "failed", failed
+    assert failed["error"], failed
+    client.wait(busy["job_id"], timeout_s=args.timeout)
+    survivor = client.submit(_payload(seed=3))
+    ok = client.wait(survivor["job_id"], timeout_s=args.timeout)
+    assert ok["state"] == "succeeded", ok
+    print("[4/6] failed job reported failed; server kept serving")
+
+    backlog = client.submit(_payload(seed=4))
+    server.close()  # queued job stays in the store
+    thread.join(timeout=10.0)
+    server2, thread2, client2, _ = _serve(workdir, args.timeout)
+    picked_up = client2.wait(backlog["job_id"], timeout_s=args.timeout)
+    assert picked_up["state"] == "succeeded", picked_up
+    print("[5/6] restart picked up the queued backlog")
+
+    from repro.cli import main as repro_main
+
+    rc = repro_main([
+        "jobs", "submit", "--url", server2.url,
+        "--kind", "subset", "--generate", "bioshock1_like",
+        "--frames", "12", "--seed", "6", "--scale", "0.05",
+        "--wait", "--timeout", str(args.timeout),
+    ])
+    assert rc == 0, f"repro jobs submit exited {rc}"
+    assert repro_main(["jobs", "list", "--url", server2.url]) == 0
+    server2.close()
+    thread2.join(timeout=10.0)
+    print("[6/6] repro jobs submit/list drove the server end to end")
+
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

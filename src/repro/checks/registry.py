@@ -162,6 +162,7 @@ def _ensure_builtin_rules() -> None:
         "rules_imports",
         "rules_obs",
         "rules_perf",
+        "rules_service",
         "rules_worker",
     ):
         importlib.import_module(f"repro.checks.{module}")

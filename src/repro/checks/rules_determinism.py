@@ -54,12 +54,15 @@ _WALL_CLOCK_CALLS = {
 
 #: Path fragments where wall-clock and environment reads are legitimate:
 #: observability stamps real timestamps by design, the dataset registry
-#: honors the full-scale env toggle, and the cache honors its dir
-#: override.  Matching is on the normalized (posix) relpath.
+#: honors the full-scale env toggle, the cache honors its dir override,
+#: and the service stamps job lifecycle times (created/started/finished)
+#: into its persistent records.  Matching is on the normalized (posix)
+#: relpath.
 ENV_TIME_ALLOWLIST = (
     "repro/obs/",
     "repro/datasets.py",
     "repro/runtime/cache.py",
+    "repro/service/",
 )
 
 

@@ -1,0 +1,138 @@
+"""Service-layering rule (SVC001).
+
+The service exists so that simulation work is *queued*: submissions are
+validated, persisted, deduplicated against in-flight twins, and executed
+by the worker pool with bounded concurrency.  An HTTP handler (or any
+request-path code) that calls a simulation entry point directly bypasses
+all of that — the request thread blocks for the whole simulation, the
+queue limit stops meaning anything, and identical submissions stop
+coalescing.  SVC001 pins the layering: inside ``repro/service/`` only
+the executor module may invoke simulation or pipeline entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.checks.findings import Finding
+from repro.checks.registry import get_rule, rule
+
+if TYPE_CHECKING:
+    from repro.checks.engine import ModuleContext
+
+#: Simulation/pipeline entry points that must stay behind the job queue.
+SIM_ENTRY_POINTS = frozenset(
+    {
+        "simulate_trace",
+        "simulate_trace_batch",
+        "simulate_trace_multi",
+        "simulate_frames",
+        "simulate_frames_many",
+        "cluster_frames",
+        "run_pipeline",
+        "pathfinding_sweep",
+    }
+)
+
+#: Receiver-name fragments that mark an ``<obj>.run(...)`` call as a
+#: pipeline invocation (``SubsettingPipeline.run`` is the entry point,
+#: but the receiver is whatever variable holds the pipeline).
+_PIPELINE_RECEIVER_HINTS = ("pipeline",)
+
+#: The one service module allowed to reach the engine: jobs flow
+#: through the executor's queue and worker pool by design.  Matching is
+#: on the normalized (posix) relpath.
+SERVICE_EXECUTOR_ALLOWLIST = ("service/executor.py",)
+
+
+def _in_service(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return "/service/" in normalized or normalized.startswith("service/")
+
+
+def _is_allowlisted(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return any(
+        fragment in normalized for fragment in SERVICE_EXECUTOR_ALLOWLIST
+    )
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _receiver_names(call: ast.Call) -> Iterator[str]:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return
+    for node in ast.walk(func.value):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _is_pipeline_run(call: ast.Call) -> bool:
+    if _call_name(call) != "run":
+        return False
+    for name in _receiver_names(call):
+        lowered = name.lower()
+        if any(hint in lowered for hint in _PIPELINE_RECEIVER_HINTS):
+            return True
+    return False
+
+
+@rule(
+    "SVC001",
+    name="service-handler-runs-simulation",
+    severity="error",
+    hint=(
+        "submit the work through JobExecutor.submit() so it is queued, "
+        "bounded, and deduplicated; only repro/service/executor.py may "
+        "call simulation or pipeline entry points"
+    ),
+)
+def service_handler_runs_simulation(ctx: "ModuleContext") -> Iterator[Finding]:
+    """Request-path service code invoking the engine directly.
+
+    Applies to every module under ``repro/service/`` except the
+    executor.  A direct ``simulate_trace`` / ``pipeline.run`` /
+    ``pathfinding_sweep`` call in a handler runs unbounded simulation on
+    the request thread: no queue slot, no 429 backpressure, no
+    coalescing, no job record — the exact failure modes the service
+    subsystem was built to prevent.
+    """
+    this = get_rule("SVC001")
+    module = ctx.module
+    if not _in_service(module.relpath):
+        return
+    if _is_allowlisted(module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in SIM_ENTRY_POINTS:
+            yield this.finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                f"{name}() called directly from service module "
+                f"{module.relpath}; simulation must go through the "
+                f"job executor",
+            )
+        elif _is_pipeline_run(node):
+            yield this.finding(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                "pipeline.run() called directly from service module "
+                f"{module.relpath}; simulation must go through the "
+                f"job executor",
+            )

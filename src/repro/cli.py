@@ -11,6 +11,8 @@ Subcommands::
     repro check     src/repro --format github
     repro runs      list|show|diff|regress   # run-history store
     repro trace     report spans.jsonl       # span hotspot rollup
+    repro serve     --port 8630 --workers 2  # subsetting-as-a-service
+    repro jobs      submit|status|result|list|cancel  # service client
 """
 
 from __future__ import annotations
@@ -49,6 +51,28 @@ from repro.util.tables import format_table
 EXPERIMENT_RUNNERS = (
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
 )
+
+#: Default address for `repro serve` / the `repro jobs` client.
+DEFAULT_SERVICE_PORT = 8630
+DEFAULT_SERVICE_URL = f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}"
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` printing :func:`repro.obs.history.version_line`.
+
+    A custom action rather than ``action="version"`` so the git
+    subprocess behind the provenance line only runs when the flag is
+    actually used, not on every parser construction.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.obs.history import version_line
+
+        print(version_line())
+        parser.exit(0)
 
 
 def _jobs_arg(value: str):
@@ -275,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
             "3D workload subsetting for GPU architecture pathfinding "
             "(IISWC 2015 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action=_VersionAction,
+        help="print version, git provenance, and python version",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -543,6 +572,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=30,
         help="show the top N span names (default 30; 0 = all)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the subsetting service (job queue + HTTP API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="jobs executing concurrently (default 1)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="max queued jobs before submissions get 429 (default 64)",
+    )
+    serve.add_argument(
+        "--sim-jobs", type=_jobs_arg, default=1,
+        help="worker processes per job's simulations (count or 'auto')",
+    )
+    serve.add_argument(
+        "--job-dir", default=None,
+        help="persistent job store directory (default: .repro/jobs)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "artifact cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (identical jobs re-simulate)",
+    )
+    serve.add_argument(
+        "--run-store", default=None, metavar="DIR",
+        help=(
+            "run-history store for per-job records (default: "
+            "$REPRO_RUN_STORE or .repro/runs)"
+        ),
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request on stderr",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="client for a running subsetting service"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_url_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url", default=DEFAULT_SERVICE_URL,
+            help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+        )
+
+    jobs_submit = jobs_sub.add_parser("submit", help="submit one job")
+    _add_url_flag(jobs_submit)
+    jobs_submit.add_argument(
+        "--kind", choices=["simulate", "subset", "sweep"], default="subset"
+    )
+    source = jobs_submit.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--trace", default=None,
+        help="path to a trace file (must be readable by the server)",
+    )
+    source.add_argument(
+        "--generate", default=None, metavar="GAME",
+        choices=BIOSHOCK_SERIES,
+        help="have the server generate a synthetic trace of this game",
+    )
+    jobs_submit.add_argument("--frames", type=int, default=None)
+    jobs_submit.add_argument("--seed", type=int, default=None)
+    jobs_submit.add_argument("--scale", type=float, default=None)
+    jobs_submit.add_argument(
+        "--preset", choices=GpuConfig.preset_names(), default="mainstream"
+    )
+    jobs_submit.add_argument(
+        "--override", action="append", default=[], metavar="FIELD=VALUE",
+        help="GpuConfig field override (repeatable), e.g. tex_cache_kb=256",
+    )
+    jobs_submit.add_argument("--radius", type=float, default=None)
+    jobs_submit.add_argument("--interval-length", type=int, default=None)
+    jobs_submit.add_argument("--tolerance", type=float, default=None)
+    jobs_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its result",
+    )
+    jobs_submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait limit in seconds (default 600)",
+    )
+
+    jobs_status = jobs_sub.add_parser("status", help="one job's status")
+    _add_url_flag(jobs_status)
+    jobs_status.add_argument("job_id")
+
+    jobs_result = jobs_sub.add_parser(
+        "result", help="a finished job's result payload as JSON"
+    )
+    _add_url_flag(jobs_result)
+    jobs_result.add_argument("job_id")
+
+    jobs_list = jobs_sub.add_parser("list", help="list jobs on the server")
+    _add_url_flag(jobs_list)
+    jobs_list.add_argument("--state", default=None)
+    jobs_list.add_argument("--kind", default=None)
+    jobs_list.add_argument(
+        "--limit", type=int, default=20, help="newest N jobs (default 20)"
+    )
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a queued job")
+    _add_url_flag(jobs_cancel)
+    jobs_cancel.add_argument("job_id")
     return parser
 
 
@@ -942,6 +1086,163 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.runtime.cache import default_cache_dir
+    from repro.service.http import build_server
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    server, recovery = build_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        sim_jobs=args.sim_jobs,
+        job_dir=args.job_dir,
+        cache_dir=cache_dir,
+        run_store=args.run_store,
+        verbose=args.verbose,
+    )
+    if recovery["requeued"]:
+        print(f"recovered {len(recovery['requeued'])} interrupted job(s): "
+              + ", ".join(recovery["requeued"]))
+    if recovery["interrupted"]:
+        print(f"gave up on {len(recovery['interrupted'])} repeat-crash job(s): "
+              + ", ".join(recovery["interrupted"]))
+    print(
+        f"repro service listening on {server.url} "
+        f"(workers={args.workers}, sim_jobs={args.sim_jobs}, "
+        f"job_dir={server.app.executor.store.root})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _submit_payload(args) -> dict:
+    """The ``POST /v1/jobs`` body the submit flags describe."""
+    if args.trace is not None:
+        trace: dict = {"path": args.trace}
+    else:
+        generate = {"game": args.generate}
+        for key in ("frames", "seed", "scale"):
+            value = getattr(args, key)
+            if value is not None:
+                generate[key] = value
+        trace = {"generate": generate}
+    overrides = {}
+    for item in args.override:
+        if "=" not in item:
+            raise ReproError(
+                f"--override expects FIELD=VALUE, got {item!r}"
+            )
+        name, raw = item.split("=", 1)
+        import json as _json
+
+        try:
+            overrides[name] = _json.loads(raw)
+        except _json.JSONDecodeError:
+            overrides[name] = raw
+    payload = {
+        "kind": args.kind,
+        "trace": trace,
+        "config": {"preset": args.preset, "overrides": overrides},
+    }
+    params = {}
+    for flag, field in (
+        ("radius", "radius"),
+        ("interval_length", "interval_length"),
+        ("tolerance", "tolerance"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            params[field] = value
+    if params:
+        payload["params"] = params
+    return payload
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        return _run_jobs_command(client, args)
+    except ServiceClientError as exc:
+        if exc.field_errors:
+            # Re-raise the server's 422 as the same structured error a
+            # local validation failure produces, so main() renders one
+            # line per field either way.
+            from repro.util.validation import FieldError, FieldValidationError
+
+            raise FieldValidationError([
+                FieldError(e["field_path"], e["message"])
+                for e in exc.field_errors
+            ]) from None
+        raise
+
+
+def _run_jobs_command(client, args) -> int:
+    import json as _json
+
+    if args.jobs_command == "submit":
+        status = client.submit(_submit_payload(args))
+        coalesced = status.get("coalesced_with")
+        note = f" (coalesced with {coalesced})" if coalesced else ""
+        print(f"job {status['job_id']} {status['state']}{note}")
+        if not args.wait:
+            return 0
+        job_id = status["job_id"]
+        final = client.wait(job_id, timeout_s=args.timeout)
+        print(f"job {job_id} {final['state']}")
+        if final["state"] != "succeeded":
+            if final.get("error"):
+                print(f"error: {final['error']}", file=sys.stderr)
+            return 2
+        print(_json.dumps(client.result(job_id), indent=2, sort_keys=True))
+        return 0
+    if args.jobs_command == "status":
+        print(_json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+        return 0
+    if args.jobs_command == "result":
+        print(_json.dumps(client.result(args.job_id), indent=2, sort_keys=True))
+        return 0
+    if args.jobs_command == "cancel":
+        status = client.cancel(args.job_id)
+        print(f"job {status['job_id']} {status['state']}")
+        return 0
+    # list
+    jobs = client.list_jobs(
+        state=args.state, kind=args.kind, limit=args.limit
+    )
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = []
+    for job in jobs:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(job["created_unix"])
+        )
+        rows.append([
+            job["job_id"],
+            job["kind"],
+            job["state"],
+            stamp,
+            job.get("coalesced_with") or "-",
+        ])
+    print(format_table(
+        ["job", "kind", "state", "created", "coalesced"],
+        rows,
+        title=f"jobs at {args.url} (oldest first)",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -955,6 +1256,8 @@ _COMMANDS = {
     "check": _cmd_check,
     "runs": _cmd_runs,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -962,8 +1265,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.util.validation import FieldValidationError
+
     try:
         return _COMMANDS[args.command](args)
+    except FieldValidationError as exc:
+        print("error: validation failed", file=sys.stderr)
+        for entry in exc.errors:
+            print(f"  {entry.field_path}: {entry.message}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -120,7 +120,14 @@ class PipelineResult:
 
 
 class SubsettingPipeline:
-    """Configured, reusable runner for the full methodology."""
+    """Configured, reusable runner for the full methodology.
+
+    Parameters are validated eagerly and *collectively*: every bad
+    argument is reported with its field path in one
+    :class:`~repro.util.validation.FieldValidationError`, so a CLI user
+    or API client learns which knob was wrong (not just that something
+    was) before any simulation starts.
+    """
 
     def __init__(
         self,
@@ -133,6 +140,46 @@ class SubsettingPipeline:
         phase_tolerance: float = DEFAULT_TOLERANCE,
         seed: int = 0,
     ) -> None:
+        from repro.core.cluster_frame import METHODS as CLUSTER_METHODS
+        from repro.core.normalize import METHODS as NORMALIZE_METHODS
+        from repro.core.phasedetect import MODES as PHASE_MODES
+        from repro.util.validation import (
+            FieldErrors,
+            check_fraction,
+            check_in,
+            check_positive,
+            check_type,
+        )
+
+        errors = FieldErrors()
+        errors.collect(
+            "cluster_method", check_in,
+            "cluster_method", cluster_method, CLUSTER_METHODS,
+        )
+        errors.collect("radius", check_positive, "radius", radius)
+        errors.collect(
+            "normalize", check_in, "normalize", normalize, NORMALIZE_METHODS
+        )
+        if k is not None:
+            if errors.collect("k", check_type, "k", k, int):
+                errors.collect("k", check_positive, "k", k)
+        if errors.collect(
+            "interval_length", check_type,
+            "interval_length", interval_length, int,
+        ):
+            errors.collect(
+                "interval_length", check_positive,
+                "interval_length", interval_length,
+            )
+        errors.collect(
+            "phase_mode", check_in, "phase_mode", phase_mode, PHASE_MODES
+        )
+        errors.collect(
+            "phase_tolerance", check_fraction,
+            "phase_tolerance", phase_tolerance,
+        )
+        errors.collect("seed", check_type, "seed", seed, int)
+        errors.raise_if_any()
         self.cluster_method = cluster_method
         self.radius = radius
         self.normalize = normalize

@@ -84,6 +84,30 @@ def environment_fingerprint() -> Dict[str, Any]:
     }
 
 
+def build_info() -> Dict[str, Any]:
+    """Package version plus source provenance, for version surfaces.
+
+    Backs ``repro --version`` and the service's ``GET /v1/healthz``:
+    the environment fingerprint's package/python facts joined with the
+    git SHA (``None`` outside a checkout), so every deployment can say
+    exactly which build is answering.
+    """
+    info = environment_fingerprint()
+    info["git_sha"] = git_sha()
+    return info
+
+
+def version_line() -> str:
+    """One human-readable line: ``repro <version> (<sha>, python <ver>)``."""
+    info = build_info()
+    sha = info["git_sha"]
+    provenance = f"git {sha[:12]}" if sha else "no git checkout"
+    return (
+        f"repro {info['package_version']} "
+        f"({provenance}, python {info['python_version']})"
+    )
+
+
 def _render_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""

@@ -1,0 +1,249 @@
+"""HTTP-agnostic request handling for the subsetting service.
+
+:class:`ServiceApp` maps ``(method, path, body)`` to a
+:class:`Response` — plain data, no sockets — so the whole API surface is
+testable without binding a port, and the actual HTTP layer
+(:mod:`repro.service.http`) stays a thin translation shim.
+
+Routes (all JSON)::
+
+    GET  /v1/healthz            liveness + build info + queue gauges
+    GET  /v1/metrics            service metrics snapshot
+    POST /v1/jobs               submit a job (422 on bad fields, 429 full)
+    GET  /v1/jobs               list jobs (?state=, ?kind=, ?limit=)
+    GET  /v1/jobs/{id}          one job's status
+    GET  /v1/jobs/{id}/result   the result payload (409 until terminal)
+    POST /v1/jobs/{id}/cancel   cancel a queued job (409 if running)
+
+Handlers never run simulations themselves — work always goes through
+the executor's queue (the SVC001 check enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ValidationError
+from repro.obs.history import build_info
+from repro.service.executor import (
+    JobConflictError,
+    JobExecutor,
+    QueueFullError,
+)
+from repro.service.jobs import JOB_STATES, JobRecord
+from repro.service.specs import validate_job_request
+from repro.util.validation import FieldValidationError
+
+#: Seconds a 429 response suggests waiting before resubmitting.
+RETRY_AFTER_S = 2
+
+
+@dataclass(frozen=True)
+class Response:
+    """One API response: status code, JSON-safe body, extra headers."""
+
+    status: int
+    body: Dict[str, Any]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def body_bytes(self) -> bytes:
+        return (json.dumps(self.body, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error(status: int, message: str, **extra: Any) -> Response:
+    headers = extra.pop("headers", {})
+    return Response(status, {"error": message, **extra}, headers=headers)
+
+
+class ServiceApp:
+    """Routes validated requests onto a :class:`JobExecutor`."""
+
+    def __init__(self, executor: JobExecutor) -> None:
+        self.executor = executor
+
+    # -- entry point -------------------------------------------------------
+
+    def handle(
+        self, method: str, target: str, body: Optional[bytes] = None
+    ) -> Response:
+        """Dispatch one request; never raises for client mistakes."""
+        self.executor.metrics.inc("service_requests", method=method)
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        try:
+            return self._route(method, path, query, body)
+        except FieldValidationError as exc:
+            return Response(
+                422,
+                {
+                    "error": "validation failed",
+                    "field_errors": exc.as_payload(),
+                },
+            )
+        except QueueFullError as exc:
+            return _error(
+                429, str(exc), headers={"Retry-After": str(RETRY_AFTER_S)}
+            )
+        except JobConflictError as exc:
+            return _error(409, str(exc))
+        except ValidationError as exc:
+            return _error(404, str(exc))
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[bytes],
+    ) -> Response:
+        if path == "/v1/healthz":
+            return self._require(method, "GET") or self._healthz()
+        if path == "/v1/metrics":
+            return self._require(method, "GET") or self._metrics()
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._submit(body)
+            return self._require(method, "GET") or self._list(query)
+        job_id, action = _split_job_path(path)
+        if job_id is None:
+            return _error(404, f"no route for {path}")
+        if action == "":
+            return self._require(method, "GET") or self._status(job_id)
+        if action == "result":
+            return self._require(method, "GET") or self._result(job_id)
+        if action == "cancel":
+            return self._require(method, "POST") or self._cancel(job_id)
+        return _error(404, f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> Optional[Response]:
+        if method != expected:
+            return _error(
+                405,
+                f"method {method} not allowed (use {expected})",
+                headers={"Allow": expected},
+            )
+        return None
+
+    # -- handlers ----------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        snapshot = self.executor.metrics.snapshot()
+        return Response(
+            200,
+            {
+                "status": "ok",
+                "build": build_info(),
+                "queue_depth": snapshot.gauge("service_queue_depth") or 0.0,
+                "jobs_inflight": snapshot.gauge("service_jobs_inflight")
+                or 0.0,
+            },
+        )
+
+    def _metrics(self) -> Response:
+        return Response(
+            200, {"metrics": self.executor.metrics.snapshot().as_dict()}
+        )
+
+    def _submit(self, body: Optional[bytes]) -> Response:
+        if not body:
+            return _error(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error(400, f"request body is not valid JSON: {exc}")
+        spec = validate_job_request(payload)
+        record = self.executor.submit(spec)
+        status = 202 if record.coalesced_with is None else 200
+        return Response(status, record.status_payload())
+
+    def _list(self, query: Dict[str, str]) -> Response:
+        state = query.get("state")
+        if state is not None and state not in JOB_STATES:
+            return _error(
+                400,
+                f"unknown state {state!r} "
+                f"(expected one of {', '.join(JOB_STATES)})",
+            )
+        limit_raw = query.get("limit")
+        limit: Optional[int] = None
+        if limit_raw is not None:
+            try:
+                limit = int(limit_raw)
+            except ValueError:
+                return _error(400, f"limit must be an integer, got {limit_raw!r}")
+        records = self.executor.store.records(
+            state=state, kind=query.get("kind"), limit=limit
+        )
+        return Response(
+            200, {"jobs": [record.status_payload() for record in records]}
+        )
+
+    def _status(self, job_id: str) -> Response:
+        record = self.executor.store.resolve(job_id)
+        return Response(200, record.status_payload())
+
+    def _result(self, job_id: str) -> Response:
+        record = self.executor.store.resolve(job_id)
+        record = self._follow(record)
+        if not record.is_terminal:
+            return _error(
+                409,
+                f"job {record.job_id} is {record.state}; result is not "
+                "ready yet",
+                state=record.state,
+            )
+        if record.state != "succeeded":
+            return _error(
+                409,
+                f"job {record.job_id} {record.state}: "
+                f"{record.error or 'no result'}",
+                state=record.state,
+            )
+        return Response(
+            200,
+            {
+                "job_id": record.job_id,
+                "state": record.state,
+                "result": record.result,
+                "metrics": record.metrics,
+            },
+        )
+
+    def _follow(self, record: JobRecord) -> JobRecord:
+        """Resolve a follower that was finished via its primary's copy."""
+        if record.result is None and record.coalesced_with is not None:
+            try:
+                return self.executor.store.get(record.coalesced_with)
+            except ValidationError:
+                return record
+        return record
+
+    def _cancel(self, job_id: str) -> Response:
+        record = self.executor.cancel(job_id)
+        return Response(200, record.status_payload())
+
+
+def _split_job_path(path: str) -> Tuple[Optional[str], str]:
+    """``/v1/jobs/<id>[/<action>]`` → ``(id, action)``; else ``(None, "")``."""
+    prefix = "/v1/jobs/"
+    if not path.startswith(prefix):
+        return None, ""
+    rest = path[len(prefix):]
+    if not rest:
+        return None, ""
+    if "/" in rest:
+        job_id, action = rest.split("/", 1)
+        if "/" in action:
+            return None, ""
+        return (job_id or None), action
+    return rest, ""

@@ -1,0 +1,144 @@
+"""Minimal stdlib client for the subsetting service.
+
+Wraps :mod:`urllib.request` so the ``repro jobs`` CLI subcommands (and
+tests) talk to a running server without any HTTP dependency.  Non-2xx
+responses raise :class:`ServiceClientError` carrying the decoded JSON
+body, so callers can surface the server's field errors verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """A request failed; ``status``/``body`` hold the server's answer.
+
+    ``status`` is 0 when the server was unreachable (connection refused,
+    DNS failure) — there is no HTTP answer to report then.
+    """
+
+    def __init__(
+        self, message: str, status: int = 0, body: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = dict(body or {})
+
+    @property
+    def field_errors(self) -> List[Dict[str, str]]:
+        """The 422 body's structured field list (empty otherwise)."""
+        entries = self.body.get("field_errors", [])
+        return [dict(entry) for entry in entries]
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8630")``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One JSON round-trip; raises :class:`ServiceClientError` on failure."""
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as reply:
+                return _decode(reply.read())
+        except urllib.error.HTTPError as exc:
+            body = _decode(exc.read())
+            message = body.get("error") or f"HTTP {exc.code}"
+            raise ServiceClientError(
+                f"{method} {path} failed ({exc.code}): {message}",
+                status=exc.code,
+                body=body,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/metrics")
+
+    def submit(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/jobs", payload=job)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel", payload={})
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (
+                ("state", state), ("kind", kind), ("limit", limit)
+            )
+            if value is not None
+        )
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return list(self.request("GET", path).get("jobs", []))
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in (
+                "succeeded", "failed", "cancelled", "interrupted"
+            ):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+
+def _decode(raw: bytes) -> Dict[str, Any]:
+    try:
+        decoded = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+    return decoded if isinstance(decoded, dict) else {}

@@ -1,0 +1,548 @@
+"""Job executor: drains the persistent queue through the runtime engine.
+
+Worker threads pull job ids off an in-process queue, load the persisted
+record, and run the named work through :class:`~repro.runtime.engine.Runtime`
+— the same engine the CLI uses, so service jobs get the artifact cache,
+process-pool parallelism, and observability for free.
+
+Deduplication is two-level, both content-addressed on
+:meth:`~repro.service.specs.JobSpec.job_key`:
+
+* **In-flight coalescing** — a submission whose key matches a queued or
+  running job becomes a *follower*: it gets its own persisted record
+  (``coalesced_with`` naming the primary) but is never enqueued; when
+  the primary finishes, its outcome is copied onto every follower.  Two
+  concurrent identical submissions therefore cost one computation.
+* **Warm artifacts** — a submission whose twin already *completed* runs
+  again, but every simulation artifact is already in the
+  content-addressed cache, so the rerun is pure cache hits (visible as
+  ``counter:cache_hits`` in the job's metrics with no new
+  ``frames_simulated``).
+
+Each finished job appends a run record through the shared
+:func:`~repro.obs.history.record_run` hook (command ``service:<kind>``),
+so ``repro runs regress`` and ``repro trace report`` gate service
+traffic exactly like CLI traffic.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError, ValidationError
+from repro.obs.history import flatten_metrics, record_run
+from repro.obs.metrics import Metrics
+from repro.obs.spans import NULL_TRACER
+from repro.runtime.cache import ArtifactCache, NullCache
+from repro.runtime.engine import Runtime
+from repro.runtime.telemetry import Telemetry
+from repro.service.jobs import JobRecord, JobStore, new_job
+from repro.service.specs import JobSpec
+
+#: Default bound on jobs waiting to run (primaries only; followers and
+#: running jobs don't occupy queue slots).
+DEFAULT_QUEUE_LIMIT = 64
+
+
+class QueueFullError(ReproError):
+    """The job queue is at capacity; the API maps this to 429."""
+
+
+class JobConflictError(ReproError):
+    """The requested transition is illegal for the job's current state."""
+
+
+class _JobProgress:
+    """Progress sink mirroring engine callbacks into the job record.
+
+    Implements the reporter interface the task engine drives (``begin``
+    / ``task_done`` / ``heartbeat`` / ``finish``) and forwards the
+    counts into the job's persisted ``progress`` dict (throttled — at
+    most one store write per second) plus live service gauges, so a
+    client polling ``GET /v1/jobs/{id}`` watches the run move.
+    """
+
+    #: The engine only heartbeats when a progress sink asks for it.
+    heartbeat_interval_s: Optional[float] = None
+
+    _WRITE_INTERVAL_S = 1.0
+
+    def __init__(
+        self, store: JobStore, record: JobRecord, metrics: Metrics
+    ) -> None:
+        self._store = store
+        self._record = record
+        self._metrics = metrics
+        self._last_write = 0.0
+
+    def begin(self, total: int) -> None:
+        self._update(0, total, 0, force=True)
+
+    def task_done(self, done: int, total: int, frames: int) -> None:
+        self._update(done, total, frames)
+
+    def heartbeat(self, done: int, total: int, frames: int) -> None:
+        self._update(done, total, frames)
+
+    def finish(self, done: int, total: int, frames: int) -> None:
+        self._update(done, total, frames, force=True)
+
+    def _update(
+        self, done: int, total: int, frames: int, force: bool = False
+    ) -> None:
+        self._record.progress = {
+            "tasks_done": float(done),
+            "tasks_total": float(total),
+            "frames_simulated": float(frames),
+        }
+        self._metrics.gauge(
+            "service_job_tasks_done", done, job=self._record.job_id
+        )
+        now = time.monotonic()
+        if force or now - self._last_write >= self._WRITE_INTERVAL_S:
+            self._last_write = now
+            self._store.update(self._record)
+
+
+class JobExecutor:
+    """Owns the worker pool, the in-flight index, and job execution.
+
+    ``workers`` sets service-level concurrency (jobs running at once);
+    ``sim_jobs`` is forwarded to each job's :class:`Runtime` and sets
+    simulation-level parallelism within a job.  ``cache_dir=None``
+    disables the artifact cache (tests that must simulate every time);
+    the common configuration points every job at one shared directory so
+    identical work re-submitted later is all cache hits.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        sim_jobs: Union[int, str] = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        run_store: Optional[Union[str, Path]] = None,
+        metrics: Optional[Metrics] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ValidationError(f"workers must be an int >= 1, got {workers!r}")
+        if (
+            not isinstance(queue_limit, int)
+            or isinstance(queue_limit, bool)
+            or queue_limit < 1
+        ):
+            raise ValidationError(
+                f"queue_limit must be an int >= 1, got {queue_limit!r}"
+            )
+        self.store = store
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.sim_jobs = sim_jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.run_store = run_store
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._lock = threading.Lock()
+        #: job_key -> primary job id, for queued/running jobs only.
+        self._inflight: Dict[str, str] = {}
+        #: primary job id -> follower job ids awaiting its outcome.
+        self._followers: Dict[str, List[str]] = {}
+        self._queued_count = 0
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> Dict[str, List[str]]:
+        """Recover the store, re-enqueue survivors, start the workers.
+
+        Returns ``{"requeued": [...], "interrupted": [...]}`` — what the
+        crash-recovery pass did, for the server's startup log line.
+        """
+        if self._started:
+            raise ValidationError("executor already started")
+        self._started = True
+        requeued, interrupted = self.store.recover()
+        with self._lock:
+            for record in self.store.records(state="queued"):
+                if self._inflight.get(record.job_key) == record.job_id:
+                    # Already indexed (submitted to this executor before
+                    # start); don't enqueue it twice.
+                    continue
+                if record.coalesced_with is not None:
+                    primary = self._inflight.get(record.job_key)
+                    if primary is not None:
+                        siblings = self._followers.setdefault(primary, [])
+                        if record.job_id not in siblings:
+                            record.coalesced_with = primary
+                            self.store.update(record)
+                            siblings.append(record.job_id)
+                        continue
+                    # The primary finished (or vanished) while we were
+                    # down: run the follower itself.
+                    record.coalesced_with = None
+                    self.store.update(record)
+                self._inflight[record.job_key] = record.job_id
+                self._queued_count += 1
+                self._queue.put(record.job_id)
+        self._set_depth_gauges()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-job-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return {
+            "requeued": [r.job_id for r in requeued],
+            "interrupted": [r.job_id for r in interrupted],
+        }
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work and join the workers.
+
+        Jobs already running finish; jobs still queued stay ``queued``
+        in the store and are picked up by the next boot's recovery scan.
+        """
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def join_idle(self, timeout: float = 60.0, poll_s: float = 0.02) -> bool:
+        """Block until no job is queued or running (tests; best-effort)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            time.sleep(poll_s)
+        return False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Persist and enqueue ``spec``; returns the new record.
+
+        A spec matching an in-flight job comes back as a follower record
+        (``coalesced_with`` set) that will receive the primary's outcome
+        without computing anything.  Raises :class:`QueueFullError` when
+        ``queue_limit`` primaries are already waiting.
+        """
+        job_key = spec.job_key()
+        with self._lock:
+            if self._stopping:
+                raise ValidationError("service is shutting down")
+            self.metrics.inc("service_jobs_submitted", kind=spec.kind)
+            primary_id = self._inflight.get(job_key)
+            if primary_id is not None:
+                record = new_job(job_key, spec.kind, spec.canonical())
+                record.coalesced_with = primary_id
+                self.store.create(record)
+                self._followers.setdefault(primary_id, []).append(
+                    record.job_id
+                )
+                self.metrics.inc("service_jobs_coalesced", kind=spec.kind)
+                return record
+            if self._queued_count >= self.queue_limit:
+                self.metrics.inc("service_jobs_rejected", reason="queue_full")
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_limit} waiting); "
+                    "retry after a job completes"
+                )
+            record = new_job(job_key, spec.kind, spec.canonical())
+            self.store.create(record)
+            self._inflight[job_key] = record.job_id
+            self._queued_count += 1
+            self._queue.put(record.job_id)
+        self._set_depth_gauges()
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job (idempotent for already-cancelled ones).
+
+        Running jobs cannot be cancelled (no preemption across the
+        engine boundary) — that raises :class:`JobConflictError`, as
+        does cancelling any other terminal state.  Cancelling a primary
+        with followers promotes the first follower to primary so the
+        shared computation still happens for the submitters that still
+        want it.
+        """
+        with self._lock:
+            record = self.store.resolve(job_id)
+            if record.state == "cancelled":
+                return record
+            if record.state != "queued":
+                raise JobConflictError(
+                    f"job {record.job_id} is {record.state}; only queued "
+                    "jobs can be cancelled"
+                )
+            record.state = "cancelled"
+            record.finished_unix = time.time()
+            self.store.update(record)
+            self.metrics.inc("service_jobs_completed", state="cancelled")
+            if record.coalesced_with is not None:
+                # A follower: just detach it from its primary.
+                siblings = self._followers.get(record.coalesced_with, [])
+                if record.job_id in siblings:
+                    siblings.remove(record.job_id)
+            else:
+                # A primary: its queue slot frees up when the worker
+                # skips the cancelled record; promote a follower now so
+                # the remaining submitters still get their result.
+                self._inflight.pop(record.job_key, None)
+                followers = self._followers.pop(record.job_id, [])
+                if followers:
+                    heir_id = followers.pop(0)
+                    heir = self.store.get(heir_id)
+                    heir.coalesced_with = None
+                    self.store.update(heir)
+                    self._inflight[record.job_key] = heir.job_id
+                    self._followers[heir.job_id] = followers
+                    self._queued_count += 1
+                    self._queue.put(heir.job_id)
+        self._set_depth_gauges()
+        return record
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._run_one(job_id)
+            except Exception:  # pragma: no cover - worker must survive
+                # A failure escaping _run_one is a bug in the executor
+                # itself; the worker thread stays alive regardless.
+                traceback.print_exc()
+
+    def _run_one(self, job_id: str) -> None:
+        with self._lock:
+            self._queued_count -= 1
+            try:
+                record = self.store.get(job_id)
+            except ValidationError:
+                return
+            if record.state != "queued":
+                # Cancelled (or otherwise resolved) while waiting.
+                return
+            record.state = "running"
+            record.attempts += 1
+            record.started_unix = time.time()
+            self.store.update(record)
+        self._set_depth_gauges()
+        spec = JobSpec(
+            kind=record.kind,
+            trace=record.spec["trace"],
+            config=record.spec["config"],
+            params=record.spec["params"],
+        )
+        started = time.perf_counter()
+        telemetry = Telemetry(tracer=self.tracer)
+        try:
+            with self.tracer.span(
+                "service:job",
+                category="service",
+                job_id=record.job_id,
+                kind=record.kind,
+            ):
+                result = self._execute(spec, record, telemetry)
+        except ReproError as exc:
+            self._finish(record, "failed", telemetry, started, error=str(exc))
+        except Exception as exc:
+            self._finish(
+                record,
+                "failed",
+                telemetry,
+                started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        else:
+            record.result = result
+            self._finish(record, "succeeded", telemetry, started)
+
+    def _finish(
+        self,
+        record: JobRecord,
+        state: str,
+        telemetry: Telemetry,
+        started: float,
+        error: Optional[str] = None,
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        record.state = state
+        record.error = error
+        record.finished_unix = time.time()
+        record.metrics = flatten_metrics(telemetry.metrics.snapshot())
+        self.store.update(record)
+        self.metrics.inc("service_jobs_completed", state=state)
+        self.metrics.observe("service_job_wall_s", elapsed, kind=record.kind)
+        record_run(
+            f"service:{record.kind}",
+            store=self.run_store,
+            argv=[record.job_id],
+            telemetry=telemetry,
+            jobs=self.sim_jobs if isinstance(self.sim_jobs, int) else None,
+            duration_s=elapsed,
+            extra={
+                "job_id": record.job_id,
+                "job_key": record.job_key,
+                "state": state,
+            },
+        )
+        followers: List[str] = []
+        with self._lock:
+            if self._inflight.get(record.job_key) == record.job_id:
+                del self._inflight[record.job_key]
+            followers = self._followers.pop(record.job_id, [])
+        for follower_id in followers:
+            try:
+                follower = self.store.get(follower_id)
+            except ValidationError:
+                continue
+            if follower.state != "queued":
+                continue
+            follower.state = state
+            follower.error = error
+            follower.result = record.result
+            follower.metrics = dict(record.metrics)
+            follower.finished_unix = time.time()
+            self.store.update(follower)
+            self.metrics.inc("service_jobs_completed", state=state)
+        self._set_depth_gauges()
+
+    def _set_depth_gauges(self) -> None:
+        with self._lock:
+            queued = self._queued_count
+            inflight = len(self._inflight)
+        self.metrics.gauge("service_queue_depth", queued)
+        self.metrics.gauge("service_jobs_inflight", inflight)
+
+    # -- execution bodies --------------------------------------------------
+
+    def _runtime(self, telemetry: Telemetry, progress: Any) -> Runtime:
+        # A fresh cache object per job (same directory) keeps the
+        # cache's telemetry binding job-local while still sharing every
+        # artifact across jobs and with the CLI.
+        cache: Union[ArtifactCache, NullCache]
+        if self.cache_dir is not None:
+            cache = ArtifactCache(self.cache_dir, telemetry=telemetry)
+        else:
+            cache = NullCache()
+        return Runtime(
+            jobs=self.sim_jobs,
+            cache=cache,
+            telemetry=telemetry,
+            progress=progress,
+        )
+
+    def _execute(
+        self, spec: JobSpec, record: JobRecord, telemetry: Telemetry
+    ) -> Dict[str, Any]:
+        progress = _JobProgress(self.store, record, self.metrics)
+        runtime = self._runtime(telemetry, progress)
+        trace = self._load_trace(spec)
+        config = spec.gpu_config()
+        if spec.kind == "simulate":
+            return _run_simulate(runtime, trace, config)
+        if spec.kind == "subset":
+            return _run_subset(runtime, trace, config, dict(spec.params))
+        if spec.kind == "sweep":
+            return _run_sweep(runtime, trace)
+        raise ValidationError(f"unknown job kind {spec.kind!r}")
+
+    @staticmethod
+    def _load_trace(spec: JobSpec) -> Any:
+        from repro.gfx.traceio import load_trace_auto
+        from repro.synth.generator import generate_trace
+
+        trace_spec = dict(spec.trace)
+        if "path" in trace_spec:
+            return load_trace_auto(trace_spec["path"])
+        gen = dict(trace_spec["generate"])
+        return generate_trace(
+            str(gen["game"]),
+            num_frames=gen.get("frames"),
+            seed=int(gen.get("seed", 0)),
+            scale=float(gen.get("scale", 1.0)),
+        )
+
+
+def _run_simulate(runtime: Runtime, trace: Any, config: Any) -> Dict[str, Any]:
+    result = runtime.simulate_trace(trace, config)
+    return {
+        "trace": trace.name,
+        "config": config.name,
+        "total_time_ms": float(result.total_time_ms),
+        "mean_fps": float(result.mean_fps),
+        "num_frames": int(trace.num_frames),
+        "num_draws": int(trace.num_draws),
+    }
+
+
+def _run_subset(
+    runtime: Runtime, trace: Any, config: Any, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    from repro.core.pipeline import SubsettingPipeline
+
+    pipeline = SubsettingPipeline(
+        radius=float(params["radius"]),
+        interval_length=int(params["interval_length"]),
+        phase_tolerance=float(params["tolerance"]),
+        seed=int(params["seed"]),
+    )
+    result = pipeline.run(trace, config, runtime=runtime)
+    subset = result.subset
+    return {
+        "trace": trace.name,
+        "config": config.name,
+        "mean_prediction_error": float(result.mean_prediction_error),
+        "mean_efficiency": float(result.mean_efficiency),
+        "mean_outlier_rate": float(result.mean_outlier_rate),
+        "num_phases": int(result.detection.num_phases),
+        "subset_frame_fraction": float(subset.frame_fraction),
+        "subset_draw_fraction": float(subset.draw_fraction),
+        "combined_draw_fraction": float(result.combined_draw_fraction),
+        "subset_time_error": float(result.subset_time_error),
+        "subset": {
+            "frame_positions": [int(p) for p in subset.frame_positions],
+            "frame_weights": [float(w) for w in subset.frame_weights],
+            "parent_num_frames": int(subset.parent_num_frames),
+            "parent_num_draws": int(subset.parent_num_draws),
+        },
+    }
+
+
+def _run_sweep(runtime: Runtime, trace: Any) -> Dict[str, Any]:
+    from repro.analysis.sweep import pathfinding_sweep
+    from repro.core.subsetting import build_subset
+
+    subset = build_subset(trace)
+    result = pathfinding_sweep(trace, subset, runtime=runtime)
+    return {
+        "trace": trace.name,
+        "config_names": list(result.config_names),
+        "parent_times_ms": [t / 1e6 for t in result.parent_times_ns],
+        "subset_estimated_times_ms": [
+            t / 1e6 for t in result.subset_estimated_times_ns
+        ],
+        "ranking_agreement": float(result.ranking_agreement),
+        "winner_agrees": bool(result.winner_agrees()),
+    }

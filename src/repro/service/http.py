@@ -1,0 +1,151 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.api.ServiceApp`.
+
+A :class:`~http.server.ThreadingHTTPServer` whose request handler does
+nothing but translate: read the body, call ``app.handle``, write the
+status/headers/bytes back.  All routing, validation, and job logic
+lives behind the app, so this module has no opinions to test beyond
+"bytes go in, bytes come out" — and the service keeps numpy as its only
+hard dependency.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.service.api import Response, ServiceApp
+from repro.service.executor import JobExecutor
+from repro.service.jobs import JobStore
+
+#: Cap on accepted request bodies; a job submission is a small JSON
+#: document, so anything bigger is a client error (or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin translation layer; the bound ``app`` does the work."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Request logging is the metrics registry's job
+        # (service_requests counter); stderr chatter off by default.
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            return b"__too_large__"
+        return self.rfile.read(length)
+
+    def _write(self, response: Response) -> None:
+        payload = response.body_bytes()
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _dispatch(self, method: str) -> None:
+        body = self._read_body()
+        if body == b"__too_large__":
+            self._write(
+                Response(413, {"error": "request body too large"})
+            )
+            return
+        self._write(self.server.app.handle(method, self.path, body))
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("PUT")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The service's HTTP server, bound to one :class:`ServiceApp`.
+
+    ``daemon_threads`` keeps request threads from blocking shutdown;
+    executor workers are joined explicitly by :meth:`close`.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.app = app
+        self.verbose = verbose
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and drain the executor's workers."""
+        self.shutdown()
+        self.server_close()
+        self.app.executor.stop()
+
+
+def build_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    queue_limit: Optional[int] = None,
+    sim_jobs: Union[int, str] = 1,
+    job_dir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    run_store: Optional[Union[str, Path]] = None,
+    verbose: bool = False,
+) -> Tuple[ServiceServer, Dict[str, Any]]:
+    """Assemble store + executor + app + server; start the workers.
+
+    Returns the (already listening, not yet serving) server and the
+    recovery report from the executor's boot scan.  The caller runs
+    ``server.serve_forever()`` (the CLI) or drives requests directly
+    against ``server.url`` (tests), and must call ``server.close()``.
+    """
+    from repro.service.executor import DEFAULT_QUEUE_LIMIT
+
+    store = JobStore(job_dir)
+    executor = JobExecutor(
+        store,
+        workers=workers,
+        queue_limit=queue_limit if queue_limit is not None else DEFAULT_QUEUE_LIMIT,
+        sim_jobs=sim_jobs,
+        cache_dir=cache_dir,
+        run_store=run_store,
+    )
+    recovery = executor.start()
+    app = ServiceApp(executor)
+    server = ServiceServer(app, host=host, port=port, verbose=verbose)
+    return server, recovery

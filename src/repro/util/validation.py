@@ -4,13 +4,201 @@ Public constructors across the library validate eagerly and raise
 :class:`~repro.errors.ValidationError` with messages that name the offending
 argument, so user mistakes fail at the boundary instead of deep inside a
 simulation.
+
+For request-shaped inputs (CLI parameter bundles, service API payloads)
+the structured layer below — :class:`FieldError`,
+:class:`FieldValidationError`, and :class:`FieldErrors` — collects *every*
+bad field with its dotted path instead of stopping at the first one-line
+``ValueError``.  The CLI renders the list as one line per field; the
+service API returns it verbatim as a 422 body.
 """
 
 from __future__ import annotations
 
-from typing import Collection
+import dataclasses
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Collection,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import ValidationError
+from repro.errors import ReproError, ValidationError
+
+
+@dataclass(frozen=True)
+class FieldError:
+    """One rejected field: its dotted path and what was wrong with it."""
+
+    field_path: str
+    message: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"field_path": self.field_path, "message": self.message}
+
+
+class FieldValidationError(ValidationError):
+    """A request failed validation on one or more named fields.
+
+    ``errors`` carries the structured list; ``str()`` renders a compact
+    multi-field summary so callers that only print the exception still
+    name every offending field.
+    """
+
+    def __init__(self, errors: Sequence[FieldError]) -> None:
+        self.errors: Tuple[FieldError, ...] = tuple(errors)
+        if not self.errors:
+            raise ValueError("FieldValidationError needs at least one error")
+        summary = "; ".join(
+            f"{e.field_path}: {e.message}" for e in self.errors
+        )
+        super().__init__(f"invalid field(s): {summary}")
+
+    def as_payload(self) -> List[Dict[str, str]]:
+        """The JSON-safe ``[{field_path, message}, ...]`` list."""
+        return [e.as_dict() for e in self.errors]
+
+
+class FieldErrors:
+    """Accumulator for :class:`FieldError` entries.
+
+    ``collect(path, fn, *args)`` runs one of the ``check_*`` helpers (or
+    any validator raising :class:`ValidationError`) and records the
+    failure under ``path`` instead of propagating, so a caller can
+    validate every field before reporting.  ``raise_if_any()`` turns the
+    collected list into one :class:`FieldValidationError`.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._errors: List[FieldError] = []
+
+    def _path(self, field_path: str) -> str:
+        if self.prefix and field_path:
+            return f"{self.prefix}.{field_path}"
+        return self.prefix or field_path
+
+    def add(self, field_path: str, message: str) -> None:
+        self._errors.append(FieldError(self._path(field_path), message))
+
+    def extend(self, error: FieldValidationError) -> None:
+        """Fold a nested :class:`FieldValidationError` in, re-prefixed."""
+        for entry in error.errors:
+            self.add(entry.field_path, entry.message)
+
+    def collect(
+        self,
+        field_path: str,
+        check: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> bool:
+        """Run ``check`` and record a failure under ``field_path``.
+
+        Returns ``True`` when the check passed.  The check's own
+        message usually repeats the field name; the leading
+        ``"<name> "``/``"<name>."`` prefix is stripped so the rendered
+        ``field_path: message`` pair doesn't say the name twice.
+        """
+        try:
+            check(*args, **kwargs)
+        except ReproError as exc:
+            self.add(field_path, _strip_name_prefix(str(exc), field_path))
+            return False
+        return True
+
+    @property
+    def errors(self) -> Tuple[FieldError, ...]:
+        return tuple(self._errors)
+
+    def __bool__(self) -> bool:
+        return bool(self._errors)
+
+    def raise_if_any(self) -> None:
+        if self._errors:
+            raise FieldValidationError(self._errors)
+
+
+def _strip_name_prefix(message: str, field_path: str) -> str:
+    """Drop a leading ``<name> `` the ``check_*`` helpers bake in."""
+    leaf = field_path.rsplit(".", 1)[-1]
+    for candidate in (field_path, leaf):
+        if candidate and message.startswith(candidate + " "):
+            return message[len(candidate) + 1:]
+    return message
+
+
+def build_dataclass(
+    cls: type,
+    overrides: Mapping[str, Any],
+    *,
+    base: Optional[Any] = None,
+    path: str = "",
+) -> Any:
+    """Construct dataclass ``cls`` from a mapping, with field-path errors.
+
+    Unknown keys and per-field constructor rejections (``__post_init__``
+    validation) are reported together as one
+    :class:`FieldValidationError`, each entry pathed ``<path>.<field>``.
+    ``base`` supplies defaults via :func:`dataclasses.replace`; without
+    it the class defaults apply.
+
+    Attribution works by applying overrides one at a time: the field
+    whose lone application raises is the field that is wrong, which
+    turns e.g. ``GpuConfig.tex_cache_kb must be int, got str`` into a
+    structured ``config.tex_cache_kb`` entry instead of a one-line
+    ``ValueError`` that names nothing a client can act on.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ValueError(f"{cls!r} is not a dataclass")
+    errors = FieldErrors(prefix=path)
+    known = {f.name: f for f in dataclasses.fields(cls) if f.init}
+    clean: Dict[str, Any] = {}
+    template = base if base is not None else _dataclass_defaults(cls)
+    for name in sorted(overrides):
+        if name not in known:
+            choices = ", ".join(sorted(known))
+            errors.add(name, f"unknown field (known fields: {choices})")
+            continue
+        value = overrides[name]
+        if template is None:
+            # No default instance to probe against; defer to the final
+            # construction below (errors attribute to the bundle).
+            clean[name] = value
+            continue
+        try:
+            dataclasses.replace(template, **{name: value})
+            clean[name] = value
+        except ReproError as exc:
+            errors.add(
+                name, _strip_name_prefix(str(exc), f"{cls.__name__}.{name}")
+            )
+        except (TypeError, ValueError) as exc:
+            errors.add(name, str(exc))
+    errors.raise_if_any()
+    try:
+        if template is not None:
+            return dataclasses.replace(template, **clean)
+        return cls(**clean)
+    except (ReproError, TypeError, ValueError) as exc:
+        # A cross-field rejection none of the lone applications caught.
+        errors.add("", str(exc))
+        errors.raise_if_any()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _dataclass_defaults(cls: type) -> Optional[Any]:
+    """A default-constructed instance, or ``None`` if fields are required."""
+    try:
+        return cls()
+    except TypeError:
+        return None
 
 
 def check_type(name: str, value: object, expected: type) -> None:

@@ -1,0 +1,10 @@
+"""SVC001 allowlist twin: the executor module may reach the engine."""
+
+from repro.runtime.engine import Runtime
+
+
+def run_job(trace, config):
+    # service/executor.py is the one sanctioned caller: by the time
+    # code here runs, the job went through the queue and dedup index.
+    runtime = Runtime.serial()
+    return runtime.simulate_trace(trace, config)

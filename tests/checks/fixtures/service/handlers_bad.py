@@ -1,0 +1,20 @@
+"""SVC001 fixture: request-path service code simulating directly."""
+
+from repro.core.pipeline import SubsettingPipeline
+from repro.runtime.engine import Runtime
+
+
+def handle_simulate(trace, config):
+    runtime = Runtime.serial()
+    return runtime.simulate_trace(trace, config)  # expect: SVC001
+
+
+def handle_subset(trace, config):
+    pipeline = SubsettingPipeline()
+    return pipeline.run(trace, config)  # expect: SVC001
+
+
+def handle_sweep(trace, subset):
+    from repro.analysis.sweep import pathfinding_sweep
+
+    return pathfinding_sweep(trace, subset)  # expect: SVC001

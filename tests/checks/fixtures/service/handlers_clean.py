@@ -1,0 +1,15 @@
+"""SVC001 clean twin: handlers that delegate to the executor."""
+
+
+def handle_submit(executor, spec):
+    # The sanctioned path: persist, enqueue, dedupe — never simulate
+    # on the request thread.
+    return executor.submit(spec)
+
+
+def handle_status(store, job_id):
+    return store.resolve(job_id).status_payload()
+
+
+def handle_cancel(executor, job_id):
+    return executor.cancel(job_id)

@@ -35,6 +35,7 @@ BUILTIN_RULES = (
     "KEY003",
     "OBS001",
     "PERF001",
+    "SVC001",
     "WRK001",
     "WRK002",
 )

@@ -1,0 +1,58 @@
+"""SVC rule family: service layering stays behind the job queue."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checks.engine import run_checks
+
+from tests.checks.support import (
+    FIXTURES,
+    assert_matches_markers,
+    check,
+    observed,
+)
+
+SERVICE = FIXTURES / "service"
+
+
+def test_bad_fixture_matches_markers():
+    path = SERVICE / "handlers_bad.py"
+    assert_matches_markers(check(path), path)
+
+
+def test_clean_twin_is_clean():
+    path = SERVICE / "handlers_clean.py"
+    assert observed(check(path)) == []
+
+
+def test_executor_module_is_allowlisted():
+    # The identical simulate_trace call that fires in handlers_bad.py is
+    # sanctioned in service/executor.py — that's where queued jobs run.
+    path = SERVICE / "executor.py"
+    assert observed(check(path)) == []
+
+
+def test_svc001_only_applies_to_service_modules(tmp_path: Path):
+    # The same direct call outside a service directory is not SVC001's
+    # business (PERF001 et al. have their own jurisdictions).
+    module = tmp_path / "elsewhere.py"
+    module.write_text(
+        "def run(runtime, trace, config):\n"
+        "    return runtime.simulate_trace(trace, config)\n",
+        encoding="utf-8",
+    )
+    report = run_checks([module], select=["SVC001"])
+    assert report.findings == []
+
+
+def test_svc001_is_an_error():
+    report = check(SERVICE / "handlers_bad.py", select=["SVC001"])
+    assert report.findings
+    assert all(f.severity == "error" for f in report.findings)
+
+
+def test_real_service_modules_are_clean():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+    report = run_checks([src], select=["SVC001"])
+    assert report.findings == []

@@ -1,0 +1,71 @@
+"""Service test fixtures: tiny job specs and throwaway stores.
+
+All specs use ``generate`` traces at CI scale (a handful of frames,
+heavily scaled down), so every executor test simulates milliseconds of
+work.  Stores and caches live in per-test temp dirs; the session-scoped
+``$REPRO_RUN_STORE`` isolation from the top-level conftest applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import pytest
+
+from repro.service.jobs import JobStore
+
+
+def job_payload(
+    kind: str = "simulate",
+    frames: int = 4,
+    seed: int = 1,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A CI-scale submission body; ``seed`` varies the dedup key."""
+    payload: Dict[str, Any] = {
+        "kind": kind,
+        "trace": {
+            "generate": {"frames": frames, "seed": seed, "scale": 0.05}
+        },
+    }
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture
+def store(tmp_path) -> JobStore:
+    return JobStore(tmp_path / "jobs")
+
+
+@pytest.fixture
+def make_executor(tmp_path, store):
+    """Factory for executors over the shared per-test store.
+
+    Executors are stopped at teardown; pass ``started=False`` to get one
+    whose queue fills without draining (429 / cancellation tests).
+    """
+    from repro.service.executor import JobExecutor
+
+    created = []
+
+    def _make(
+        workers: int = 1,
+        queue_limit: int = 64,
+        cache_dir: Optional[str] = "cache",
+        started: bool = True,
+        job_store: Optional[JobStore] = None,
+    ) -> JobExecutor:
+        executor = JobExecutor(
+            job_store if job_store is not None else store,
+            workers=workers,
+            queue_limit=queue_limit,
+            cache_dir=(tmp_path / cache_dir) if cache_dir else None,
+        )
+        if started:
+            executor.start()
+        created.append(executor)
+        return executor
+
+    yield _make
+    for executor in created:
+        executor.stop(timeout=5.0)

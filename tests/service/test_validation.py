@@ -1,0 +1,145 @@
+"""The shared validation helper and the version surfaces built on it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    FieldError,
+    FieldErrors,
+    FieldValidationError,
+    build_dataclass,
+    check_positive,
+    check_type,
+)
+
+
+def test_field_validation_error_renders_every_field():
+    exc = FieldValidationError([
+        FieldError("config.radius", "must be > 0, got -1"),
+        FieldError("trace.path", "no such trace file"),
+    ])
+    assert "config.radius" in str(exc)
+    assert "trace.path" in str(exc)
+    assert exc.as_payload() == [
+        {"field_path": "config.radius", "message": "must be > 0, got -1"},
+        {"field_path": "trace.path", "message": "no such trace file"},
+    ]
+
+
+def test_field_validation_error_requires_entries():
+    with pytest.raises(ValueError):
+        FieldValidationError([])
+
+
+def test_field_errors_collects_instead_of_raising():
+    errors = FieldErrors()
+    assert errors.collect("params.radius", check_positive, "radius", 0.1)
+    assert not errors.collect("params.radius", check_positive, "radius", -1)
+    assert not errors.collect("params.seed", check_type, "seed", "x", int)
+    assert bool(errors)
+    with pytest.raises(FieldValidationError) as info:
+        errors.raise_if_any()
+    assert [e.field_path for e in info.value.errors] == [
+        "params.radius", "params.seed"
+    ]
+    # The check's own "radius ..." prefix is stripped, not repeated.
+    assert info.value.errors[0].message == "must be > 0, got -1"
+
+
+def test_field_errors_prefix_nests_paths():
+    errors = FieldErrors(prefix="config")
+    errors.add("overrides.x", "unknown field")
+    assert errors.errors[0].field_path == "config.overrides.x"
+
+
+@dataclass(frozen=True)
+class _Knobs:
+    width: int = 4
+    depth: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_type("width", self.width, int)
+        check_positive("depth", self.depth)
+
+
+def test_build_dataclass_applies_overrides():
+    knobs = build_dataclass(_Knobs, {"width": 8})
+    assert knobs.width == 8
+    assert knobs.depth == 1.0
+
+
+def test_build_dataclass_reports_each_bad_field_with_path():
+    with pytest.raises(FieldValidationError) as info:
+        build_dataclass(
+            _Knobs,
+            {"width": "wide", "depth": -2.0, "ghost": 1},
+            path="config",
+        )
+    entries = {e.field_path: e.message for e in info.value.errors}
+    assert set(entries) == {"config.width", "config.depth", "config.ghost"}
+    assert "known fields" in entries["config.ghost"]
+
+
+def test_build_dataclass_base_supplies_defaults():
+    base = _Knobs(width=16, depth=2.0)
+    knobs = build_dataclass(_Knobs, {"depth": 3.0}, base=base)
+    assert knobs.width == 16
+    assert knobs.depth == 3.0
+
+
+def test_build_dataclass_rejects_non_dataclasses():
+    with pytest.raises(ValueError, match="not a dataclass"):
+        build_dataclass(dict, {})
+
+
+def test_pipeline_reports_all_bad_knobs_together():
+    from repro.core.pipeline import SubsettingPipeline
+
+    with pytest.raises(FieldValidationError) as info:
+        SubsettingPipeline(radius=-1.0, interval_length=0, seed="zero")
+    paths = sorted(e.field_path for e in info.value.errors)
+    assert paths == ["interval_length", "radius", "seed"]
+    # Still a ValidationError, so pre-existing callers keep working.
+    assert isinstance(info.value, ValidationError)
+
+
+def test_cli_renders_field_errors_one_line_each(tmp_path, capsys):
+    from repro.cli import main
+    from repro.gfx.traceio import save_trace_auto
+    from repro.synth.generator import generate_trace
+
+    trace = tmp_path / "t.jsonl"
+    save_trace_auto(
+        generate_trace("bioshock1_like", 4, seed=1, scale=0.05), trace
+    )
+    rc = main(["subset", str(trace),
+               "--radius", "-1", "--interval-length", "0"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "error: validation failed" in captured.err
+    assert "  radius: " in captured.err
+    assert "  interval_length: " in captured.err
+
+
+def test_version_flag_prints_build_line(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as info:
+        main(["--version"])
+    assert info.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro ")
+    assert "python" in out
+
+
+def test_version_line_matches_build_info():
+    from repro.obs.history import build_info, version_line
+
+    info = build_info()
+    line = version_line()
+    assert info["package_version"] in line
+    assert info["python_version"] in line
