@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""CI smoke for `repro dash`: every data endpoint against the committed store.
+
+Boots a read-only dashboard server (no job executor) on an ephemeral
+port over the committed ``.repro/runs/`` baseline and asserts the data
+contract the frontend depends on:
+
+1. every ``/v1/dash/*`` endpoint answers valid JSON with the expected
+   top-level shape, and the run listing / series trends are non-empty;
+2. ``/v1/dash/runs/{ref}`` resolves a real run id from the listing;
+3. the span profile works end to end over a ``--trace-out`` JSONL
+   export (``--spans FILE``, or a tiny generated one);
+4. the embedded UI is served at ``/dash`` as HTML;
+5. after the walk, ``service_request_duration_s`` histograms and
+   ``service_requests`` counters are on ``/v1/metrics`` with templated
+   route labels — the request telemetry the dashboard's service panel
+   renders.
+
+Every payload is written to ``--out`` (default ``dash_payloads/``) so
+CI can upload them as artifacts.  Exit code 0 means every assertion
+held.  Run it from the repo root:
+
+    python scripts/dash_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url) as response:
+        content_type = response.headers.get("Content-Type", "")
+        raw = response.read()
+    return content_type, raw
+
+
+def fetch_json(url: str):
+    content_type, raw = fetch(url)
+    assert content_type.startswith("application/json"), (url, content_type)
+    return json.loads(raw)
+
+
+def ensure_spans(spans_arg: str | None) -> Path:
+    """A span JSONL export: the one CI already made, or a tiny fresh one."""
+    if spans_arg:
+        path = Path(spans_arg)
+        assert path.is_file(), f"--spans {path} does not exist"
+        return path
+    from repro.cli import main as repro_main
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-dash-smoke-"))
+    trace = workdir / "trace.json"
+    spans = workdir / "spans.jsonl"
+    rc = repro_main([
+        "generate", "--game", "bioshock1_like", "--frames", "6",
+        "--scale", "0.05", "-o", str(trace),
+    ])
+    assert rc == 0, "trace generation failed"
+    rc = repro_main([
+        "subset", str(trace), "--no-cache", "--no-run-store",
+        "--trace-out", str(spans),
+    ])
+    assert rc == 0, "subset run for the span export failed"
+    return spans
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=".repro/runs",
+                        help="run store to serve (default: committed baseline)")
+    parser.add_argument("--spans", default=None,
+                        help="span JSONL export to profile (default: generate)")
+    parser.add_argument("--out", default="dash_payloads",
+                        help="directory the fetched payloads are written to")
+    args = parser.parse_args()
+
+    from repro.service.http import build_dash_server
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    server = build_dash_server(port=0, run_store=args.store, bench_root=".")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    saved: dict[str, object] = {}
+
+    def get(name: str, path: str):
+        payload = fetch_json(server.url + path)
+        saved[name] = payload
+        (out / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return payload
+
+    try:
+        health = get("healthz", "/v1/healthz")
+        assert health["status"] == "ok", health
+        assert health["executor"] is False, "dash smoke must be data-only"
+        assert health["dashboard"] is True, health
+        print(f"[1/6] healthz ok (repro {health['build']['package_version']}, "
+              "read-only)")
+
+        runs = get("runs", "/v1/dash/runs")
+        assert runs["version"] == 1, runs
+        assert runs["count"] > 0 and runs["runs"], (
+            f"committed run store {args.store} served no runs"
+        )
+        assert runs["commands"], runs
+        newest = runs["runs"][-1]
+        for field in ("run_id", "command", "created_unix", "num_series"):
+            assert field in newest, (field, newest)
+        print(f"[2/6] /v1/dash/runs ok ({runs['count']} runs, "
+              f"commands: {', '.join(runs['commands'])})")
+
+        detail = get("run_detail", f"/v1/dash/runs/{newest['run_id']}")
+        assert detail["run_id"] == newest["run_id"], detail
+        assert detail["summary"]["command"] == newest["command"], detail
+        assert detail["metrics"], "stored record has no metrics"
+
+        series = get("series", "/v1/dash/series")
+        assert series["version"] == 1, series
+        assert series["series"], "series trends came back empty"
+        assert all(s["points"] for s in series["series"]), (
+            "a selected series has no points"
+        )
+        gated = [s for s in series["series"] if s["gate"] is not None]
+        assert len(series["run_ids"]) < 2 or gated, (
+            "multi-run window produced no gate verdicts"
+        )
+        print(f"[3/6] series trends ok ({len(series['series'])} series over "
+              f"{series['window']} runs, {len(gated)} gated)")
+
+        spans_file = ensure_spans(args.spans)
+        spans = get(
+            "spans",
+            f"/v1/dash/runs/{newest['run_id']}/spans?file={spans_file}",
+        )
+        assert spans["num_spans"] > 0, spans
+        assert spans["rollup"] and spans["flame"], spans
+        assert spans["frames"], "span export carried no simulate_frame rows"
+        print(f"[4/6] span profile ok ({spans['num_spans']} spans, "
+              f"{len(spans['frames'])} timeline rows)")
+
+        bench = get("bench", "/v1/dash/bench")
+        assert bench["problems"] == [], bench["problems"]
+        committed = sorted(Path(".").glob("BENCH_*.json"))
+        assert len(bench["benches"]) == len(committed), (
+            bench["benches"].keys(), committed
+        )
+        jobs = get("jobs", "/v1/dash/jobs")
+        assert jobs["available"] in (True, False), jobs
+        print(f"[5/6] bench ({len(bench['benches'])} files) and jobs "
+              f"(available={jobs['available']}) ok")
+
+        content_type, html = fetch(server.url + "/dash")
+        assert content_type.startswith("text/html"), content_type
+        assert b"<!doctype html>" in html, "UI page looks wrong"
+        metrics = get("metrics", "/v1/metrics")["metrics"]
+        histograms = [
+            h for h in metrics["histograms"]
+            if h["name"] == "service_request_duration_s"
+        ]
+        assert histograms, "request duration histogram never recorded"
+        routes = {h["labels"]["route"] for h in histograms}
+        assert "/v1/dash/runs" in routes, routes
+        assert "/v1/dash/runs/{ref}" in routes, routes  # templated, not raw
+        counters = [
+            c for c in metrics["counters"] if c["name"] == "service_requests"
+        ]
+        assert counters and all(
+            c["labels"]["status"] == "200" for c in counters
+        ), counters
+        print(f"[6/6] UI served; request telemetry on /v1/metrics "
+              f"({len(routes)} route labels)")
+    finally:
+        server.close()
+        thread.join(timeout=10.0)
+
+    print(f"dash smoke: all checks passed ({len(saved)} payloads in {out}/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

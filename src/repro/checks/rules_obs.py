@@ -1,4 +1,4 @@
-"""Observability hygiene rules (OBS001).
+"""Observability hygiene rules (OBS001, OBS002).
 
 Library code that ``print``\\ s bypasses every output contract the
 subsystem maintains: structured JSON-lines logs stay machine-parseable,
@@ -6,6 +6,13 @@ CLI stdout stays stable for the golden tests, and worker processes
 don't interleave garbage into the parent's report.  OBS001 keeps bare
 ``print`` calls confined to the two modules whose *job* is user-facing
 output: the CLI itself and the checks reporting renderer.
+
+OBS002 pins the dashboard's layering the way SVC001 pins the job
+handlers': dash data code is a *consumer* of artifacts already on disk
+(run records, span JSONL, BENCH files) and must never import
+``repro.simgpu`` or call a simulation entry point — otherwise a GET
+from a browser tab could start unbounded simulation work on a server
+that was promised to be read-only.
 """
 
 from __future__ import annotations
@@ -66,3 +73,101 @@ def print_in_library_code(ctx: "ModuleContext") -> Iterator[Finding]:
                 node.col_offset,
                 "print() in library code bypasses structured logging",
             )
+
+
+#: Relpath fragments marking a module as dashboard data code: the
+#: aggregation module, the service handler layer, and any dedicated
+#: ``dash/`` package (fixtures included).  Matching is on the
+#: normalized (posix) relpath.
+DASH_PATH_FRAGMENTS = (
+    "obs/dash.py",
+    "service/dashboard.py",
+    "/dash/",
+)
+
+
+def _is_dash_module(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return any(fragment in normalized for fragment in DASH_PATH_FRAGMENTS)
+
+
+@rule(
+    "OBS002",
+    name="dash-handler-runs-simulation",
+    severity="error",
+    hint=(
+        "dashboard data code is a read-only consumer of on-disk "
+        "artifacts (run records, span JSONL, BENCH files); importing "
+        "repro.simgpu or calling a simulation entry point turns a GET "
+        "into unbounded compute — read artifacts, or submit a job "
+        "through the service instead"
+    ),
+)
+def dash_handler_runs_simulation(ctx: "ModuleContext") -> Iterator[Finding]:
+    """Dashboard data code importing or invoking the simulator.
+
+    Applies to ``repro/obs/dash.py``, ``repro/service/dashboard.py``,
+    and anything under a ``dash/`` package.  Fires on any import whose
+    dotted module path mentions ``simgpu``, on importing a simulation
+    entry-point name, and on directly calling one (including
+    ``pipeline.run(...)``), mirroring SVC001's call detection.
+    """
+    from repro.checks.rules_service import (
+        SIM_ENTRY_POINTS,
+        _call_name,
+        _is_pipeline_run,
+    )
+
+    this = get_rule("OBS002")
+    module = ctx.module
+    if not _is_dash_module(module.relpath):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if "simgpu" in alias.name.split("."):
+                    yield this.finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"dash data code imports {alias.name}; the "
+                        "dashboard layer is read-only",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            if "simgpu" in source.split("."):
+                yield this.finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"dash data code imports from {source}; the "
+                    "dashboard layer is read-only",
+                )
+                continue
+            for alias in node.names:
+                if alias.name in SIM_ENTRY_POINTS:
+                    yield this.finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"dash data code imports simulation entry point "
+                        f"{alias.name}; the dashboard layer is read-only",
+                    )
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in SIM_ENTRY_POINTS:
+                yield this.finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() called from dash data code; the "
+                    "dashboard layer must not run simulations",
+                )
+            elif _is_pipeline_run(node):
+                yield this.finding(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    "pipeline.run() called from dash data code; the "
+                    "dashboard layer must not run simulations",
+                )

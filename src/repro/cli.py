@@ -13,6 +13,7 @@ Subcommands::
     repro trace     report spans.jsonl       # span hotspot rollup
     repro serve     --port 8630 --workers 2  # subsetting-as-a-service
     repro jobs      submit|status|result|list|cancel  # service client
+    repro dash      --open                   # exploration dashboard
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import datasets
@@ -55,6 +57,10 @@ EXPERIMENT_RUNNERS = (
 #: Default address for `repro serve` / the `repro jobs` client.
 DEFAULT_SERVICE_PORT = 8630
 DEFAULT_SERVICE_URL = f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}"
+
+#: Default port for the read-only `repro dash` server (distinct from
+#: the job service so both can run side by side on one store).
+DEFAULT_DASH_PORT = 8631
 
 
 class _VersionAction(argparse.Action):
@@ -481,6 +487,15 @@ def build_parser() -> argparse.ArgumentParser:
     runs_list.add_argument(
         "--limit", type=int, default=20, help="newest N records (default 20)"
     )
+    runs_list.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help=(
+            "json emits the same payload as the dashboard's "
+            "GET /v1/dash/runs (default: text)"
+        ),
+    )
 
     runs_show = runs_sub.add_parser(
         "show", help="print one run record as JSON"
@@ -614,8 +629,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
-        "--verbose", action="store_true",
-        help="log every HTTP request on stderr",
+        "--no-dash", action="store_true",
+        help="do not mount the /dash UI and /v1/dash data routes",
+    )
+
+    dash = sub.add_parser(
+        "dash",
+        help=(
+            "serve the exploration dashboard over a run store "
+            "(read-only; no job executor is started)"
+        ),
+    )
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument("--port", type=int, default=DEFAULT_DASH_PORT)
+    dash.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "run-store directory to browse (default: $REPRO_RUN_STORE or "
+            ".repro/runs)"
+        ),
+    )
+    dash.add_argument(
+        "--job-dir", default=None, metavar="DIR",
+        help=(
+            "job store to show on /v1/dash/jobs (default: .repro/jobs "
+            "when present; reads only)"
+        ),
+    )
+    dash.add_argument(
+        "--bench-root", default=".", metavar="DIR",
+        help="directory holding committed BENCH_*.json files (default: .)",
+    )
+    dash.add_argument(
+        "--data-only", action="store_true",
+        help="serve only the /v1/dash JSON API, not the HTML UI",
+    )
+    dash.add_argument(
+        "--open", action="store_true", dest="open_browser",
+        help="open the dashboard in the default browser",
     )
 
     jobs = sub.add_parser(
@@ -907,8 +958,6 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from pathlib import Path
-
     from repro.checks import baseline as baseline_mod
     from repro.checks import reporting
     from repro.checks.engine import run_checks
@@ -976,6 +1025,14 @@ def _cmd_runs(args) -> int:
     store = RunStore(args.store)
 
     if args.runs_command == "list":
+        if getattr(args, "format", "text") == "json":
+            from repro.obs.dash import runs_payload
+
+            payload = runs_payload(
+                store, command=args.command_filter, limit=args.limit
+            )
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         records = store.records(command=args.command_filter, limit=args.limit)
         if not records:
             print(f"no run records in {store.root}")
@@ -1102,7 +1159,7 @@ def _cmd_serve(args) -> int:
         job_dir=args.job_dir,
         cache_dir=cache_dir,
         run_store=args.run_store,
-        verbose=args.verbose,
+        dashboard=not args.no_dash,
     )
     if recovery["requeued"]:
         print(f"recovered {len(recovery['requeued'])} interrupted job(s): "
@@ -1110,11 +1167,45 @@ def _cmd_serve(args) -> int:
     if recovery["interrupted"]:
         print(f"gave up on {len(recovery['interrupted'])} repeat-crash job(s): "
               + ", ".join(recovery["interrupted"]))
+    dash_note = "" if args.no_dash else f", dashboard at {server.url}/dash"
     print(
         f"repro service listening on {server.url} "
         f"(workers={args.workers}, sim_jobs={args.sim_jobs}, "
-        f"job_dir={server.app.executor.store.root})"
+        f"job_dir={server.app.executor.store.root}{dash_note})"
     )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    from repro.service.http import build_dash_server
+    from repro.service.jobs import DEFAULT_JOB_DIR
+
+    job_dir = args.job_dir
+    if job_dir is None and Path(DEFAULT_JOB_DIR).is_dir():
+        job_dir = DEFAULT_JOB_DIR
+    server = build_dash_server(
+        host=args.host,
+        port=args.port,
+        run_store=args.store,
+        job_dir=job_dir,
+        bench_root=args.bench_root,
+        serve_ui=not args.data_only,
+    )
+    surface = "data API only" if args.data_only else f"UI at {server.url}/dash"
+    print(
+        f"repro dashboard listening on {server.url} ({surface}; "
+        "read-only — no job executor)"
+    )
+    if args.open_browser and not args.data_only:
+        import webbrowser
+
+        webbrowser.open(f"{server.url}/dash")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1257,6 +1348,7 @@ _COMMANDS = {
     "runs": _cmd_runs,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "dash": _cmd_dash,
     "jobs": _cmd_jobs,
 }
 

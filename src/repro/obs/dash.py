@@ -1,0 +1,367 @@
+"""Read-only aggregation behind the exploration dashboard.
+
+Everything the dashboard shows is computed here, from artifacts that
+already exist on disk: the append-only run store (``.repro/runs/``),
+span JSONL exports (``--trace-out spans.jsonl``), committed
+``BENCH_*.json`` trajectories, and the persistent job store.  The
+module is deliberately a *consumer-only* layer — it never imports
+``repro.simgpu`` or any simulation entry point (the OBS002 check pins
+that), so mounting it on a server can never turn a dashboard request
+into an unbounded simulation.
+
+Shared contracts:
+
+- :func:`run_summary` is the one listing shape ``repro runs list
+  --format json`` and ``GET /v1/dash/runs`` both emit, so scripts and
+  the frontend parse a single schema;
+- :func:`series_trends` reuses the exact regression-gate verdicts of
+  :func:`repro.obs.analyze.compare_to_baseline`, so a sparkline flagged
+  red on the dashboard is the same series ``repro runs regress`` would
+  fail in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.analyze import (
+    DEFAULT_ALPHA,
+    DEFAULT_REL_THRESHOLD,
+    compare_to_baseline,
+    load_spans_jsonl,
+    rollup_spans,
+    series_direction,
+)
+from repro.obs.history import RunRecord, RunStore
+
+#: Bump when any dashboard payload changes meaning.
+DASH_PAYLOAD_VERSION = 1
+
+#: Series shown when the caller does not pass an explicit selection.
+DEFAULT_SERIES_SELECT = ("derived:*", "stage:*", "counter:frames_simulated")
+
+#: Flame-tree nodes below this share of the root total are folded into
+#: one ``(other)`` bucket so a thousand tiny spans cannot bloat payloads.
+FLAME_MIN_FRACTION = 0.001
+
+
+# -- run listings -----------------------------------------------------------
+
+
+def run_summary(record: RunRecord) -> Dict[str, Any]:
+    """One run as the flat listing row every consumer shares.
+
+    This is the contract between ``repro runs list --format json``,
+    ``GET /v1/dash/runs``, and any script scraping either: change it and
+    both surfaces change together.
+    """
+    metrics = record.metrics
+    return {
+        "run_id": record.run_id,
+        "command": record.command,
+        "created_unix": record.created_unix,
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(record.created_unix)
+        ),
+        "git_sha": record.git_sha,
+        "jobs": record.jobs,
+        "argv": list(record.argv),
+        "duration_s": metrics.get("derived:duration_s"),
+        "frames_per_s": metrics.get("derived:frames_per_s"),
+        "cache_hit_rate": metrics.get("derived:cache_hit_rate"),
+        "frames_simulated": metrics.get("counter:frames_simulated"),
+        "num_series": len(record.all_series()),
+        "num_stages": len(record.stages),
+    }
+
+
+def runs_payload(
+    store: RunStore,
+    command: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The ``GET /v1/dash/runs`` body: newest-last summaries."""
+    records = store.records(command=command, limit=limit)
+    commands = sorted({r.command for r in store.records()})
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "store": str(store.root),
+        "commands": commands,
+        "count": len(records),
+        "runs": [run_summary(record) for record in records],
+    }
+
+
+def run_detail_payload(store: RunStore, ref: str) -> Dict[str, Any]:
+    """The ``GET /v1/dash/runs/{ref}`` body: the full record."""
+    record = store.resolve(ref)
+    payload = record.to_dict()
+    payload["summary"] = run_summary(record)
+    payload["span_artifact"] = find_span_artifact(record)
+    return payload
+
+
+def find_span_artifact(record: RunRecord) -> Optional[str]:
+    """The run's span JSONL export, recovered from its recorded argv.
+
+    Simulating commands record ``--trace-out FILE`` in their argv; when
+    FILE is a span JSONL export that still exists (relative to the
+    current working directory, where the CLI ran), the dashboard can
+    offer the flamegraph without any extra bookkeeping.  Returns
+    ``None`` when the run exported nothing usable.
+    """
+    argv = list(record.argv)
+    candidate: Optional[str] = None
+    for index, token in enumerate(argv):
+        if token == "--trace-out" and index + 1 < len(argv):
+            candidate = argv[index + 1]
+        elif token.startswith("--trace-out="):
+            candidate = token.split("=", 1)[1]
+    if candidate and candidate.endswith(".jsonl") and Path(candidate).is_file():
+        return candidate
+    return None
+
+
+# -- series trends ----------------------------------------------------------
+
+
+def series_trends(
+    records: Sequence[RunRecord],
+    select: Optional[Sequence[str]] = None,
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+) -> Dict[str, Any]:
+    """Per-series value trails across a window of one command's runs.
+
+    ``records`` must be oldest-first (the run-store order).  Each
+    matching series gets its point trail plus — when at least two runs
+    exist — the regression-gate verdict of the newest run against the
+    earlier window, straight from :func:`compare_to_baseline`.  The
+    dashboard's red sparkline and a CI ``repro runs regress`` failure
+    are therefore the same fact.
+    """
+    patterns = list(select) if select else list(DEFAULT_SERIES_SELECT)
+    names: List[str] = sorted(
+        {
+            name
+            for record in records
+            for name in record.all_series()
+            if any(fnmatchcase(name, pattern) for pattern in patterns)
+        }
+    )
+    gates: Dict[str, Dict[str, Any]] = {}
+    if len(records) >= 2:
+        report = compare_to_baseline(
+            records[-1],
+            list(records[:-1]),
+            rel_threshold=rel_threshold,
+            alpha=alpha,
+            select=patterns,
+        )
+        gates = {result.metric: result.as_dict() for result in report.results}
+    series = []
+    for name in names:
+        points = []
+        for record in records:
+            value = record.all_series().get(name)
+            if value is None:
+                continue
+            points.append(
+                {
+                    "run_id": record.run_id,
+                    "created_unix": record.created_unix,
+                    "value": value,
+                }
+            )
+        series.append(
+            {
+                "name": name,
+                "direction": series_direction(name),
+                "points": points,
+                "gate": gates.get(name),
+            }
+        )
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "command": records[-1].command if records else None,
+        "window": len(records),
+        "run_ids": [record.run_id for record in records],
+        "series": series,
+    }
+
+
+# -- span artifacts: flame tree + frame timeline ----------------------------
+
+
+def span_flame_tree(
+    spans: Sequence[Mapping[str, Any]],
+    min_fraction: float = FLAME_MIN_FRACTION,
+) -> List[Dict[str, Any]]:
+    """Spans folded into an aggregated name-tree (the flamegraph shape).
+
+    Concrete spans sharing a ``(name, category)`` under the same
+    aggregated parent merge into one node carrying summed total/self
+    time and a count; children recurse the same way, so ten thousand
+    ``simulate_frame`` spans render as one wide box instead of ten
+    thousand slivers.  Spans whose ``parent_id`` matches nothing in the
+    export (orphans — :func:`~repro.obs.export.validate_chrome_trace`
+    flags them) root at the top rather than vanishing.  Nodes below
+    ``min_fraction`` of the grand total fold into ``(other)``.
+    """
+    by_id = {str(s.get("span_id")): s for s in spans if s.get("span_id")}
+    children: Dict[Optional[str], List[Mapping[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        key = str(parent) if parent is not None and str(parent) in by_id else None
+        children.setdefault(key, []).append(span)
+    roots = children.get(None, [])
+    grand_total = sum(int(s.get("duration_ns", 0)) for s in roots) or 1
+
+    def fold(group: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+        merged: Dict[Any, Dict[str, Any]] = {}
+        for span in group:
+            key = (str(span.get("name", "<unnamed>")), str(span.get("category", "")))
+            entry = merged.setdefault(
+                key, {"total_ns": 0, "count": 0, "spans": []}
+            )
+            entry["total_ns"] += int(span.get("duration_ns", 0))
+            entry["count"] += 1
+            entry["spans"].append(span)
+        nodes: List[Dict[str, Any]] = []
+        folded_ns = 0
+        folded_count = 0
+        for (name, category), entry in sorted(
+            merged.items(), key=lambda item: -item[1]["total_ns"]
+        ):
+            if entry["total_ns"] / grand_total < min_fraction:
+                folded_ns += entry["total_ns"]
+                folded_count += entry["count"]
+                continue
+            child_spans = [
+                child
+                for span in entry["spans"]
+                for child in children.get(str(span.get("span_id")), [])
+            ]
+            child_nodes = fold(child_spans)
+            child_ns = sum(
+                int(c.get("duration_ns", 0)) for c in child_spans
+            )
+            nodes.append(
+                {
+                    "name": name,
+                    "category": category,
+                    "count": entry["count"],
+                    "total_s": entry["total_ns"] / 1e9,
+                    "self_s": max(0, entry["total_ns"] - child_ns) / 1e9,
+                    "children": child_nodes,
+                }
+            )
+        if folded_count:
+            nodes.append(
+                {
+                    "name": "(other)",
+                    "category": "",
+                    "count": folded_count,
+                    "total_s": folded_ns / 1e9,
+                    "self_s": folded_ns / 1e9,
+                    "children": [],
+                }
+            )
+        return nodes
+
+    return fold(roots)
+
+
+def frame_timeline(
+    spans: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-frame rows from ``simulate_frame`` spans, labeled by phase.
+
+    Each simulated frame appears once per pipeline phase it ran in
+    (``ground_truth`` and ``representatives`` both simulate their
+    frames); the phase is the nearest ancestor span with category
+    ``stage``.  Rows carry the frame index, wall duration, draw count,
+    and whatever per-stage cycle args the simulator attached — the raw
+    material for the dashboard's cluster/phase timeline.
+    """
+    by_id = {str(s.get("span_id")): s for s in spans if s.get("span_id")}
+    rows: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.get("name") != "simulate_frame":
+            continue
+        args = span.get("args") or {}
+        frame = args.get("frame")
+        if frame is None:
+            continue
+        phase = ""
+        cursor: Optional[Mapping[str, Any]] = span
+        for _ in range(64):  # cycle guard on malformed exports
+            parent = cursor.get("parent_id") if cursor else None
+            cursor = by_id.get(str(parent)) if parent is not None else None
+            if cursor is None:
+                break
+            if str(cursor.get("category", "")) == "stage":
+                phase = str(cursor.get("name", ""))
+                break
+        cycles = {
+            key[: -len("_cycles")]: value
+            for key, value in args.items()
+            if isinstance(key, str) and key.endswith("_cycles")
+        }
+        rows.append(
+            {
+                "frame": int(frame),
+                "phase": phase,
+                "start_ns": int(span.get("start_ns", 0)),
+                "duration_ns": int(span.get("duration_ns", 0)),
+                "draws": args.get("draws"),
+                "time_ns": args.get("time_ns"),
+                "cycles": cycles,
+            }
+        )
+    rows.sort(key=lambda row: (row["start_ns"], row["frame"]))
+    return rows
+
+
+def spans_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    """The ``GET /v1/dash/runs/{ref}/spans`` body for one JSONL export."""
+    spans = load_spans_jsonl(path)
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "source": str(path),
+        "num_spans": len(spans),
+        "rollup": [rollup.as_dict() for rollup in rollup_spans(spans)],
+        "flame": span_flame_tree(spans),
+        "frames": frame_timeline(spans),
+    }
+
+
+# -- committed benchmark trajectory -----------------------------------------
+
+
+def bench_trajectory(root: Union[str, Path] = ".") -> Dict[str, Any]:
+    """Every committed ``BENCH_*.json`` under ``root``, by stem.
+
+    Unreadable files are reported in ``problems`` rather than raised —
+    the dashboard should render what exists, not die on one bad file.
+    """
+    base = Path(root)
+    benches: Dict[str, Any] = {}
+    problems: List[str] = []
+    for path in sorted(base.glob("BENCH_*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                benches[path.stem] = json.load(stream)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{path.name}: {exc}")
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "root": str(base),
+        "benches": benches,
+        "problems": problems,
+    }

@@ -360,9 +360,12 @@ class RunStore:
                 raise ValidationError(
                     f"no run record matches id prefix {ref!r}"
                 ) from None
+            shown = [r.run_id for r in matches[:8]]
+            if len(matches) > len(shown):
+                shown.append(f"... +{len(matches) - len(shown)} more")
             raise ValidationError(
                 f"run id prefix {ref!r} is ambiguous "
-                f"({len(matches)} matches)"
+                f"({len(matches)} matches: {', '.join(shown)})"
             ) from None
         try:
             return records[index]

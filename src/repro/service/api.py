@@ -5,29 +5,49 @@
 testable without binding a port, and the actual HTTP layer
 (:mod:`repro.service.http`) stays a thin translation shim.
 
-Routes (all JSON)::
+Routes (JSON unless noted)::
 
-    GET  /v1/healthz            liveness + build info + queue gauges
-    GET  /v1/metrics            service metrics snapshot
-    POST /v1/jobs               submit a job (422 on bad fields, 429 full)
-    GET  /v1/jobs               list jobs (?state=, ?kind=, ?limit=)
-    GET  /v1/jobs/{id}          one job's status
-    GET  /v1/jobs/{id}/result   the result payload (409 until terminal)
-    POST /v1/jobs/{id}/cancel   cancel a queued job (409 if running)
+    GET  /v1/healthz                  liveness + build info + queue gauges
+    GET  /v1/metrics                  service metrics snapshot
+    POST /v1/jobs                     submit a job (422 bad fields, 429 full)
+    GET  /v1/jobs                     list jobs (?state=, ?kind=, ?limit=)
+    GET  /v1/jobs/{id}                one job's status
+    GET  /v1/jobs/{id}/result         the result payload (409 until terminal)
+    POST /v1/jobs/{id}/cancel         cancel a queued job (409 if running)
+    GET  /v1/dash/runs                run-store summaries (?command=, ?limit=)
+    GET  /v1/dash/runs/{ref}          one full run record
+    GET  /v1/dash/runs/{ref}/spans    span rollup + flame tree (?file=)
+    GET  /v1/dash/series              metric trends + gate verdicts
+    GET  /v1/dash/bench               committed BENCH_*.json trajectory
+    GET  /v1/dash/jobs                job-store composition
+    GET  /dash                        the embedded HTML dashboard
 
-Handlers never run simulations themselves — work always goes through
-the executor's queue (the SVC001 check enforces this).
+The job routes require an executor and answer 503 without one; the
+dash routes require a :class:`~repro.service.dashboard.DashboardData`
+and answer 404 without one — ``repro dash`` mounts only the latter, so
+a read-only store can be explored with no job queue running at all.
+
+Handlers never run simulations themselves — job handlers go through
+the executor's queue (SVC001) and dash handlers only read artifacts
+from disk (OBS002).
+
+Every request lands in the ``service_requests{method,route,status}``
+counter and the ``service_request_duration_s{route,status}`` histogram
+on ``/v1/metrics``; routes are recorded as templates (``/v1/jobs/{id}``,
+not the concrete id) so label cardinality stays bounded.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ValidationError
 from repro.obs.history import build_info
+from repro.obs.metrics import Metrics
 from repro.service.executor import (
     JobConflictError,
     JobExecutor,
@@ -37,19 +57,44 @@ from repro.service.jobs import JOB_STATES, JobRecord
 from repro.service.specs import validate_job_request
 from repro.util.validation import FieldValidationError
 
+if TYPE_CHECKING:
+    from repro.service.dashboard import DashboardData
+
 #: Seconds a 429 response suggests waiting before resubmitting.
 RETRY_AFTER_S = 2
+
+#: Routes with no path parameters, for request-metric labels.
+_FIXED_ROUTES = frozenset(
+    {
+        "/v1/healthz",
+        "/v1/metrics",
+        "/v1/jobs",
+        "/v1/dash/runs",
+        "/v1/dash/series",
+        "/v1/dash/bench",
+        "/v1/dash/jobs",
+        "/dash",
+    }
+)
 
 
 @dataclass(frozen=True)
 class Response:
-    """One API response: status code, JSON-safe body, extra headers."""
+    """One API response: status code, JSON-safe body, extra headers.
+
+    ``raw`` carries a pre-encoded non-JSON payload (the dashboard HTML);
+    when set it wins over ``body`` and ``content_type`` says what it is.
+    """
 
     status: int
     body: Dict[str, Any]
     headers: Dict[str, str] = field(default_factory=dict)
+    raw: Optional[bytes] = None
+    content_type: str = "application/json"
 
     def body_bytes(self) -> bytes:
+        if self.raw is not None:
+            return self.raw
         return (json.dumps(self.body, sort_keys=True) + "\n").encode("utf-8")
 
 
@@ -58,11 +103,39 @@ def _error(status: int, message: str, **extra: Any) -> Response:
     return Response(status, {"error": message, **extra}, headers=headers)
 
 
-class ServiceApp:
-    """Routes validated requests onto a :class:`JobExecutor`."""
+def route_template(path: str) -> str:
+    """The bounded-cardinality route label for a request path.
 
-    def __init__(self, executor: JobExecutor) -> None:
+    Concrete ids/refs are folded into placeholders and everything that
+    matches no route at all becomes ``<unmatched>``, so a scanner
+    walking random URLs cannot mint unbounded metric label values.
+    """
+    if path in _FIXED_ROUTES:
+        return path
+    job_id, action = _split_job_path(path)
+    if job_id is not None and action in ("", "result", "cancel"):
+        return "/v1/jobs/{id}" + (f"/{action}" if action else "")
+    ref, action = _split_dash_run_path(path)
+    if ref is not None and action in ("", "spans"):
+        return "/v1/dash/runs/{ref}" + (f"/{action}" if action else "")
+    return "<unmatched>"
+
+
+class ServiceApp:
+    """Routes validated requests onto an executor and/or dashboard."""
+
+    def __init__(
+        self,
+        executor: Optional[JobExecutor] = None,
+        dashboard: Optional["DashboardData"] = None,
+    ) -> None:
         self.executor = executor
+        self.dashboard = dashboard
+        #: Serve the embedded HTML at /dash; off = JSON data API only.
+        self.serve_ui = True
+        self.metrics: Metrics = (
+            executor.metrics if executor is not None else Metrics()
+        )
 
     # -- entry point -------------------------------------------------------
 
@@ -70,17 +143,18 @@ class ServiceApp:
         self, method: str, target: str, body: Optional[bytes] = None
     ) -> Response:
         """Dispatch one request; never raises for client mistakes."""
-        self.executor.metrics.inc("service_requests", method=method)
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         query = {
             key: values[-1]
             for key, values in parse_qs(parts.query).items()
         }
+        route = route_template(path)
+        started = time.perf_counter()
         try:
-            return self._route(method, path, query, body)
+            response = self._route(method, path, query, body)
         except FieldValidationError as exc:
-            return Response(
+            response = Response(
                 422,
                 {
                     "error": "validation failed",
@@ -88,13 +162,22 @@ class ServiceApp:
                 },
             )
         except QueueFullError as exc:
-            return _error(
+            response = _error(
                 429, str(exc), headers={"Retry-After": str(RETRY_AFTER_S)}
             )
         except JobConflictError as exc:
-            return _error(409, str(exc))
+            response = _error(409, str(exc))
         except ValidationError as exc:
-            return _error(404, str(exc))
+            response = _error(404, str(exc))
+        elapsed = time.perf_counter() - started
+        status = str(response.status)
+        self.metrics.inc(
+            "service_requests", method=method, route=route, status=status
+        )
+        self.metrics.observe(
+            "service_request_duration_s", elapsed, route=route, status=status
+        )
+        return response
 
     # -- routing -----------------------------------------------------------
 
@@ -109,6 +192,25 @@ class ServiceApp:
             return self._require(method, "GET") or self._healthz()
         if path == "/v1/metrics":
             return self._require(method, "GET") or self._metrics()
+        if path == "/dash" or path.startswith("/v1/dash/"):
+            return self._route_dash(method, path, query)
+        if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+            return self._route_jobs(method, path, query, body)
+        return _error(404, f"no route for {path}")
+
+    def _route_jobs(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[bytes],
+    ) -> Response:
+        if self.executor is None:
+            return _error(
+                503,
+                "this server has no job executor (data-only dashboard); "
+                "start one with 'repro serve'",
+            )
         if path == "/v1/jobs":
             if method == "POST":
                 return self._submit(body)
@@ -124,6 +226,42 @@ class ServiceApp:
             return self._require(method, "POST") or self._cancel(job_id)
         return _error(404, f"no route for {path}")
 
+    def _route_dash(
+        self, method: str, path: str, query: Dict[str, str]
+    ) -> Response:
+        if self.dashboard is None:
+            return _error(404, f"no route for {path} (dashboard not mounted)")
+        denied = self._require(method, "GET")
+        if denied is not None:
+            return denied
+        if path == "/dash":
+            if not self.serve_ui:
+                return _error(404, "UI disabled (--data-only)")
+            from repro.service.dashboard import dash_page
+
+            return Response(
+                200,
+                {},
+                raw=dash_page(),
+                content_type="text/html; charset=utf-8",
+            )
+        if path == "/v1/dash/runs":
+            return _wrap(self.dashboard.runs(query))
+        if path == "/v1/dash/series":
+            return _wrap(self.dashboard.series(query))
+        if path == "/v1/dash/bench":
+            return _wrap(self.dashboard.bench())
+        if path == "/v1/dash/jobs":
+            return _wrap(self.dashboard.jobs(query))
+        ref, action = _split_dash_run_path(path)
+        if ref is None:
+            return _error(404, f"no route for {path}")
+        if action == "":
+            return _wrap(self.dashboard.run_detail(ref))
+        if action == "spans":
+            return _wrap(self.dashboard.run_spans(ref, query))
+        return _error(404, f"no route for {path}")
+
     @staticmethod
     def _require(method: str, expected: str) -> Optional[Response]:
         if method != expected:
@@ -137,12 +275,14 @@ class ServiceApp:
     # -- handlers ----------------------------------------------------------
 
     def _healthz(self) -> Response:
-        snapshot = self.executor.metrics.snapshot()
+        snapshot = self.metrics.snapshot()
         return Response(
             200,
             {
                 "status": "ok",
                 "build": build_info(),
+                "executor": self.executor is not None,
+                "dashboard": self.dashboard is not None,
                 "queue_depth": snapshot.gauge("service_queue_depth") or 0.0,
                 "jobs_inflight": snapshot.gauge("service_jobs_inflight")
                 or 0.0,
@@ -150,11 +290,10 @@ class ServiceApp:
         )
 
     def _metrics(self) -> Response:
-        return Response(
-            200, {"metrics": self.executor.metrics.snapshot().as_dict()}
-        )
+        return Response(200, {"metrics": self.metrics.snapshot().as_dict()})
 
     def _submit(self, body: Optional[bytes]) -> Response:
+        assert self.executor is not None  # _route_jobs guards
         if not body:
             return _error(400, "request body must be a JSON object")
         try:
@@ -167,6 +306,7 @@ class ServiceApp:
         return Response(status, record.status_payload())
 
     def _list(self, query: Dict[str, str]) -> Response:
+        assert self.executor is not None
         state = query.get("state")
         if state is not None and state not in JOB_STATES:
             return _error(
@@ -189,10 +329,12 @@ class ServiceApp:
         )
 
     def _status(self, job_id: str) -> Response:
+        assert self.executor is not None
         record = self.executor.store.resolve(job_id)
         return Response(200, record.status_payload())
 
     def _result(self, job_id: str) -> Response:
+        assert self.executor is not None
         record = self.executor.store.resolve(job_id)
         record = self._follow(record)
         if not record.is_terminal:
@@ -221,6 +363,7 @@ class ServiceApp:
 
     def _follow(self, record: JobRecord) -> JobRecord:
         """Resolve a follower that was finished via its primary's copy."""
+        assert self.executor is not None
         if record.result is None and record.coalesced_with is not None:
             try:
                 return self.executor.store.get(record.coalesced_with)
@@ -229,21 +372,36 @@ class ServiceApp:
         return record
 
     def _cancel(self, job_id: str) -> Response:
+        assert self.executor is not None
         record = self.executor.cancel(job_id)
         return Response(200, record.status_payload())
 
 
+def _wrap(outcome: Tuple[int, Dict[str, Any]]) -> Response:
+    """A dashboard handler's ``(status, body)`` as a :class:`Response`."""
+    status, payload = outcome
+    return Response(status, payload)
+
+
 def _split_job_path(path: str) -> Tuple[Optional[str], str]:
     """``/v1/jobs/<id>[/<action>]`` → ``(id, action)``; else ``(None, "")``."""
-    prefix = "/v1/jobs/"
+    return _split_prefixed(path, "/v1/jobs/")
+
+
+def _split_dash_run_path(path: str) -> Tuple[Optional[str], str]:
+    """``/v1/dash/runs/<ref>[/<action>]`` → ``(ref, action)``."""
+    return _split_prefixed(path, "/v1/dash/runs/")
+
+
+def _split_prefixed(path: str, prefix: str) -> Tuple[Optional[str], str]:
     if not path.startswith(prefix):
         return None, ""
     rest = path[len(prefix):]
     if not rest:
         return None, ""
     if "/" in rest:
-        job_id, action = rest.split("/", 1)
+        ident, action = rest.split("/", 1)
         if "/" in action:
             return None, ""
-        return (job_id or None), action
+        return (ident or None), action
     return rest, ""

@@ -1,0 +1,222 @@
+"""Read-only dashboard data handlers over the run store and job store.
+
+:class:`DashboardData` turns the aggregation functions of
+:mod:`repro.obs.dash` into ``(status, body)`` pairs for the
+``/v1/dash/*`` routes that :class:`~repro.service.api.ServiceApp`
+mounts.  The layer is strictly a *reader*: it opens the run store, the
+job store, and committed ``BENCH_*.json`` files, and never submits
+work or runs a simulation (the OBS002 check pins that, mirroring
+SVC001 for the job handlers).  That is what lets ``repro dash`` serve
+the full dashboard against a store without starting a job executor.
+
+Stores are re-opened per request, so records appended by concurrent
+runs (or by the co-hosted job executor) appear on the next poll
+without a server restart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.obs.dash import (
+    bench_trajectory,
+    find_span_artifact,
+    run_detail_payload,
+    runs_payload,
+    series_trends,
+    spans_payload,
+)
+from repro.obs.history import RunStore, default_store_dir
+from repro.service.jobs import JOB_STATES, JobStore
+
+#: One handler outcome: HTTP status plus a JSON-safe body.
+Payload = Tuple[int, Dict[str, Any]]
+
+#: Default window of newest runs behind ``/v1/dash/series``.
+DEFAULT_SERIES_WINDOW = 20
+
+
+def _bad(message: str) -> Payload:
+    return 400, {"error": message}
+
+
+def _int_param(
+    query: Dict[str, str], name: str, default: Optional[int]
+) -> Optional[int]:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _float_param(
+    query: Dict[str, str], name: str, default: float
+) -> float:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+class DashboardData:
+    """The ``/v1/dash/*`` handlers, bound to on-disk stores only."""
+
+    def __init__(
+        self,
+        run_store: Union[str, Path, None] = None,
+        job_store: Optional[JobStore] = None,
+        bench_root: Union[str, Path] = ".",
+    ) -> None:
+        self.run_store_root = Path(run_store) if run_store is not None else None
+        self.job_store = job_store
+        self.bench_root = Path(bench_root)
+
+    # -- store access ------------------------------------------------------
+
+    def _store(self) -> RunStore:
+        """A fresh :class:`RunStore` so new records show up per request."""
+        root = (
+            self.run_store_root
+            if self.run_store_root is not None
+            else default_store_dir()
+        )
+        if root is None:
+            raise ValidationError(
+                "run store is disabled ($REPRO_RUN_STORE is empty)"
+            )
+        return RunStore(root)
+
+    # -- handlers ----------------------------------------------------------
+
+    def runs(self, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/runs`` — summaries via the shared contract."""
+        try:
+            limit = _int_param(query, "limit", None)
+        except ValueError as exc:
+            return _bad(str(exc))
+        return 200, runs_payload(
+            self._store(), command=query.get("command"), limit=limit
+        )
+
+    def run_detail(self, ref: str) -> Payload:
+        """``GET /v1/dash/runs/{ref}`` — the full stored record."""
+        return 200, run_detail_payload(self._store(), ref)
+
+    def run_spans(self, ref: str, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/runs/{ref}/spans`` — rollup + flame + timeline.
+
+        The span JSONL path comes from the run's own recorded
+        ``--trace-out`` argv by default; ``?file=`` overrides it for
+        exports the record does not know about.  Both resolve relative
+        to the server's working directory — this is a local exploration
+        tool, not a multi-tenant file service.
+        """
+        record = self._store().resolve(ref)
+        override = query.get("file")
+        source = override or find_span_artifact(record)
+        if source is None:
+            raise ValidationError(
+                f"run {record.run_id} has no span artifact on disk "
+                "(re-run with --trace-out spans.jsonl, or pass ?file=)"
+            )
+        if not Path(source).is_file():
+            raise ValidationError(f"span file {source!r} does not exist")
+        payload = spans_payload(source)
+        payload["run_id"] = record.run_id
+        return 200, payload
+
+    def series(self, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/series`` — metric trends + gate verdicts.
+
+        ``?select=`` takes comma-separated globs (the same selectors
+        ``repro runs regress --select`` uses); ``?command=`` defaults to
+        the newest record's command so a bare request shows the store's
+        live activity.
+        """
+        from repro.obs.analyze import DEFAULT_ALPHA, DEFAULT_REL_THRESHOLD
+
+        try:
+            window = _int_param(query, "window", DEFAULT_SERIES_WINDOW)
+            threshold = _float_param(
+                query, "threshold", DEFAULT_REL_THRESHOLD
+            )
+            alpha = _float_param(query, "alpha", DEFAULT_ALPHA)
+        except ValueError as exc:
+            return _bad(str(exc))
+        select = None
+        if query.get("select"):
+            select = [
+                part.strip()
+                for part in query["select"].split(",")
+                if part.strip()
+            ]
+        store = self._store()
+        command = query.get("command")
+        if command is None:
+            newest = store.records(limit=1)
+            if not newest:
+                raise ValidationError(f"run store {store.root} is empty")
+            command = newest[-1].command
+        records = store.records(command=command, limit=window)
+        if not records:
+            raise ValidationError(
+                f"run store has no records for command {command!r}"
+            )
+        return 200, series_trends(
+            records, select, rel_threshold=threshold, alpha=alpha
+        )
+
+    def bench(self) -> Payload:
+        """``GET /v1/dash/bench`` — committed ``BENCH_*.json`` files."""
+        return 200, bench_trajectory(self.bench_root)
+
+    def jobs(self, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/jobs`` — queue composition from the job store.
+
+        Works from the persisted job files alone, so the read-only
+        ``repro dash`` server reports the same queue an executor on the
+        same directory is draining.  ``available`` is false when the
+        dashboard was started without any job directory.
+        """
+        if self.job_store is None:
+            return 200, {"available": False, "jobs": [], "states": {}}
+        state = query.get("state")
+        if state is not None and state not in JOB_STATES:
+            return _bad(
+                f"unknown state {state!r} "
+                f"(expected one of {', '.join(JOB_STATES)})"
+            )
+        try:
+            limit = _int_param(query, "limit", 50)
+        except ValueError as exc:
+            return _bad(str(exc))
+        everything = self.job_store.records()
+        states: Dict[str, int] = {}
+        for record in everything:
+            states[record.state] = states.get(record.state, 0) + 1
+        shown = self.job_store.records(
+            state=state, kind=query.get("kind"), limit=limit
+        )
+        return 200, {
+            "available": True,
+            "total": len(everything),
+            "states": states,
+            "jobs": [record.status_payload() for record in shown],
+        }
+
+
+def dash_page() -> bytes:
+    """The embedded single-file frontend (``/dash``), as bytes."""
+    from importlib.resources import files
+
+    return (
+        files("repro.obs").joinpath("dash_page.html").read_bytes()
+    )

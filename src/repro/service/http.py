@@ -6,6 +6,12 @@ status/headers/bytes back.  All routing, validation, and job logic
 lives behind the app, so this module has no opinions to test beyond
 "bytes go in, bytes come out" — and the service keeps numpy as its only
 hard dependency.
+
+Traffic visibility is the metrics registry's job, not stderr's: every
+request lands in ``service_requests{method,route,status}`` and the
+``service_request_duration_s{route,status}`` histogram on
+``/v1/metrics`` (and therefore on the dashboard), which replaced the
+old all-or-nothing ``verbose`` request logging.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.service.api import Response, ServiceApp
+from repro.service.dashboard import DashboardData
 from repro.service.executor import JobExecutor
 from repro.service.jobs import JobStore
 
@@ -32,10 +39,9 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:
-        # Request logging is the metrics registry's job
-        # (service_requests counter); stderr chatter off by default.
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # Request logging is the metrics registry's job (the
+        # service_requests counter and request-duration histogram).
+        pass
 
     def _read_body(self) -> Optional[bytes]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -48,7 +54,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _write(self, response: Response) -> None:
         payload = response.body_bytes()
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in response.headers.items():
             self.send_header(name, value)
@@ -83,7 +89,7 @@ class ServiceServer(ThreadingHTTPServer):
     """The service's HTTP server, bound to one :class:`ServiceApp`.
 
     ``daemon_threads`` keeps request threads from blocking shutdown;
-    executor workers are joined explicitly by :meth:`close`.
+    executor workers (when present) are joined by :meth:`close`.
     """
 
     daemon_threads = True
@@ -93,11 +99,9 @@ class ServiceServer(ThreadingHTTPServer):
         app: ServiceApp,
         host: str = "127.0.0.1",
         port: int = 0,
-        verbose: bool = False,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.app = app
-        self.verbose = verbose
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -109,10 +113,11 @@ class ServiceServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def close(self) -> None:
-        """Stop serving and drain the executor's workers."""
+        """Stop serving and drain the executor's workers, if any."""
         self.shutdown()
         self.server_close()
-        self.app.executor.stop()
+        if self.app.executor is not None:
+            self.app.executor.stop()
 
 
 def build_server(
@@ -125,12 +130,16 @@ def build_server(
     job_dir: Optional[Union[str, Path]] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     run_store: Optional[Union[str, Path]] = None,
-    verbose: bool = False,
+    dashboard: bool = True,
+    bench_root: Union[str, Path] = ".",
 ) -> Tuple[ServiceServer, Dict[str, Any]]:
     """Assemble store + executor + app + server; start the workers.
 
-    Returns the (already listening, not yet serving) server and the
-    recovery report from the executor's boot scan.  The caller runs
+    The dashboard is mounted by default on the same app (sharing the
+    executor's job store, so ``/v1/dash/jobs`` reflects the live
+    queue); pass ``dashboard=False`` for a jobs-only server.  Returns
+    the (already listening, not yet serving) server and the recovery
+    report from the executor's boot scan.  The caller runs
     ``server.serve_forever()`` (the CLI) or drives requests directly
     against ``server.url`` (tests), and must call ``server.close()``.
     """
@@ -146,6 +155,40 @@ def build_server(
         run_store=run_store,
     )
     recovery = executor.start()
-    app = ServiceApp(executor)
-    server = ServiceServer(app, host=host, port=port, verbose=verbose)
+    dash_data = (
+        DashboardData(
+            run_store=run_store, job_store=store, bench_root=bench_root
+        )
+        if dashboard
+        else None
+    )
+    app = ServiceApp(executor, dashboard=dash_data)
+    server = ServiceServer(app, host=host, port=port)
     return server, recovery
+
+
+def build_dash_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    run_store: Optional[Union[str, Path]] = None,
+    job_dir: Optional[Union[str, Path]] = None,
+    bench_root: Union[str, Path] = ".",
+    serve_ui: bool = True,
+) -> ServiceServer:
+    """A read-only dashboard server: no executor, no workers, no writes.
+
+    Job routes answer 503; the dash routes (and, with ``serve_ui``, the
+    HTML page) read the run store, job store, and BENCH files as they
+    are on disk.  Safe to point at a store another process is appending
+    to.  ``serve_ui=False`` leaves the JSON data API only.
+    """
+    dash_data = DashboardData(
+        run_store=run_store,
+        job_store=JobStore(job_dir) if job_dir is not None else None,
+        bench_root=bench_root,
+    )
+    app = ServiceApp(executor=None, dashboard=dash_data)
+    if not serve_ui:
+        app.serve_ui = False
+    return ServiceServer(app, host=host, port=port)

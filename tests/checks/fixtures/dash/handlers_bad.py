@@ -1,0 +1,18 @@
+"""OBS002 fixture: dashboard data code reaching the simulator."""
+
+import repro.simgpu.batch as batch  # expect: OBS002
+from repro.simgpu.config import GpuConfig  # expect: OBS002
+from repro.analysis.sweep import pathfinding_sweep  # expect: OBS002
+
+
+def handler_simulate(trace):
+    config = GpuConfig()
+    return batch.simulate_trace(trace, config)  # expect: OBS002
+
+
+def handler_sweep(trace, subset):
+    return pathfinding_sweep(trace, subset)  # expect: OBS002
+
+
+def handler_pipeline(pipeline, trace, config):
+    return pipeline.run(trace, config)  # expect: OBS002

@@ -1,0 +1,14 @@
+"""OBS002 clean fixture: dash handlers that only read artifacts."""
+
+import json
+from pathlib import Path
+
+
+def load_payload(path):
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def artifact_size(loader, path):
+    # An attribute call named `run` on a non-pipeline receiver is fine.
+    return loader.run(Path(path))

@@ -34,6 +34,7 @@ BUILTIN_RULES = (
     "KEY002",
     "KEY003",
     "OBS001",
+    "OBS002",
     "PERF001",
     "SVC001",
     "WRK001",

@@ -40,3 +40,39 @@ def test_src_tree_has_no_bare_prints():
     # The rule holds on the real source tree, not just fixtures.
     report = check("src/repro", select=["OBS001"])
     assert observed(report) == []
+
+
+# -- OBS002: dash data code must not reach the simulator -------------------
+
+
+def test_obs002_bad_fixture_matches_markers():
+    path = FIXTURES / "dash" / "handlers_bad.py"
+    assert_matches_markers(check(path, select=["OBS002"]), path)
+
+
+def test_obs002_clean_twin_is_clean():
+    path = FIXTURES / "dash" / "handlers_clean.py"
+    assert observed(check(path, select=["OBS002"])) == []
+
+
+def test_obs002_is_an_error():
+    report = check(FIXTURES / "dash" / "handlers_bad.py", select=["OBS002"])
+    assert report.findings
+    assert all(f.severity == "error" for f in report.findings)
+
+
+def test_obs002_only_applies_to_dash_paths():
+    # The same violations in a non-dash module are out of scope (other
+    # rules own those paths); the service fixture has plenty of direct
+    # simulation calls and OBS002 must stay silent on it.
+    report = check(FIXTURES / "service", select=["OBS002"])
+    assert observed(report) == []
+
+
+def test_real_dash_modules_are_clean():
+    report = check(
+        "src/repro/obs/dash.py",
+        "src/repro/service/dashboard.py",
+        select=["OBS002"],
+    )
+    assert observed(report) == []

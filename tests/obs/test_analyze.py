@@ -342,3 +342,67 @@ class TestSpanRollup:
         nospan.write_text('{"name": "x"}\n')
         with pytest.raises(ValidationError, match="span_id"):
             load_spans_jsonl(nospan)
+
+
+class TestSpanRollupPathological:
+    """Malformed exports must degrade, never crash or go negative."""
+
+    def test_zero_duration_parent_with_real_children_floors(self):
+        # A zero-duration parent whose children report time anyway (a
+        # worker-clock artifact): self time floors at 0, totals keep
+        # the children's view.
+        spans = [
+            {"span_id": "p", "parent_id": None, "name": "parent",
+             "category": "", "duration_ns": 0},
+            {"span_id": "c1", "parent_id": "p", "name": "child",
+             "category": "", "duration_ns": 500},
+            {"span_id": "c2", "parent_id": "p", "name": "child",
+             "category": "", "duration_ns": 0},
+        ]
+        rollups = {r.name: r for r in rollup_spans(spans)}
+        assert rollups["parent"].self_s == 0.0
+        assert rollups["parent"].total_s == 0.0
+        assert rollups["child"].count == 2
+        assert rollups["child"].min_s == 0.0
+        assert rollups["child"].total_s == pytest.approx(5e-7)
+
+    def test_all_zero_duration_trace(self):
+        spans = [
+            {"span_id": f"s{i}", "parent_id": None, "name": "tick",
+             "category": "", "duration_ns": 0}
+            for i in range(4)
+        ]
+        (rollup,) = rollup_spans(spans)
+        assert rollup.count == 4
+        assert rollup.total_s == rollup.self_s == rollup.mean_s == 0.0
+
+    def test_orphaned_parent_charges_no_one(self):
+        # The child's parent_id names a span the export dropped: its
+        # duration must not be subtracted from any surviving span, and
+        # every span still lands in exactly one rollup row.
+        spans = [
+            {"span_id": "root", "parent_id": None, "name": "root",
+             "category": "", "duration_ns": 1000},
+            {"span_id": "lost", "parent_id": "never-exported",
+             "name": "stray", "category": "", "duration_ns": 400},
+        ]
+        rollups = {r.name: r for r in rollup_spans(spans)}
+        assert rollups["root"].self_s == pytest.approx(1e-6)
+        assert rollups["stray"].self_s == pytest.approx(4e-7)
+
+    def test_orphans_are_what_validate_chrome_trace_flags(self):
+        # The same pathology, seen end to end: an export that drops a
+        # parent produces exactly the orphan warning the validator
+        # documents, while the rollup still accounts for the span.
+        from repro.obs.export import chrome_trace_document, validate_chrome_trace
+        from repro.obs.spans import Span
+
+        orphan = Span(
+            span_id="lost", parent_id="never-exported", name="stray",
+            category="task", start_ns=0, duration_ns=400, pid=1, tid=1,
+        )
+        document = chrome_trace_document([orphan])
+        problems = validate_chrome_trace(document)
+        assert len(problems) == 1
+        assert "orphaned span" in problems[0]
+        assert rollup_spans([orphan.to_dict()])[0].self_s == pytest.approx(4e-7)

@@ -93,6 +93,34 @@ class TestRunsCommands:
         assert "simulate" in out
         assert out.count("\n") >= 6
 
+    def test_list_json_shares_the_dashboard_contract(self, store, capsys):
+        # `runs list --format json` and GET /v1/dash/runs are the same
+        # payload builder; a script can swap one for the other.
+        from repro.obs.dash import runs_payload
+
+        capsys.readouterr()
+        assert main(
+            ["runs", "list", "--store", str(store), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == runs_payload(RunStore(store))
+        assert payload["count"] == 6
+        assert payload["commands"] == ["simulate"]
+        row = payload["runs"][0]
+        assert row["command"] == "simulate"
+        assert row["frames_simulated"] == 5.0
+        assert row["duration_s"] > 0
+
+    def test_list_json_respects_filters(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            [
+                "runs", "list", "--store", str(store),
+                "--format", "json", "--limit", "2",
+            ]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 2
+
     def test_list_command_filter(self, store, capsys):
         capsys.readouterr()
         assert main(

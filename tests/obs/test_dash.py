@@ -1,0 +1,286 @@
+"""Dashboard aggregation: shared run listing, trends, flame tree, bench."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+# bench_trajectory is aliased: pyproject collects bench_* as benchmarks.
+from repro.obs.dash import (
+    DASH_PAYLOAD_VERSION,
+    bench_trajectory as collect_benches,
+    find_span_artifact,
+    frame_timeline,
+    run_detail_payload,
+    run_summary,
+    runs_payload,
+    series_trends,
+    span_flame_tree,
+    spans_payload,
+)
+from repro.obs.history import RunRecord, RunStore
+
+
+def make_record(run_id="abc123def456", created=1000.0, command="simulate",
+                **overrides):
+    kwargs = dict(
+        run_id=run_id,
+        created_unix=created,
+        command=command,
+        argv=("simulate", "t.jsonl"),
+        git_sha="deadbeef",
+        environment={"python_version": "3.12.0"},
+        jobs=2,
+        metrics={
+            "counter:frames_simulated": 24.0,
+            "derived:duration_s": 2.0,
+            "derived:frames_per_s": 12.0,
+        },
+        stages={"simulate": 0.5},
+        top_stages={"simulate": 0.5},
+    )
+    kwargs.update(overrides)
+    return RunRecord(**kwargs)
+
+
+class TestRunListing:
+    def test_summary_is_the_flat_listing_row(self):
+        summary = run_summary(make_record())
+        assert summary["run_id"] == "abc123def456"
+        assert summary["command"] == "simulate"
+        assert summary["created_iso"] == "1970-01-01T00:16:40Z"
+        assert summary["duration_s"] == 2.0
+        assert summary["frames_per_s"] == 12.0
+        assert summary["frames_simulated"] == 24.0
+        assert summary["num_stages"] == 1
+        # Absent derived metrics surface as null, not KeyError.
+        assert run_summary(make_record(metrics={}))["duration_s"] is None
+
+    def test_runs_payload_lists_store_wide_commands(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(make_record(run_id="sim0sim0sim0", created=1.0))
+        store.append(make_record(
+            run_id="sweep0sweep0", created=2.0, command="sweep"
+        ))
+        payload = runs_payload(store, command="simulate")
+        assert payload["version"] == DASH_PAYLOAD_VERSION
+        assert payload["commands"] == ["simulate", "sweep"]
+        assert payload["count"] == 1
+        assert payload["runs"][0]["run_id"] == "sim0sim0sim0"
+
+    def test_detail_payload_carries_record_and_summary(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(make_record())
+        payload = run_detail_payload(store, "abc1")
+        assert payload["run_id"] == "abc123def456"
+        assert payload["summary"]["command"] == "simulate"
+        assert payload["span_artifact"] is None
+
+
+class TestFindSpanArtifact:
+    def test_both_argv_spellings_resolve(self, tmp_path):
+        spans = tmp_path / "spans.jsonl"
+        spans.write_text("")
+        for argv in (
+            ("simulate", "t.json", "--trace-out", str(spans)),
+            ("simulate", "t.json", f"--trace-out={spans}"),
+        ):
+            record = make_record(argv=argv)
+            assert find_span_artifact(record) == str(spans)
+
+    def test_missing_or_foreign_files_yield_none(self, tmp_path):
+        gone = make_record(argv=("x", "--trace-out", str(tmp_path / "no.jsonl")))
+        assert find_span_artifact(gone) is None
+        chrome = tmp_path / "trace.json"
+        chrome.write_text("{}")
+        # A chrome-trace export is not the JSONL shape the rollup reads.
+        assert find_span_artifact(
+            make_record(argv=("x", "--trace-out", str(chrome)))
+        ) is None
+        assert find_span_artifact(make_record(argv=())) is None
+
+
+class TestSeriesTrends:
+    def _window(self, values, run_id="run{i}00000000"):
+        return [
+            make_record(
+                run_id=run_id.format(i=i),
+                created=1000.0 + i,
+                metrics={"counter:frames_simulated": value},
+            )
+            for i, value in enumerate(values)
+        ]
+
+    def test_points_trail_the_window_in_order(self):
+        payload = series_trends(self._window([10.0, 10.0, 10.0]))
+        assert payload["command"] == "simulate"
+        assert payload["window"] == 3
+        (series,) = [
+            s for s in payload["series"]
+            if s["name"] == "counter:frames_simulated"
+        ]
+        assert [p["value"] for p in series["points"]] == [10.0, 10.0, 10.0]
+        assert series["direction"] == "both"
+
+    def test_gate_verdict_matches_compare_to_baseline(self):
+        records = self._window([10.0, 10.0, 10.0, 10.0, 99.0])
+        payload = series_trends(records, select=["counter:*"])
+        (series,) = payload["series"]
+        assert series["gate"] is not None
+        assert series["gate"]["verdict"] == "regression"
+        assert series["gate"]["rel_delta"] == pytest.approx(8.9)
+
+    def test_single_record_has_no_gate(self):
+        payload = series_trends(self._window([10.0]))
+        for series in payload["series"]:
+            assert series["gate"] is None
+
+    def test_missing_values_are_skipped_not_nulled(self):
+        records = self._window([10.0, 10.0])
+        records.append(make_record(
+            run_id="bare00000000", created=2000.0, metrics={}
+        ))
+        payload = series_trends(records, select=["counter:frames_simulated"])
+        (series,) = payload["series"]
+        assert len(series["points"]) == 2
+
+    def test_empty_window(self):
+        payload = series_trends([])
+        assert payload["command"] is None
+        assert payload["series"] == []
+
+
+FRAME_NS = 1_000_000
+
+
+def _tree_spans():
+    """A two-stage pipeline: each stage simulates one frame."""
+    return [
+        {"span_id": "root", "parent_id": None, "name": "cli:simulate",
+         "category": "cli", "start_ns": 0, "duration_ns": 10 * FRAME_NS},
+        {"span_id": "s1", "parent_id": "root", "name": "ground_truth",
+         "category": "stage", "start_ns": 0, "duration_ns": 6 * FRAME_NS},
+        {"span_id": "s2", "parent_id": "root", "name": "representatives",
+         "category": "stage", "start_ns": 6 * FRAME_NS,
+         "duration_ns": 3 * FRAME_NS},
+        {"span_id": "f1", "parent_id": "s1", "name": "simulate_frame",
+         "category": "simgpu", "start_ns": 1 * FRAME_NS,
+         "duration_ns": 4 * FRAME_NS,
+         "args": {"frame": 0, "draws": 100, "time_ns": 5000,
+                  "raster_cycles": 40, "shade_cycles": 60}},
+        {"span_id": "f2", "parent_id": "s2", "name": "simulate_frame",
+         "category": "simgpu", "start_ns": 7 * FRAME_NS,
+         "duration_ns": 2 * FRAME_NS,
+         "args": {"frame": 3, "draws": 50, "time_ns": 2500}},
+    ]
+
+
+class TestFlameTree:
+    def test_merges_by_name_and_category(self):
+        spans = _tree_spans()
+        spans.append({
+            "span_id": "f3", "parent_id": "s1", "name": "simulate_frame",
+            "category": "simgpu", "start_ns": 5 * FRAME_NS,
+            "duration_ns": 1 * FRAME_NS, "args": {"frame": 1},
+        })
+        (root,) = span_flame_tree(spans)
+        assert root["name"] == "cli:simulate"
+        ground = [c for c in root["children"] if c["name"] == "ground_truth"][0]
+        (frames,) = ground["children"]
+        assert frames["count"] == 2
+        assert frames["total_s"] == pytest.approx(0.005)
+
+    def test_self_time_is_total_minus_children(self):
+        (root,) = span_flame_tree(_tree_spans())
+        assert root["total_s"] == pytest.approx(0.010)
+        assert root["self_s"] == pytest.approx(0.001)  # 10 - (6 + 3)
+
+    def test_orphans_root_at_top_instead_of_vanishing(self):
+        spans = _tree_spans()
+        spans.append({
+            "span_id": "lost", "parent_id": "never-exported",
+            "name": "stray", "category": "task",
+            "start_ns": 0, "duration_ns": FRAME_NS,
+        })
+        roots = {node["name"] for node in span_flame_tree(spans)}
+        assert "stray" in roots
+
+    def test_tiny_nodes_fold_into_other(self):
+        spans = _tree_spans()
+        for i in range(3):
+            spans.append({
+                "span_id": f"dust{i}", "parent_id": None,
+                "name": f"dust_{i}", "category": "task",
+                "start_ns": 0, "duration_ns": 10,
+            })
+        nodes = span_flame_tree(spans, min_fraction=0.01)
+        names = [node["name"] for node in nodes]
+        assert "(other)" in names
+        assert not any(name.startswith("dust_") for name in names)
+        other = [n for n in nodes if n["name"] == "(other)"][0]
+        assert other["count"] == 3
+
+
+class TestFrameTimeline:
+    def test_rows_carry_phase_and_cycles(self):
+        rows = frame_timeline(_tree_spans())
+        assert [row["frame"] for row in rows] == [0, 3]
+        assert rows[0]["phase"] == "ground_truth"
+        assert rows[1]["phase"] == "representatives"
+        assert rows[0]["cycles"] == {"raster": 40, "shade": 60}
+        assert rows[1]["cycles"] == {}
+        assert rows[0]["draws"] == 100
+
+    def test_orphaned_frame_gets_empty_phase(self):
+        rows = frame_timeline([{
+            "span_id": "f", "parent_id": "gone", "name": "simulate_frame",
+            "category": "simgpu", "start_ns": 0, "duration_ns": 1,
+            "args": {"frame": 7},
+        }])
+        assert rows == [{
+            "frame": 7, "phase": "", "start_ns": 0, "duration_ns": 1,
+            "draws": None, "time_ns": None, "cycles": {},
+        }]
+
+    def test_parent_cycle_terminates(self):
+        # A malformed export where two spans parent each other must not
+        # hang the phase walk.
+        rows = frame_timeline([
+            {"span_id": "a", "parent_id": "b", "name": "simulate_frame",
+             "category": "simgpu", "start_ns": 0, "duration_ns": 1,
+             "args": {"frame": 0}},
+            {"span_id": "b", "parent_id": "a", "name": "loop",
+             "category": "task", "start_ns": 0, "duration_ns": 1},
+        ])
+        assert rows[0]["phase"] == ""
+
+
+class TestSpansPayload:
+    def test_payload_over_a_jsonl_export(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(s) for s in _tree_spans()) + "\n"
+        )
+        payload = spans_payload(path)
+        assert payload["num_spans"] == 5
+        assert payload["flame"][0]["name"] == "cli:simulate"
+        assert len(payload["frames"]) == 2
+        rollup_names = {row["name"] for row in payload["rollup"]}
+        assert "simulate_frame" in rollup_names
+
+
+class TestBenchTrajectory:
+    def test_collects_by_stem_and_reports_problems(self, tmp_path):
+        (tmp_path / "BENCH_SWEEP.json").write_text('{"speedup": 3.0}')
+        (tmp_path / "BENCH_BROKEN.json").write_text("{nope")
+        (tmp_path / "NOT_A_BENCH.json").write_text("{}")
+        payload = collect_benches(tmp_path)
+        assert payload["benches"] == {"BENCH_SWEEP": {"speedup": 3.0}}
+        assert len(payload["problems"]) == 1
+        assert "BENCH_BROKEN.json" in payload["problems"][0]
+
+    def test_empty_root(self, tmp_path):
+        payload = collect_benches(tmp_path / "nothing")
+        assert payload["benches"] == {}
+        assert payload["problems"] == []

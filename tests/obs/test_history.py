@@ -137,6 +137,24 @@ class TestQueries:
         with pytest.raises(ValidationError, match="empty"):
             RunStore(tmp_path / "nothing").resolve("-1")
 
+    def test_ambiguous_prefix_names_the_candidates(self, tmp_path):
+        # The error must show which runs matched, so the caller can
+        # extend the prefix without a second listing round-trip.
+        store = self._store(tmp_path)
+        with pytest.raises(ValidationError, match="sim0sim0") as info:
+            store.resolve("sim")
+        message = str(info.value)
+        assert "5 matches" in message
+        for i in range(5):
+            assert f"sim{i}sim{i}" in message
+
+    def test_ambiguous_prefix_truncates_long_candidate_lists(self, tmp_path):
+        store = RunStore(tmp_path)
+        for i in range(12):
+            store.append(make_record(run_id=f"aa{i:02d}aa{i:02d}aaaa"))
+        with pytest.raises(ValidationError, match=r"\.\.\. \+4 more"):
+            store.resolve("aa")
+
     def test_foreign_json_skipped(self, tmp_path):
         store = self._store(tmp_path)
         (tmp_path / "zz-not-a-record.json").write_text("{\"x\": 1}")
@@ -157,6 +175,26 @@ class TestCollection:
         assert flat["gauge:subset_error"] == 0.02
         assert flat["hist:task_wall_s:count"] == 1.0
         assert flat["hist:task_wall_s:mean"] == 0.5
+
+    def test_flatten_metrics_labeled_histograms(self):
+        # Labeled histogram series flatten to one mean/count pair per
+        # label set — the shape the dashboard's requests-by-route table
+        # reads off service_request_duration_s{route,status}.
+        metrics = Metrics()
+        metrics.observe("req_s", 0.2, route="/v1/dash/runs", status="200")
+        metrics.observe("req_s", 0.4, route="/v1/dash/runs", status="200")
+        metrics.observe("req_s", 0.1, route="/v1/jobs", status="503")
+        flat = flatten_metrics(metrics.snapshot())
+        key = "hist:req_s{route=/v1/dash/runs,status=200}"
+        assert flat[f"{key}:count"] == 2.0
+        assert flat[f"{key}:mean"] == pytest.approx(0.3)
+        other = "hist:req_s{route=/v1/jobs,status=503}"
+        assert flat[f"{other}:count"] == 1.0
+        assert flat[f"{other}:mean"] == pytest.approx(0.1)
+        # Label order is canonical: no duplicate series under reordering.
+        metrics.observe("req_s", 0.6, status="200", route="/v1/dash/runs")
+        flat = flatten_metrics(metrics.snapshot())
+        assert flat[f"{key}:count"] == 3.0
 
     def test_collect_record_derives_rates(self):
         telemetry = Telemetry()

@@ -1,0 +1,253 @@
+"""The /v1/dash/* routes, the embedded UI, and request telemetry."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.history import RunRecord, RunStore
+from repro.service.api import Response, ServiceApp, route_template
+from repro.service.dashboard import DashboardData, dash_page
+from repro.service.http import build_dash_server
+from repro.service.jobs import JobStore
+
+
+def make_record(run_id="abc123def456", created=1000.0, command="simulate",
+                **overrides):
+    kwargs = dict(
+        run_id=run_id,
+        created_unix=created,
+        command=command,
+        argv=("simulate", "t.jsonl"),
+        metrics={"counter:frames_simulated": 24.0},
+        stages={"simulate": 0.5},
+    )
+    kwargs.update(overrides)
+    return RunRecord(**kwargs)
+
+
+@pytest.fixture
+def run_store(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    for i in range(3):
+        store.append(make_record(run_id=f"run{i}00000000", created=1000.0 + i))
+    return store
+
+
+@pytest.fixture
+def app(run_store, tmp_path):
+    """A data-only app: dashboard mounted, no executor."""
+    dashboard = DashboardData(
+        run_store=run_store.root, bench_root=tmp_path
+    )
+    return ServiceApp(executor=None, dashboard=dashboard)
+
+
+def get(app: ServiceApp, target: str) -> Response:
+    return app.handle("GET", target)
+
+
+class TestDashRoutes:
+    def test_runs_listing(self, app):
+        response = get(app, "/v1/dash/runs")
+        assert response.status == 200
+        assert response.body["count"] == 3
+        assert response.body["runs"][0]["run_id"] == "run000000000"
+
+    def test_runs_query_params(self, app):
+        assert get(app, "/v1/dash/runs?limit=1").body["count"] == 1
+        assert get(app, "/v1/dash/runs?command=sweep").body["count"] == 0
+        assert get(app, "/v1/dash/runs?limit=bogus").status == 400
+
+    def test_run_detail_and_404(self, app):
+        response = get(app, "/v1/dash/runs/run1")
+        assert response.status == 200
+        assert response.body["run_id"] == "run100000000"
+        assert get(app, "/v1/dash/runs/zzz").status == 404
+
+    def test_ambiguous_ref_names_candidates(self, app):
+        response = get(app, "/v1/dash/runs/run")
+        assert response.status == 404
+        assert "run000000000" in response.body["error"]
+        assert "run200000000" in response.body["error"]
+
+    def test_spans_without_artifact_is_404(self, app):
+        response = get(app, "/v1/dash/runs/run1/spans")
+        assert response.status == 404
+        assert "--trace-out" in response.body["error"]
+
+    def test_spans_with_file_override(self, app, tmp_path):
+        spans = tmp_path / "spans.jsonl"
+        spans.write_text(json.dumps({
+            "span_id": "a", "parent_id": None, "name": "cli:simulate",
+            "category": "cli", "start_ns": 0, "duration_ns": 1000,
+        }) + "\n")
+        response = get(app, f"/v1/dash/runs/run1/spans?file={spans}")
+        assert response.status == 200
+        assert response.body["num_spans"] == 1
+        assert response.body["run_id"] == "run100000000"
+        missing = get(app, f"/v1/dash/runs/run1/spans?file={tmp_path}/no.jsonl")
+        assert missing.status == 404
+
+    def test_series_defaults_to_newest_command(self, app):
+        response = get(app, "/v1/dash/series?select=counter:*")
+        assert response.status == 200
+        assert response.body["command"] == "simulate"
+        assert response.body["window"] == 3
+        names = [s["name"] for s in response.body["series"]]
+        assert names == ["counter:frames_simulated"]
+
+    def test_series_bad_params(self, app):
+        assert get(app, "/v1/dash/series?window=x").status == 400
+        assert get(app, "/v1/dash/series?alpha=x").status == 400
+        assert get(app, "/v1/dash/series?command=nope").status == 404
+
+    def test_bench(self, app, tmp_path):
+        (tmp_path / "BENCH_X.json").write_text('{"ok": true}')
+        response = get(app, "/v1/dash/bench")
+        assert response.status == 200
+        assert response.body["benches"] == {"BENCH_X": {"ok": True}}
+
+    def test_jobs_without_store_reports_unavailable(self, app):
+        response = get(app, "/v1/dash/jobs")
+        assert response.status == 200
+        assert response.body == {"available": False, "jobs": [], "states": {}}
+
+    def test_jobs_reads_persisted_store(self, run_store, tmp_path):
+        job_store = JobStore(tmp_path / "jobs")
+        app = ServiceApp(dashboard=DashboardData(
+            run_store=run_store.root, job_store=job_store
+        ))
+        response = get(app, "/v1/dash/jobs")
+        assert response.status == 200
+        assert response.body["available"] is True
+        assert response.body["total"] == 0
+        assert get(app, "/v1/dash/jobs?state=bogus").status == 400
+
+    def test_post_is_method_not_allowed(self, app):
+        response = app.handle("POST", "/v1/dash/runs")
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
+
+
+class TestDataOnlyService:
+    def test_job_routes_answer_503_without_executor(self, app):
+        for method, target in (
+            ("POST", "/v1/jobs"),
+            ("GET", "/v1/jobs"),
+            ("GET", "/v1/jobs/deadbeef"),
+            ("POST", "/v1/jobs/deadbeef/cancel"),
+        ):
+            response = app.handle(method, target, b"{}")
+            assert response.status == 503
+            assert "no job executor" in response.body["error"]
+
+    def test_healthz_reports_mounted_surfaces(self, app):
+        body = get(app, "/v1/healthz").body
+        assert body["status"] == "ok"
+        assert body["executor"] is False
+        assert body["dashboard"] is True
+
+    def test_dash_routes_404_when_dashboard_not_mounted(self):
+        app = ServiceApp(executor=None, dashboard=None)
+        response = get(app, "/v1/dash/runs")
+        assert response.status == 404
+        assert "dashboard not mounted" in response.body["error"]
+
+
+class TestEmbeddedUi:
+    def test_dash_serves_the_packaged_html(self, app):
+        response = get(app, "/dash")
+        assert response.status == 200
+        assert response.content_type.startswith("text/html")
+        html = response.body_bytes().decode("utf-8")
+        assert "<!doctype html>" in html
+        assert "/v1/dash/runs" in html  # fetches the data API
+        assert response.body_bytes() == dash_page()
+
+    def test_data_only_mode_disables_the_ui(self, app):
+        app.serve_ui = False
+        response = get(app, "/dash")
+        assert response.status == 404
+        assert get(app, "/v1/dash/runs").status == 200  # data API stays
+
+
+class TestRequestTelemetry:
+    def test_duration_histogram_and_counter_on_metrics(self, app):
+        get(app, "/v1/dash/runs")
+        get(app, "/v1/dash/runs/zzz")  # 404s are recorded too
+        snapshot = get(app, "/v1/metrics").body["metrics"]
+        counters = {
+            (c["name"], c["labels"].get("route"), c["labels"].get("status"))
+            for c in snapshot["counters"]
+        }
+        assert ("service_requests", "/v1/dash/runs", "200") in counters
+        assert ("service_requests", "/v1/dash/runs/{ref}", "404") in counters
+        histograms = [
+            h for h in snapshot["histograms"]
+            if h["name"] == "service_request_duration_s"
+        ]
+        assert histograms
+        routes = {h["labels"]["route"] for h in histograms}
+        assert "/v1/dash/runs" in routes
+        assert all(h["count"] >= 1 for h in histograms)
+
+    def test_route_template_bounds_cardinality(self):
+        assert route_template("/v1/dash/runs") == "/v1/dash/runs"
+        assert route_template("/v1/dash/runs/abc123") == "/v1/dash/runs/{ref}"
+        assert (
+            route_template("/v1/dash/runs/abc123/spans")
+            == "/v1/dash/runs/{ref}/spans"
+        )
+        assert route_template("/v1/jobs/j1/result") == "/v1/jobs/{id}/result"
+        assert route_template("/v1/dash/runs/a/b/c") == "<unmatched>"
+        assert route_template("/totally/random") == "<unmatched>"
+
+    def test_scanner_paths_fold_to_unmatched(self, app):
+        for path in ("/wp-admin", "/v1/dash/runs/a/bogus", "/v1/jobs/x/y/z"):
+            app.handle("GET", path)
+        snapshot = get(app, "/v1/metrics").body["metrics"]
+        scanner_routes = {
+            c["labels"]["route"]
+            for c in snapshot["counters"]
+            if c["name"] == "service_requests"
+            and c["labels"]["status"] == "404"
+        }
+        assert scanner_routes == {"<unmatched>"}
+
+
+class TestDashServer:
+    def test_build_dash_server_end_to_end(self, run_store, tmp_path):
+        server = build_dash_server(
+            port=0, run_store=run_store.root, bench_root=tmp_path
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(f"{server.url}/v1/dash/runs") as resp:
+                assert resp.status == 200
+                assert json.load(resp)["count"] == 3
+            with urllib.request.urlopen(f"{server.url}/dash") as resp:
+                assert resp.headers["Content-Type"].startswith("text/html")
+                assert b"<!doctype html>" in resp.read()
+        finally:
+            server.close()
+            thread.join(timeout=10.0)
+
+    def test_data_only_server_hides_ui(self, run_store):
+        server = build_dash_server(
+            port=0, run_store=run_store.root, serve_ui=False
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{server.url}/dash")
+            assert info.value.code == 404
+        finally:
+            server.close()
+            thread.join(timeout=10.0)
