@@ -75,6 +75,38 @@ def infer_module_name(path: Path) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
+def resolve_relative_import(
+    module_name: Optional[str],
+    is_package: bool,
+    level: int,
+    target: Optional[str],
+) -> Optional[str]:
+    """The absolute module a relative ``from``-import refers to.
+
+    ``from . import jobs`` inside ``repro.service.http`` has
+    ``level=1, target=None`` and resolves to package ``repro.service``;
+    ``from ..obs import history`` (``level=2, target="obs"``) to
+    ``repro.obs``.  Inside a package ``__init__`` the package itself is
+    the level-1 anchor.  Returns ``None`` when the module name is
+    unknown or the level climbs past the top — the caller simply keeps
+    the name unresolved.
+    """
+    if module_name is None or level < 1:
+        return None
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        if level - 1 > len(parts):
+            return None
+        parts = parts[: len(parts) - (level - 1)]
+    if target:
+        parts = parts + target.split(".")
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
 @dataclass
 class ModuleSource:
     """One parsed source file and its rule-relevant derived views."""
@@ -88,6 +120,8 @@ class ModuleSource:
     noqa: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
     #: local binding -> fully qualified imported symbol
     import_map: Dict[str, str] = field(default_factory=dict)
+    #: the file is a package ``__init__`` (anchors relative imports)
+    is_package: bool = False
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if line not in self.noqa:
@@ -109,8 +143,11 @@ def parse_module(path: Path, relpath: str) -> ModuleSource:
         lines=lines,
         module_name=infer_module_name(path),
         noqa=parse_noqa(lines),
+        is_package=path.name == "__init__.py",
     )
-    module.import_map = build_import_map(tree)
+    module.import_map = build_import_map(
+        tree, module_name=module.module_name, is_package=module.is_package
+    )
     return module
 
 
@@ -119,7 +156,11 @@ def parse_module(path: Path, relpath: str) -> ModuleSource:
 # ---------------------------------------------------------------------------
 
 
-def build_import_map(tree: ast.Module) -> Dict[str, str]:
+def build_import_map(
+    tree: ast.Module,
+    module_name: Optional[str] = None,
+    is_package: bool = False,
+) -> Dict[str, str]:
     """Map local names to the qualified symbols they import.
 
     ``import numpy as np`` → ``{"np": "numpy"}``;
@@ -127,6 +168,12 @@ def build_import_map(tree: ast.Module) -> Dict[str, str]:
     ``import os.path`` → ``{"os": "os"}`` (the binding is the top
     package).  Function-local imports participate too — the determinism
     rules care what a name *means*, not where it was bound.
+
+    Relative imports resolve against ``module_name`` when it is known
+    (``from . import jobs`` inside ``repro.service.http`` maps ``jobs``
+    to ``repro.service.jobs``, which is how the call graph links
+    relatively-imported project modules); with no module name they stay
+    unmapped, preserving the old behavior.
     """
     mapping: Dict[str, str] = {}
     for node in ast.walk(tree):
@@ -137,9 +184,14 @@ def build_import_map(tree: ast.Module) -> Dict[str, str]:
                 else:
                     mapping[alias.name.split(".")[0]] = alias.name.split(".")[0]
         elif isinstance(node, ast.ImportFrom):
-            if node.level:  # relative import: not an external API
-                continue
-            base = node.module or ""
+            if node.level:
+                base = resolve_relative_import(
+                    module_name, is_package, node.level, node.module
+                )
+                if base is None:  # unknown anchor: not resolvable
+                    continue
+            else:
+                base = node.module or ""
             for alias in node.names:
                 if alias.name == "*":
                     continue

@@ -56,14 +56,37 @@ def _entry_fingerprint(entry: Dict[str, str]) -> str:
         ) from None
 
 
+def write_entries(entries: List[Dict[str, str]], path: Path) -> None:
+    """Persist raw entries as the baseline (sorted, diff-friendly)."""
+    ordered = sorted(
+        entries, key=lambda e: (e["path"], e["rule"], e["message"])
+    )
+    payload = {"version": BASELINE_VERSION, "entries": ordered}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 def write(findings: List[Finding], path: Path) -> None:
     """Persist ``findings`` as the new baseline (sorted, diff-friendly)."""
-    entries = sorted(
-        (_entry(finding) for finding in findings),
-        key=lambda e: (e["path"], e["rule"], e["message"]),
-    )
-    payload = {"version": BASELINE_VERSION, "entries": entries}
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_entries([_entry(finding) for finding in findings], path)
+
+
+def prune(
+    entries: List[Dict[str, str]], stale: List[Dict[str, str]]
+) -> List[Dict[str, str]]:
+    """``entries`` minus ``stale``, with multiset semantics.
+
+    Two identical grandfathered violations where only one went away
+    must keep exactly one entry, so removal is counted, not set-based.
+    """
+    budget: Counter = Counter(_entry_fingerprint(e) for e in stale)
+    kept: List[Dict[str, str]] = []
+    for entry in entries:
+        fingerprint = _entry_fingerprint(entry)
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            continue
+        kept.append(entry)
+    return kept
 
 
 def load(path: Path) -> List[Dict[str, str]]:

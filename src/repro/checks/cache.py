@@ -1,0 +1,185 @@
+"""Incremental analysis cache for ``repro check``.
+
+The checker is pure: findings for a file depend only on the file's
+bytes (module rules) or on the bytes of every analyzed file (project
+rules).  That makes caching a content-addressing problem, not an
+invalidation problem — each entry is keyed by a SHA-256 digest of the
+inputs, so a stale hit is impossible by construction and there is
+nothing to expire.
+
+Layout: one JSON file per *ruleset signature* under
+``.repro/checks-cache/``.  The signature hashes the selected rule ids
+together with :data:`repro.checks.registry.RULESET_VERSION`, so
+``--select`` variations coexist and bumping the version abandons every
+old entry at once.  Inside a cache file:
+
+- ``files`` maps relpath → ``{digest, findings, suppressed}`` with the
+  *post-noqa* module-scope findings for that exact content;
+- ``project`` holds the project-scope findings keyed by a digest of
+  the whole ``(relpath, digest)`` file set.
+
+A warm run over an unchanged tree therefore parses nothing and
+re-analyzes zero files; editing one file re-runs module rules on that
+file only (project rules are whole-program by nature and re-run
+whenever any input changed).  Entries merge across invocations, so a
+run over a subdirectory seeds hits for a later run over the full tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.checks.findings import Finding
+from repro.checks.registry import RULESET_VERSION
+
+CACHE_VERSION = 1
+
+#: Default on-disk location, cwd-relative (next to ``.repro/runs``).
+DEFAULT_CACHE_DIR = Path(".repro") / "checks-cache"
+
+
+def ruleset_signature(rule_ids: Sequence[str]) -> str:
+    """Stable hex key for one (ruleset version, selected rules) pair."""
+    payload = json.dumps(
+        [RULESET_VERSION, sorted(set(rule_ids))], sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def file_digest(data: bytes) -> str:
+    """Content digest used for both file entries and the project key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_digest(digests: Dict[str, str]) -> str:
+    """One digest over the whole analyzed file set (paths and contents)."""
+    payload = json.dumps(sorted(digests.items()), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CachedResult:
+    """Findings replayed from (or destined for) one cache slot."""
+
+    findings: List[Finding]
+    suppressed: int
+
+
+def _dump_result(result: CachedResult) -> Dict[str, object]:
+    return {
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": result.suppressed,
+    }
+
+
+def _load_result(payload: object) -> Optional[CachedResult]:
+    if not isinstance(payload, dict):
+        return None
+    raw = payload.get("findings")
+    suppressed = payload.get("suppressed")
+    if not isinstance(raw, list) or not isinstance(suppressed, int):
+        return None
+    try:
+        findings = [Finding.from_dict(item) for item in raw]
+    except (TypeError, KeyError, ValueError):
+        return None
+    return CachedResult(findings=findings, suppressed=suppressed)
+
+
+@dataclass
+class CheckCache:
+    """One signature's cache file: load, query, update, persist.
+
+    Corruption is never fatal — an unreadable cache file deserializes
+    to an empty cache and the next :meth:`save` rewrites it; losing a
+    cache costs one cold run, trusting a bad one would cost
+    correctness.
+    """
+
+    root: Path = DEFAULT_CACHE_DIR
+    signature: str = ""
+    _files: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    _project: Dict[str, object] = field(default_factory=dict)
+    _dirty: bool = field(default=False, repr=False)
+
+    @property
+    def path(self) -> Path:
+        return self.root / f"{self.signature or 'default'}.json"
+
+    def load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != CACHE_VERSION:
+            return
+        if payload.get("signature") != self.signature:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False
+
+    # -- per-file module-scope entries ---------------------------------
+
+    def get_file(self, relpath: str, digest: str) -> Optional[CachedResult]:
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        return _load_result(entry)
+
+    def put_file(
+        self, relpath: str, digest: str, result: CachedResult
+    ) -> None:
+        entry = _dump_result(result)
+        entry["digest"] = digest
+        self._files[relpath] = entry
+        self._dirty = True
+
+    # -- whole-project entry -------------------------------------------
+
+    def get_project(self, digest: str) -> Optional[CachedResult]:
+        if self._project.get("digest") != digest:
+            return None
+        return _load_result(self._project)
+
+    def put_project(self, digest: str, result: CachedResult) -> None:
+        entry = _dump_result(result)
+        entry["digest"] = digest
+        self._project = entry
+        self._dirty = True
+
+
+def open_cache(
+    rule_ids: Sequence[str], root: Optional[Path] = None
+) -> CheckCache:
+    """A loaded cache for this rule selection (missing file → empty)."""
+    cache = CheckCache(
+        root=root or DEFAULT_CACHE_DIR,
+        signature=ruleset_signature(rule_ids),
+    )
+    cache.load()
+    return cache

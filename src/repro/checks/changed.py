@@ -1,0 +1,71 @@
+"""``repro check --changed``: restrict analysis to files git touched.
+
+The changed set is the union of tracked modifications against a base
+rev (``git diff --name-only <base>``, deletions excluded — a deleted
+file has nothing to analyze) and untracked-but-not-ignored files
+(``git ls-files --others --exclude-standard``).  Both lists come back
+repo-root relative, so callers get absolute resolved paths ready to
+intersect with whatever the user asked to analyze.
+
+This is a CLI/CI convenience, not a correctness feature: project-scope
+rules still see only the files handed to the engine, so a ``--changed``
+run can miss cross-module violations a full run would catch.  CI runs
+the full gate; ``--changed`` is for the edit loop.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Set
+
+from repro.errors import CheckError
+
+DEFAULT_DIFF_BASE = "origin/main"
+
+
+def _git(args: List[str], cwd: Optional[Path]) -> str:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:
+        raise CheckError(f"cannot run git: {exc}") from exc
+    if completed.returncode != 0:
+        detail = completed.stderr.strip() or completed.stdout.strip()
+        raise CheckError(f"git {' '.join(args)} failed: {detail}")
+    return completed.stdout
+
+
+def _repo_root(cwd: Optional[Path]) -> Path:
+    return Path(_git(["rev-parse", "--show-toplevel"], cwd).strip())
+
+
+def changed_files(
+    base: str = DEFAULT_DIFF_BASE, cwd: Optional[Path] = None
+) -> Set[Path]:
+    """Absolute paths of files changed since ``base`` (plus untracked)."""
+    root = _repo_root(cwd)
+    names: Set[str] = set()
+    diff = _git(["diff", "--name-only", "--diff-filter=d", base], cwd)
+    names.update(line for line in diff.splitlines() if line.strip())
+    untracked = _git(["ls-files", "--others", "--exclude-standard"], cwd)
+    names.update(line for line in untracked.splitlines() if line.strip())
+    resolved: Set[Path] = set()
+    for name in names:
+        candidate = (root / name).resolve()
+        if candidate.exists():
+            resolved.add(candidate)
+    return resolved
+
+
+def restrict_to_changed(
+    files: List[Path], base: str, cwd: Optional[Path] = None
+) -> List[Path]:
+    """The subset of ``files`` that git reports as changed, order kept."""
+    changed = changed_files(base, cwd)
+    return [path for path in files if path.resolve() in changed]

@@ -30,6 +30,12 @@ RuleFunction = Callable[[Any], Iterator[Finding]]
 
 SCOPES: Tuple[str, ...] = ("module", "project")
 
+#: Bump whenever any rule's detection logic or message text changes.
+#: The incremental cache (:mod:`repro.checks.cache`) keys entries on
+#: this together with the selected rule ids, so a rule improvement
+#: invalidates stale cached findings instead of silently serving them.
+RULESET_VERSION = 1
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -158,6 +164,7 @@ def _ensure_builtin_rules() -> None:
     """
     for module in (
         "rules_cachekey",
+        "rules_concurrency",
         "rules_determinism",
         "rules_imports",
         "rules_obs",

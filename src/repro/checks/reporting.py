@@ -1,23 +1,31 @@
-"""Finding renderers: human text, machine JSON, GitHub annotations.
+"""Finding renderers: human text, machine JSON, GitHub annotations, SARIF.
 
-One findings list, three audiences: ``text`` for a developer terminal
+One findings list, four audiences: ``text`` for a developer terminal
 (clickable ``path:line``, the fix hint inline), ``json`` for tooling
-(stable schema, summary block, parses with no flags), and ``github``
+(stable schema, summary block, parses with no flags), ``github``
 for CI (``::error``/``::warning`` workflow commands that annotate the
-diff view).  Reporters are pure ``findings -> str`` functions so tests
+diff view), and ``sarif`` for code-scanning services (a minimal but
+valid SARIF 2.1.0 log that ``github/codeql-action/upload-sarif``
+accepts).  Reporters are pure ``findings -> str`` functions so tests
 can assert on exact output.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.checks.findings import Finding
 
 JSON_SCHEMA_VERSION = 1
 
-FORMATS = ("text", "json", "github")
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+FORMATS = ("text", "json", "github", "sarif")
 
 
 def summarize(
@@ -26,13 +34,23 @@ def summarize(
     files_scanned: int = 0,
     noqa_suppressed: int = 0,
     baselined: int = 0,
+    files_analyzed: Optional[int] = None,
+    files_cached: int = 0,
 ) -> Dict[str, int]:
-    """The summary block shared by the text footer and the JSON output."""
+    """The summary block shared by the text footer and the JSON output.
+
+    ``files_analyzed``/``files_cached`` split the scan by incremental
+    cache outcome; without a cache every scanned file was analyzed.
+    """
     return {
         "findings": len(findings),
         "errors": sum(1 for f in findings if f.severity == "error"),
         "warnings": sum(1 for f in findings if f.severity == "warning"),
         "files_scanned": files_scanned,
+        "files_analyzed": (
+            files_scanned if files_analyzed is None else files_analyzed
+        ),
+        "files_cached": files_cached,
         "noqa_suppressed": noqa_suppressed,
         "baselined": baselined,
     }
@@ -101,6 +119,79 @@ def render_github(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+def _sarif_rule_metadata(rule_id: str) -> Dict[str, Any]:
+    """Registry metadata for one rule, degrading gracefully for ids the
+    registry no longer knows (e.g. findings replayed from an old run)."""
+    from repro.checks.registry import get_rule
+    from repro.errors import CheckError
+
+    entry: Dict[str, Any] = {"id": rule_id}
+    try:
+        rule = get_rule(rule_id)
+    except CheckError:
+        return entry
+    entry["name"] = rule.name
+    entry["shortDescription"] = {"text": rule.name.replace("-", " ")}
+    doc_line = rule.doc.splitlines()[0] if rule.doc else rule.name
+    entry["fullDescription"] = {"text": doc_line}
+    if rule.hint:
+        entry["help"] = {"text": rule.hint}
+    entry["defaultConfiguration"] = {
+        "level": "error" if rule.severity == "error" else "warning"
+    }
+    return entry
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 rendering for code-scanning upload."""
+    rule_ids = sorted({finding.rule_id for finding in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": (
+                    "error" if finding.severity == "error" else "warning"
+                ),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": [
+                            _sarif_rule_metadata(rule_id)
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=False)
+
+
 def render(
     fmt: str,
     findings: Sequence[Finding],
@@ -113,4 +204,6 @@ def render(
         return render_json(findings, summary)
     if fmt == "github":
         return render_github(findings)
+    if fmt == "sarif":
+        return render_sarif(findings)
     raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

@@ -18,13 +18,13 @@ that was promised to be read-only.
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Set, Tuple
 
 from repro.checks.findings import Finding
 from repro.checks.registry import get_rule, rule
 
 if TYPE_CHECKING:
-    from repro.checks.engine import ModuleContext
+    from repro.checks.engine import ModuleContext, ProjectContext
 
 #: Relpath fragments where ``print`` IS the module's output contract.
 PRINT_ALLOWLIST = (
@@ -95,6 +95,7 @@ def _is_dash_module(relpath: str) -> bool:
     "OBS002",
     name="dash-handler-runs-simulation",
     severity="error",
+    scope="project",
     hint=(
         "dashboard data code is a read-only consumer of on-disk "
         "artifacts (run records, span JSONL, BENCH files); importing "
@@ -103,71 +104,80 @@ def _is_dash_module(relpath: str) -> bool:
         "through the service instead"
     ),
 )
-def dash_handler_runs_simulation(ctx: "ModuleContext") -> Iterator[Finding]:
+def dash_handler_runs_simulation(ctx: "ProjectContext") -> Iterator[Finding]:
     """Dashboard data code importing or invoking the simulator.
 
     Applies to ``repro/obs/dash.py``, ``repro/service/dashboard.py``,
     and anything under a ``dash/`` package.  Fires on any import whose
     dotted module path mentions ``simgpu``, on importing a simulation
-    entry-point name, and on directly calling one (including
-    ``pipeline.run(...)``), mirroring SVC001's call detection.
+    entry-point name, and on calling one — directly (including
+    ``pipeline.run(...)``, mirroring SVC001's call detection) or at the
+    end of any helper chain the project call graph resolves.
     """
     from repro.checks.rules_service import (
         SIM_ENTRY_POINTS,
         _call_name,
         _is_pipeline_run,
+        transitive_sim_findings,
     )
 
     this = get_rule("OBS002")
-    module = ctx.module
-    if not _is_dash_module(module.relpath):
-        return
-    for node in ast.walk(module.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if "simgpu" in alias.name.split("."):
+    graph = ctx.callgraph()
+    for module in ctx.modules:
+        if not _is_dash_module(module.relpath):
+            continue
+        direct: Set[Tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if "simgpu" in alias.name.split("."):
+                        yield this.finding(
+                            module.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"dash data code imports {alias.name}; the "
+                            "dashboard layer is read-only",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if "simgpu" in source.split("."):
                     yield this.finding(
                         module.relpath,
                         node.lineno,
                         node.col_offset,
-                        f"dash data code imports {alias.name}; the "
+                        f"dash data code imports from {source}; the "
                         "dashboard layer is read-only",
                     )
-        elif isinstance(node, ast.ImportFrom):
-            source = node.module or ""
-            if "simgpu" in source.split("."):
-                yield this.finding(
-                    module.relpath,
-                    node.lineno,
-                    node.col_offset,
-                    f"dash data code imports from {source}; the "
-                    "dashboard layer is read-only",
-                )
-                continue
-            for alias in node.names:
-                if alias.name in SIM_ENTRY_POINTS:
+                    continue
+                for alias in node.names:
+                    if alias.name in SIM_ENTRY_POINTS:
+                        yield this.finding(
+                            module.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"dash data code imports simulation entry point "
+                            f"{alias.name}; the dashboard layer is read-only",
+                        )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in SIM_ENTRY_POINTS:
+                    direct.add((node.lineno, node.col_offset))
                     yield this.finding(
                         module.relpath,
                         node.lineno,
                         node.col_offset,
-                        f"dash data code imports simulation entry point "
-                        f"{alias.name}; the dashboard layer is read-only",
+                        f"{name}() called from dash data code; the "
+                        "dashboard layer must not run simulations",
                     )
-        elif isinstance(node, ast.Call):
-            name = _call_name(node)
-            if name in SIM_ENTRY_POINTS:
-                yield this.finding(
-                    module.relpath,
-                    node.lineno,
-                    node.col_offset,
-                    f"{name}() called from dash data code; the "
-                    "dashboard layer must not run simulations",
-                )
-            elif _is_pipeline_run(node):
-                yield this.finding(
-                    module.relpath,
-                    node.lineno,
-                    node.col_offset,
-                    "pipeline.run() called from dash data code; the "
-                    "dashboard layer must not run simulations",
-                )
+                elif _is_pipeline_run(node):
+                    direct.add((node.lineno, node.col_offset))
+                    yield this.finding(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        "pipeline.run() called from dash data code; the "
+                        "dashboard layer must not run simulations",
+                    )
+        yield from transitive_sim_findings(
+            graph, this, module.relpath, layer="dash data", skip=direct
+        )

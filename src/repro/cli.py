@@ -30,7 +30,7 @@ from repro.core.cluster_frame import DEFAULT_RADIUS
 from repro.core.phasedetect import DEFAULT_INTERVAL_LENGTH, DEFAULT_TOLERANCE
 from repro.core.pipeline import SubsettingPipeline
 from repro.core.subsetting import build_subset
-from repro.errors import ReproError
+from repro.errors import CheckError, ReproError
 from repro.gfx.traceio import load_trace_auto as load_trace
 from repro.gfx.traceio import save_trace_auto as save_trace
 from repro.obs import (
@@ -414,7 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--format",
-        choices=["text", "json", "github"],
+        choices=["text", "json", "github", "sarif"],
         default="text",
         help="finding output format (default: text)",
     )
@@ -422,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="shorthand for --format json",
+    )
+    check.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the rendered findings to FILE instead of stdout",
     )
     check.add_argument(
         "--baseline",
@@ -459,6 +465,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    check.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "analyze only files git reports as changed against the "
+            "diff base (tracked modifications plus untracked files)"
+        ),
+    )
+    check.add_argument(
+        "--diff-base",
+        default=None,
+        metavar="REV",
+        help="base rev for --changed (default: origin/main)",
+    )
+    check.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file without entries that no longer "
+            "match any finding"
+        ),
+    )
+    check.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help=(
+            "disable the content-addressed cache under "
+            ".repro/checks-cache/ and re-analyze every file"
+        ),
+    )
+    check.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental cache location (default: .repro/checks-cache)",
     )
 
     runs = sub.add_parser(
@@ -959,9 +1001,11 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_check(args) -> int:
     from repro.checks import baseline as baseline_mod
+    from repro.checks import cache as cache_mod
     from repro.checks import reporting
-    from repro.checks.engine import run_checks
-    from repro.checks.registry import all_rules
+    from repro.checks.changed import DEFAULT_DIFF_BASE, restrict_to_changed
+    from repro.checks.engine import collect_files, run_checks
+    from repro.checks.registry import all_rules, load_plugin, select_rules
 
     if args.list_rules:
         rows = [
@@ -974,7 +1018,25 @@ def _cmd_check(args) -> int:
 
     paths = args.paths or ["src/repro"]
     select = args.select.split(",") if args.select else None
-    report = run_checks(paths, select=select, plugins=args.load_rules)
+
+    cache = None
+    if not args.no_incremental:
+        # The cache key needs the resolved rule ids, so plugins load
+        # here (run_checks re-loading them is an idempotent import).
+        for plugin in args.load_rules:
+            load_plugin(plugin)
+        rule_ids = [r.rule_id for r in select_rules(select or ())]
+        cache_root = Path(args.cache_dir) if args.cache_dir else None
+        cache = cache_mod.open_cache(rule_ids, root=cache_root)
+
+    check_paths: Sequence[object] = paths
+    if args.changed:
+        base = args.diff_base or DEFAULT_DIFF_BASE
+        files = collect_files([Path(p) for p in paths])
+        check_paths = restrict_to_changed(files, base)
+    report = run_checks(
+        check_paths, select=select, plugins=args.load_rules, cache=cache
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is None and not args.no_baseline:
@@ -993,22 +1055,44 @@ def _cmd_check(args) -> int:
         entries = baseline_mod.load(baseline_path)
     applied = baseline_mod.apply(report.findings, entries)
 
+    if args.prune_baseline:
+        if baseline_path is None:
+            raise CheckError(
+                "--prune-baseline needs a baseline file "
+                "(none given and none found walking up from the cwd)"
+            )
+        kept = baseline_mod.prune(entries, applied.stale_entries)
+        baseline_mod.write_entries(kept, baseline_path)
+        pruned = len(applied.stale_entries)
+        print(
+            f"pruned {pruned} stale entr{'y' if pruned == 1 else 'ies'} "
+            f"from {baseline_path} ({len(kept)} kept)"
+        )
+
     fmt = "json" if args.json else args.format
     summary = reporting.summarize(
         applied.new_findings,
         files_scanned=report.files_scanned,
         noqa_suppressed=report.noqa_suppressed,
         baselined=len(applied.baselined),
+        files_analyzed=report.files_analyzed,
+        files_cached=report.files_cached,
     )
     output = reporting.render(fmt, applied.new_findings, summary)
-    if output:
+    if args.output:
+        Path(args.output).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote {fmt} findings to {args.output}")
+    elif output:
         print(output)
-    if fmt == "text" and applied.stale_entries:
+    if fmt == "text" and applied.stale_entries and not args.prune_baseline:
         print(
             f"note: {len(applied.stale_entries)} stale baseline entr"
             f"{'y' if len(applied.stale_entries) == 1 else 'ies'} no longer "
-            f"match anything — prune with --write-baseline"
+            f"match anything — prune with --prune-baseline:"
         )
+        for entry in applied.stale_entries:
+            print(f"  stale: {entry['rule']} {entry['path']}: "
+                  f"{entry['message']}")
     return 1 if applied.new_findings else 0
 
 

@@ -282,7 +282,16 @@ def collect_record(
 
 
 class RunStore:
-    """The append-only record directory (one JSON file per run)."""
+    """The append-only record directory (one JSON file per run).
+
+    Thread-safety audit (CONC rules): worker threads append through
+    :func:`record_run` while dashboard request threads read, with no
+    lock — and none is needed.  The store keeps no mutable in-memory
+    state (``root`` is set once in ``__init__``), appends are exclusive
+    creates, and readers only ever see whole files.  Adding an id cache
+    like :class:`~repro.service.jobs.JobStore` has would require its
+    lock discipline; keep it stateless instead.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         resolved = Path(root) if root is not None else default_store_dir()

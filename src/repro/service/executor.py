@@ -173,8 +173,15 @@ class JobExecutor:
             raise ValidationError("executor already started")
         self._started = True
         requeued, interrupted = self.store.recover()
+        # Scan the backlog before taking the lock and persist any
+        # coalescing rewrites after releasing it: the store scan and
+        # updates are file I/O, and the critical section must stay
+        # in-memory (CONC003).  Deferring the writes is safe because the
+        # workers that would read these records start further down.
+        backlog = self.store.records(state="queued")
+        rewrites: List[JobRecord] = []
         with self._lock:
-            for record in self.store.records(state="queued"):
+            for record in backlog:
                 if self._inflight.get(record.job_key) == record.job_id:
                     # Already indexed (submitted to this executor before
                     # start); don't enqueue it twice.
@@ -185,16 +192,18 @@ class JobExecutor:
                         siblings = self._followers.setdefault(primary, [])
                         if record.job_id not in siblings:
                             record.coalesced_with = primary
-                            self.store.update(record)
+                            rewrites.append(record)
                             siblings.append(record.job_id)
                         continue
                     # The primary finished (or vanished) while we were
                     # down: run the follower itself.
                     record.coalesced_with = None
-                    self.store.update(record)
+                    rewrites.append(record)
                 self._inflight[record.job_key] = record.job_id
                 self._queued_count += 1
                 self._queue.put(record.job_id)
+        for record in rewrites:
+            self.store.update(record)
         self._set_depth_gauges()
         for index in range(self.workers):
             thread = threading.Thread(
@@ -253,7 +262,12 @@ class JobExecutor:
             if primary_id is not None:
                 record = new_job(job_key, spec.kind, spec.canonical())
                 record.coalesced_with = primary_id
-                self.store.create(record)
+                # Persisting under the lock is deliberate: the record
+                # create and the follower-index insert must be atomic,
+                # or a primary finishing in between would miss this
+                # follower.  The write is one small exclusive-create
+                # JSON file — bounded, unlike a store scan.
+                self.store.create(record)  # repro: noqa[CONC003]
                 self._followers.setdefault(primary_id, []).append(
                     record.job_id
                 )
@@ -266,7 +280,10 @@ class JobExecutor:
                     "retry after a job completes"
                 )
             record = new_job(job_key, spec.kind, spec.canonical())
-            self.store.create(record)
+            # Same atomicity argument: create + in-flight index insert
+            # must serialize against an identical racing submission, or
+            # two primaries for one job_key would both run.
+            self.store.create(record)  # repro: noqa[CONC003]
             self._inflight[job_key] = record.job_id
             self._queued_count += 1
             self._queue.put(record.job_id)
@@ -284,7 +301,11 @@ class JobExecutor:
         want it.
         """
         with self._lock:
-            record = self.store.resolve(job_id)
+            # The whole read-check-transition must hold the lock so a
+            # worker can't move the job to running between our state
+            # check and the cancelled write; the store I/O here is one
+            # record's file, not a scan.
+            record = self.store.resolve(job_id)  # repro: noqa[CONC003]
             if record.state == "cancelled":
                 return record
             if record.state != "queued":
@@ -294,7 +315,7 @@ class JobExecutor:
                 )
             record.state = "cancelled"
             record.finished_unix = time.time()
-            self.store.update(record)
+            self.store.update(record)  # repro: noqa[CONC003]
             self.metrics.inc("service_jobs_completed", state="cancelled")
             if record.coalesced_with is not None:
                 # A follower: just detach it from its primary.
@@ -309,9 +330,13 @@ class JobExecutor:
                 followers = self._followers.pop(record.job_id, [])
                 if followers:
                     heir_id = followers.pop(0)
-                    heir = self.store.get(heir_id)
+                    # Promotion must be atomic with the index rewrite:
+                    # releasing the lock between them would let a racing
+                    # submit() coalesce onto a primary that no longer
+                    # exists.  Both operations touch one record file.
+                    heir = self.store.get(heir_id)  # repro: noqa[CONC003]
                     heir.coalesced_with = None
-                    self.store.update(heir)
+                    self.store.update(heir)  # repro: noqa[CONC003]
                     self._inflight[record.job_key] = heir.job_id
                     self._followers[heir.job_id] = followers
                     self._queued_count += 1
@@ -337,7 +362,11 @@ class JobExecutor:
         with self._lock:
             self._queued_count -= 1
             try:
-                record = self.store.get(job_id)
+                # The queued->running transition reads and rewrites the
+                # record under the lock so cancel() can't transition the
+                # same job concurrently — both sides do a read-check-
+                # write on one record file and must serialize.
+                record = self.store.get(job_id)  # repro: noqa[CONC003]
             except ValidationError:
                 return
             if record.state != "queued":
@@ -346,7 +375,7 @@ class JobExecutor:
             record.state = "running"
             record.attempts += 1
             record.started_unix = time.time()
-            self.store.update(record)
+            self.store.update(record)  # repro: noqa[CONC003]
         self._set_depth_gauges()
         spec = JobSpec(
             kind=record.kind,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -172,10 +173,18 @@ def new_job(job_key: str, kind: str, spec: Dict[str, Any]) -> JobRecord:
 
 
 class JobStore:
-    """The persistent job directory (one JSON file per job)."""
+    """The persistent job directory (one JSON file per job).
+
+    One store instance is shared between the executor's worker threads
+    and the HTTP request threads, so the in-memory id->path cache is
+    guarded by ``_lock``.  Only the dict operations hold it — directory
+    scans and record I/O stay outside (CONC003 discipline): the files
+    themselves are safe through exclusive create and atomic replace.
+    """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else Path(DEFAULT_JOB_DIR)
+        self._lock = threading.Lock()
         self._paths: Dict[str, Path] = {}
 
     # -- writing -----------------------------------------------------------
@@ -194,7 +203,8 @@ class JobStore:
                         record.to_dict(), stream, indent=2, sort_keys=True
                     )
                     stream.write("\n")
-                self._paths[record.job_id] = path
+                with self._lock:
+                    self._paths[record.job_id] = path
                 return path
             except FileExistsError:
                 attempt += 1
@@ -221,13 +231,15 @@ class JobStore:
         return path
 
     def _path_for(self, job_id: str) -> Path:
-        cached = self._paths.get(job_id)
+        with self._lock:
+            cached = self._paths.get(job_id)
         if cached is not None and cached.exists():
             return cached
         matches = sorted(self.root.glob(f"*-{job_id}.json"))
         if not matches:
             raise ValidationError(f"no job record for id {job_id!r}")
-        self._paths[job_id] = matches[0]
+        with self._lock:
+            self._paths[job_id] = matches[0]
         return matches[0]
 
     # -- reading -----------------------------------------------------------
@@ -261,7 +273,8 @@ class JobStore:
                 continue
             if kind is not None and record.kind != kind:
                 continue
-            self._paths.setdefault(record.job_id, path)
+            with self._lock:
+                self._paths.setdefault(record.job_id, path)
             loaded.append(record)
         loaded.sort(key=lambda r: (r.created_unix, r.job_id))
         if limit is not None and limit >= 0:

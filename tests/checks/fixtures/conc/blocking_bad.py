@@ -1,0 +1,32 @@
+"""CONC003 fixture: blocking calls made while holding the lock."""
+
+import json
+import queue
+import threading
+
+
+class Flusher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self._pending = []
+        self._worker = None
+
+    def start(self):
+        self._worker = threading.Thread(target=self._loop, daemon=True)
+        self._worker.start()
+
+    def _loop(self):
+        with self._lock:
+            item = self._queue.get()  # expect: CONC003
+            self._pending.append(item)
+
+    def flush(self, path):
+        with self._lock:
+            with open(path, "w") as stream:  # expect: CONC003
+                json.dump(self._pending, stream)  # expect: CONC003
+            self._pending.clear()
+
+    def stop(self):
+        with self._lock:
+            self._worker.join()  # expect: CONC003

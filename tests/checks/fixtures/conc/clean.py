@@ -1,0 +1,30 @@
+"""Clean twin: every shared access holds the lock; I/O happens outside."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def start(self):
+        thread = threading.Thread(target=self._loop, daemon=True)
+        thread.start()
+
+    def _loop(self):
+        self.put("tick")
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items)
+
+    def flush(self, path):
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+        path.write_text("\n".join(str(item) for item in items))

@@ -1,0 +1,24 @@
+"""CONC001 fixture: a guarded attribute read outside the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        self.add(1)
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def total(self):
+        return self._total  # expect: CONC001

@@ -1,0 +1,20 @@
+"""CONC002 fixture: one attribute written with and without the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def start(self):
+        worker = threading.Thread(target=self._drain, daemon=True)
+        worker.start()
+
+    def _drain(self):
+        with self._lock:
+            self._entries.clear()
+
+    def put(self, key, value):
+        self._entries[key] = value  # expect: CONC002

@@ -1,0 +1,11 @@
+"""Spawns the thread that makes ``xstore.SharedIndex`` concurrent."""
+
+import threading
+
+from xstore import SharedIndex
+
+
+def serve(index: SharedIndex):
+    worker = threading.Thread(target=index.put, daemon=True)
+    worker.start()
+    return index.peek("status")

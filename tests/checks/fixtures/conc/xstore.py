@@ -1,0 +1,20 @@
+"""Cross-module CONC fixture: this store never spawns a thread itself.
+
+The thread that makes it concurrent lives in ``xspawn.py`` — the rule
+must discover the sharing through the project call graph.
+"""
+
+import threading
+
+
+class SharedIndex:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._by_key = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._by_key[key] = value
+
+    def peek(self, key):
+        return self._by_key.get(key)  # expect: CONC001

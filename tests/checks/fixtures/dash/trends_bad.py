@@ -1,0 +1,12 @@
+"""OBS002 transitive fixture: dash data code reaching the simulator.
+
+The dashboard handler never names a simulation entry point; the chain
+runs through ``simlib.quick_estimate`` and only the project call graph
+can connect the dots.
+"""
+
+from simlib import quick_estimate
+
+
+def trend_series(runtime, trace, config):
+    return quick_estimate(runtime, trace, config)  # expect: OBS002

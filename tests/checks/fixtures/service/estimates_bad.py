@@ -1,0 +1,13 @@
+"""SVC001 transitive fixture: simulation reached through a helper.
+
+No simulation entry point is named anywhere in this file — the
+violation is only visible once the call graph resolves
+``quick_estimate`` into ``simlib`` and finds ``simulate_trace`` at the
+end of the chain.
+"""
+
+from simlib import quick_estimate
+
+
+def handle_estimate(runtime, trace, config):
+    return quick_estimate(runtime, trace, config)  # expect: SVC001

@@ -1,0 +1,15 @@
+"""Helper module for the transitive SVC001/OBS002 fixtures.
+
+Nothing here violates any rule on its own — this module is neither
+service nor dash code.  It exists so ``service/estimates_bad.py`` and
+``dash/trends_bad.py`` can reach the simulator through an innocent-
+looking helper import, which only the call-graph analysis can see.
+"""
+
+
+def _run_model(runtime, trace, config):
+    return runtime.simulate_trace(trace, config)
+
+
+def quick_estimate(runtime, trace, config):
+    return _run_model(runtime, trace, config)

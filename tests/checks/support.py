@@ -21,6 +21,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: Every built-in rule id, for runs that must not see plugin rules
 #: registered by other tests in the same process.
 BUILTIN_RULES = (
+    "CONC001",
+    "CONC002",
+    "CONC003",
     "DET001",
     "DET002",
     "DET003",

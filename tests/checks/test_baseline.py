@@ -102,3 +102,25 @@ def test_find_default_walks_up_from_nested_directories(tmp_path):
     found = baseline.find_default(start=nested)
     assert found is not None
     assert found.parent == tmp_path
+
+
+def test_prune_is_multiset_aware():
+    from repro.checks.baseline import prune
+
+    twin = {"rule": "KEY003", "path": "a.py", "message": "same"}
+    other = {"rule": "DET001", "path": "b.py", "message": "rng"}
+    kept = prune([dict(twin), dict(twin), dict(other)], [dict(twin)])
+    # Exactly one of the two identical entries goes; the rest stay.
+    assert kept == [dict(twin), dict(other)]
+
+
+def test_write_entries_round_trips_sorted(tmp_path):
+    from repro.checks.baseline import load, write_entries
+
+    target = tmp_path / "b.json"
+    entries = [
+        {"rule": "Z", "path": "z.py", "message": "late"},
+        {"rule": "A", "path": "a.py", "message": "early"},
+    ]
+    write_entries(entries, target)
+    assert [e["path"] for e in load(target)] == ["a.py", "z.py"]

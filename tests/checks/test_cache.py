@@ -1,0 +1,181 @@
+"""Incremental cache: content-addressed hits, warm runs analyze nothing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checks import cache as cache_mod
+from repro.checks.engine import run_checks
+
+from tests.checks.support import BUILTIN_RULES
+
+SELECT = list(BUILTIN_RULES)
+
+
+def _project(tmp_path: Path) -> Path:
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "store.py").write_text(
+        "import json\n"
+        "\n"
+        "\n"
+        "def load(path):\n"
+        "    return json.loads(path.read_text())\n",
+        encoding="utf-8",
+    )
+    (src / "handlers.py").write_text(
+        "import random\n"
+        "\n"
+        "\n"
+        "def roll():\n"
+        "    return random.random()\n",
+        encoding="utf-8",
+    )
+    return src
+
+
+def _cache(tmp_path: Path) -> cache_mod.CheckCache:
+    return cache_mod.open_cache(SELECT, root=tmp_path / "cache")
+
+
+def test_signature_depends_on_rule_selection() -> None:
+    assert cache_mod.ruleset_signature(["DET001"]) != (
+        cache_mod.ruleset_signature(["DET001", "DET002"])
+    )
+    # ...but not on order or duplicates.
+    assert cache_mod.ruleset_signature(["DET002", "DET001"]) == (
+        cache_mod.ruleset_signature(["DET001", "DET001", "DET002"])
+    )
+
+
+def test_warm_run_analyzes_zero_files_and_is_identical(tmp_path: Path):
+    src = _project(tmp_path)
+    cold = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert cold.files_analyzed == 2
+    assert cold.files_cached == 0
+
+    warm = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert warm.files_analyzed == 0
+    assert warm.files_cached == 2
+    assert warm.findings == cold.findings
+    assert warm.noqa_suppressed == cold.noqa_suppressed
+    assert warm.files_scanned == cold.files_scanned
+
+
+def test_editing_one_file_reanalyzes_only_that_file(tmp_path: Path):
+    src = _project(tmp_path)
+    run_checks([src], select=SELECT, cache=_cache(tmp_path))
+
+    (src / "handlers.py").write_text(
+        "import random\n"
+        "\n"
+        "\n"
+        "def roll():\n"
+        "    return random.random()\n"
+        "\n"
+        "\n"
+        "def roll_twice():\n"
+        "    return random.random() + random.random()\n",
+        encoding="utf-8",
+    )
+    incremental = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert incremental.files_analyzed == 1
+    assert incremental.files_cached == 1
+
+    # The incremental report matches a from-scratch run byte for byte.
+    fresh = run_checks([src], select=SELECT)
+    assert incremental.findings == fresh.findings
+    assert incremental.noqa_suppressed == fresh.noqa_suppressed
+
+
+def test_cached_noqa_counts_replay(tmp_path: Path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "import random\n"
+        "\n"
+        "\n"
+        "def roll():\n"
+        "    return random.random()  # repro: noqa[DET001]\n",
+        encoding="utf-8",
+    )
+    cold = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    warm = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert cold.noqa_suppressed == 1
+    assert warm.noqa_suppressed == 1
+    assert warm.files_analyzed == 0
+
+
+def test_corrupt_cache_file_degrades_to_cold_run(tmp_path: Path):
+    src = _project(tmp_path)
+    cache = _cache(tmp_path)
+    run_checks([src], select=SELECT, cache=cache)
+    cache.path.write_text("{not json", encoding="utf-8")
+
+    rerun = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert rerun.files_analyzed == 2
+    assert rerun.findings == run_checks([src], select=SELECT).findings
+
+
+def test_different_selections_do_not_share_entries(tmp_path: Path):
+    src = _project(tmp_path)
+    root = tmp_path / "cache"
+    run_checks(
+        [src], select=["DET001"],
+        cache=cache_mod.open_cache(["DET001"], root=root),
+    )
+    # A different rule set has its own signature file: nothing warm.
+    report = run_checks(
+        [src], select=["IMP002"],
+        cache=cache_mod.open_cache(["IMP002"], root=root),
+    )
+    assert report.files_analyzed == 2
+
+
+def test_syntax_error_findings_are_cached(tmp_path: Path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    cold = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert [f.rule_id for f in cold.findings] == ["IMP000"]
+
+    warm = run_checks([src], select=SELECT, cache=_cache(tmp_path))
+    assert warm.files_analyzed == 0
+    assert warm.findings == cold.findings
+
+
+def test_project_rules_rerun_when_any_file_changes(tmp_path: Path):
+    # estimates.py only violates SVC001 once helper.py is resolvable;
+    # editing helper.py must invalidate the cached *project* findings
+    # even though estimates.py itself is byte-identical.
+    src = tmp_path / "proj"
+    service = src / "service"
+    service.mkdir(parents=True)
+    (src / "helper.py").write_text(
+        "def shortcut(runtime, trace, config):\n"
+        "    return None\n",
+        encoding="utf-8",
+    )
+    (service / "estimates.py").write_text(
+        "from helper import shortcut\n"
+        "\n"
+        "\n"
+        "def handle(runtime, trace, config):\n"
+        "    return shortcut(runtime, trace, config)\n",
+        encoding="utf-8",
+    )
+    clean = run_checks([src], select=["SVC001"],
+                       cache=cache_mod.open_cache(["SVC001"],
+                                                  root=tmp_path / "cache"))
+    assert clean.findings == []
+
+    (src / "helper.py").write_text(
+        "def shortcut(runtime, trace, config):\n"
+        "    return runtime.simulate_trace(trace, config)\n",
+        encoding="utf-8",
+    )
+    dirty = run_checks([src], select=["SVC001"],
+                       cache=cache_mod.open_cache(["SVC001"],
+                                                  root=tmp_path / "cache"))
+    assert [f.rule_id for f in dirty.findings] == ["SVC001"]
+    assert dirty.files_analyzed == 1  # only helper.py was re-analyzed

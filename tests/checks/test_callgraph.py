@@ -1,0 +1,270 @@
+"""The project call graph: edges, inference, reachability, chains."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+from repro.checks.astutils import parse_module
+from repro.checks.callgraph import MODULE_BODY, build_call_graph
+
+
+def _graph(tmp_path: Path, sources: Dict[str, str]):
+    modules = []
+    for name, source in sources.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        modules.append(parse_module(target, target.as_posix()))
+    return build_call_graph(modules)
+
+
+def _edges(graph, caller):
+    return {s.callee for s in graph.sites.get(caller, ()) if s.callee}
+
+
+def test_local_function_calls_become_edges(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            def low():
+                return 1
+
+
+            def high():
+                return low()
+            """
+        },
+    )
+    assert "mod.low" in _edges(graph, "mod.high")
+
+
+def test_module_body_calls_attach_to_the_module_pseudo_function(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            def setup():
+                return 2
+
+
+            VALUE = setup()
+            """
+        },
+    )
+    assert "mod.setup" in _edges(graph, f"mod.{MODULE_BODY}")
+
+
+def test_decorator_wrapped_defs_keep_their_edges(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            def deco(func):
+                return func
+
+
+            def target():
+                return 3
+
+
+            @deco
+            def wrapped():
+                return target()
+            """
+        },
+    )
+    # Decoration doesn't hide the function: it is indexed under its
+    # own qualname and its body edges survive.
+    assert "mod.wrapped" in graph.functions
+    assert "mod.target" in _edges(graph, "mod.wrapped")
+
+
+def test_methods_resolve_through_self(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            class Worker:
+                def step(self):
+                    return self._one()
+
+                def _one(self):
+                    return 1
+            """
+        },
+    )
+    assert "mod.Worker._one" in _edges(graph, "mod.Worker.step")
+
+
+def test_annotated_attribute_types_resolve_method_calls(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "store.py": """
+            class Store:
+                def save(self, record):
+                    return record
+            """,
+            "svc.py": """
+            from store import Store
+
+
+            class Service:
+                def __init__(self, store: Store):
+                    self.store = store
+
+                def persist(self, record):
+                    return self.store.save(record)
+            """,
+        },
+    )
+    assert "store.Store.save" in _edges(graph, "svc.Service.persist")
+
+
+def test_cross_module_imports_resolve(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "util.py": """
+            def helper():
+                return 0
+            """,
+            "app.py": """
+            from util import helper as h
+
+
+            def main():
+                return h()
+            """,
+        },
+    )
+    assert "util.helper" in _edges(graph, "app.main")
+
+
+def test_thread_spawns_are_marked_and_discovered(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            import threading
+
+
+            class Pump:
+                def start(self):
+                    worker = threading.Thread(target=self._loop)
+                    worker.start()
+
+                def _loop(self):
+                    return None
+            """
+        },
+    )
+    spawn = [
+        s for s in graph.sites.get("mod.Pump.start", ()) if s.kind == "thread"
+    ]
+    assert [s.callee for s in spawn] == ["mod.Pump._loop"]
+    assert "mod.Pump._loop" in graph.thread_entry_points()
+    assert "mod.Pump" in graph.threaded_classes()
+
+
+def test_lock_and_threadsafe_attrs_are_inferred(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            import queue
+            import threading
+
+
+            class Shared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = queue.Queue()
+                    self._count = 0
+            """
+        },
+    )
+    info = graph.classes["mod.Shared"]
+    assert info.lock_attrs == {"_lock"}
+    assert "_jobs" in info.threadsafe_attrs
+
+
+def test_reaching_set_excludes_thread_edges_on_request(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            import threading
+
+
+            def sink():
+                return None
+
+
+            def direct():
+                return sink()
+
+
+            def spawner():
+                threading.Thread(target=sink).start()
+            """
+        },
+    )
+    followed = graph.reaching_set({"mod.sink"}, follow_threads=True)
+    severed = graph.reaching_set({"mod.sink"}, follow_threads=False)
+    assert "mod.direct" in followed and "mod.direct" in severed
+    assert "mod.spawner" in followed
+    assert "mod.spawner" not in severed
+
+
+def test_call_chain_is_shortest_path(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            def goal():
+                return 0
+
+
+            def near(
+            ):
+                return goal()
+
+
+            def far():
+                return near()
+
+
+            def start():
+                far()
+                near()
+            """
+        },
+    )
+    chain = graph.call_chain("mod.start", {"mod.goal"})
+    assert chain is not None
+    # start -> near -> goal beats start -> far -> near -> goal.
+    assert [s.callee for s in chain] == ["mod.near", "mod.goal"]
+
+
+def test_external_calls_keep_their_dotted_names(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "mod.py": """
+            import os
+
+
+            def swap(a, b):
+                os.replace(a, b)
+            """
+        },
+    )
+    (site,) = [
+        s for s in graph.sites.get("mod.swap", ()) if s.dotted is not None
+    ]
+    assert site.callee is None
+    assert site.dotted == "os.replace"

@@ -1,0 +1,95 @@
+"""``--changed``: git-restricted analysis for the edit loop."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.checks.changed import changed_files, restrict_to_changed
+from repro.cli import main
+from repro.errors import CheckError
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(repo),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path: Path) -> Path:
+    _git(tmp_path, "init", "-q", "-b", "main")
+    (tmp_path / "steady.py").write_text(
+        "def steady():\n    return 1\n", encoding="utf-8"
+    )
+    (tmp_path / "edited.py").write_text(
+        "def edited():\n    return 2\n", encoding="utf-8"
+    )
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "base")
+    return tmp_path
+
+
+def test_changed_files_sees_edits_and_untracked(repo: Path):
+    (repo / "edited.py").write_text(
+        "import random\n\n\ndef edited():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    (repo / "fresh.py").write_text(
+        "def fresh():\n    return 3\n", encoding="utf-8"
+    )
+    changed = changed_files("HEAD", cwd=repo)
+    names = {path.name for path in changed}
+    assert names == {"edited.py", "fresh.py"}
+
+
+def test_deleted_files_are_not_reported(repo: Path):
+    (repo / "edited.py").unlink()
+    assert changed_files("HEAD", cwd=repo) == set()
+
+
+def test_restrict_keeps_collection_order(repo: Path):
+    (repo / "edited.py").write_text("x = 1\n", encoding="utf-8")
+    files = [repo / "steady.py", repo / "edited.py"]
+    assert restrict_to_changed(files, "HEAD", cwd=repo) == [
+        repo / "edited.py"
+    ]
+
+
+def test_bad_base_rev_is_a_check_error(repo: Path):
+    with pytest.raises(CheckError, match="git diff"):
+        changed_files("no-such-rev", cwd=repo)
+
+
+def test_cli_changed_restricts_the_run(repo: Path, monkeypatch, capsys):
+    monkeypatch.chdir(repo)
+    (repo / "edited.py").write_text(
+        "import random\n\n\ndef edited():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    assert main(["check", str(repo), "--no-baseline", "--no-incremental",
+                 "--json", "--changed", "--diff-base", "HEAD"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["files_scanned"] == 1
+    assert {f["rule"] for f in payload["findings"]} == {"DET001"}
+
+
+def test_cli_changed_with_nothing_changed_is_green(repo, monkeypatch, capsys):
+    monkeypatch.chdir(repo)
+    assert main(["check", str(repo), "--no-baseline", "--no-incremental",
+                 "--changed", "--diff-base", "HEAD"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out

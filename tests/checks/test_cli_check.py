@@ -99,3 +99,75 @@ def test_repo_gate_src_repro_is_clean(monkeypatch, capsys):
     monkeypatch.chdir(REPO_ROOT)
     assert main(["check", "src/repro"]) == 0
     assert "0 finding(s)" in capsys.readouterr().out
+
+
+# -- incremental cache, SARIF, --changed, --prune-baseline ------------------
+
+
+def test_sarif_format_via_cli(capsys, tmp_path):
+    assert main(["check", BAD, "--no-baseline", "--format", "sarif",
+                 "--cache-dir", str(tmp_path / "cache")]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    results = log["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"DET001"}
+
+
+def test_output_flag_writes_the_file(capsys, tmp_path):
+    target = tmp_path / "findings.sarif"
+    assert main(["check", BAD, "--no-baseline", "--format", "sarif",
+                 "--output", str(target), "--no-incremental"]) == 1
+    out = capsys.readouterr().out
+    assert "wrote sarif findings to" in out
+    log = json.loads(target.read_text(encoding="utf-8"))
+    assert log["runs"][0]["results"]
+
+
+def test_warm_cli_run_analyzes_zero_files(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["check", BAD, "--no-baseline", "--json",
+                 "--cache-dir", cache_dir]) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["summary"]["files_analyzed"] == 1
+    assert cold["summary"]["files_cached"] == 0
+
+    assert main(["check", BAD, "--no-baseline", "--json",
+                 "--cache-dir", cache_dir]) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["summary"]["files_analyzed"] == 0
+    assert warm["summary"]["files_cached"] == 1
+    assert warm["findings"] == cold["findings"]
+
+
+def test_no_incremental_always_analyzes(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    for _ in range(2):
+        assert main(["check", BAD, "--no-baseline", "--json",
+                     "--no-incremental", "--cache-dir", cache_dir]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files_analyzed"] == 1
+
+
+def test_prune_baseline_rewrites_the_file(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "accepted.json"
+    assert main(["check", BAD, "--baseline", str(baseline),
+                 "--write-baseline", "--no-incremental"]) == 0
+    assert main(["check", CLEAN, "--baseline", str(baseline),
+                 "--no-incremental", "--prune-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 4 stale entries" in out
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["entries"] == []
+
+
+def test_stale_note_lists_the_entries(capsys, tmp_path):
+    baseline = tmp_path / "accepted.json"
+    assert main(["check", BAD, "--baseline", str(baseline),
+                 "--write-baseline", "--no-incremental"]) == 0
+    capsys.readouterr()
+    assert main(["check", CLEAN, "--baseline", str(baseline),
+                 "--no-incremental"]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline entr" in out
+    assert "  stale: DET001" in out

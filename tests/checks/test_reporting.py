@@ -12,6 +12,7 @@ from repro.checks.reporting import (
     render,
     render_github,
     render_json,
+    render_sarif,
     render_text,
     summarize,
 )
@@ -105,4 +106,34 @@ def test_github_format_escapes_control_characters():
 def test_render_dispatches_and_rejects_unknown_format():
     assert render("github", [ERROR]) == render_github([ERROR])
     with pytest.raises(ValueError, match="unknown format"):
-        render("sarif", [ERROR])
+        render("yaml", [ERROR])
+
+
+def test_sarif_format_is_valid_minimal_sarif():
+    log = json.loads(render_sarif([ERROR, WARNING]))
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["DET001", "IMP002"]
+    assert rules[0]["defaultConfiguration"]["level"] == "error"
+    first, second = run["results"]
+    assert first["ruleId"] == "DET001"
+    assert first["ruleIndex"] == 0
+    assert first["level"] == "error"
+    assert first["message"]["text"] == ERROR.message
+    location = first["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/a.py"
+    assert location["region"] == {"startLine": 12, "startColumn": 5}
+    assert second["level"] == "warning"
+
+
+def test_sarif_unknown_rule_degrades_gracefully():
+    stray = Finding(
+        path="x.py", line=1, col=0, rule_id="ZZZ999",
+        severity="error", message="ghost rule",
+    )
+    log = json.loads(render_sarif([stray]))
+    (entry,) = log["runs"][0]["tool"]["driver"]["rules"]
+    assert entry == {"id": "ZZZ999"}

@@ -76,3 +76,17 @@ def test_real_dash_modules_are_clean():
         select=["OBS002"],
     )
     assert observed(report) == []
+
+
+def test_obs002_transitive_fixture_matches_markers():
+    # trends_bad.py never names a simulation entry point; the finding
+    # comes from the call graph chasing quick_estimate into simlib.
+    bad = FIXTURES / "dash" / "trends_bad.py"
+    report = check(bad, FIXTURES / "simlib.py", select=["OBS002"])
+    assert_matches_markers(report, bad)
+    assert "transitively runs simulation" in report.findings[0].message
+
+
+def test_obs002_transitive_needs_the_helper():
+    report = check(FIXTURES / "dash" / "trends_bad.py", select=["OBS002"])
+    assert observed(report) == []

@@ -56,3 +56,35 @@ def test_real_service_modules_are_clean():
     src = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
     report = run_checks([src], select=["SVC001"])
     assert report.findings == []
+
+
+# -- transitive reachability over the call graph ---------------------------
+
+
+def test_transitive_fixture_matches_markers():
+    # The handler only calls quick_estimate(); simulate_trace appears
+    # nowhere in the file.  The finding exists because the call graph
+    # resolves the import into simlib and walks the chain.
+    bad = SERVICE / "estimates_bad.py"
+    report = check(bad, FIXTURES / "simlib.py", select=["SVC001"])
+    assert_matches_markers(report, bad)
+
+
+def test_transitive_finding_prints_the_chain():
+    report = check(
+        SERVICE / "estimates_bad.py", FIXTURES / "simlib.py",
+        select=["SVC001"],
+    )
+    assert len(report.findings) == 1
+    message = report.findings[0].message
+    assert "transitively runs simulation" in message
+    assert "simlib.quick_estimate" in message
+    assert "simlib._run_model" in message
+    assert message.endswith("simulate_trace()")
+
+
+def test_transitive_needs_the_helper_in_the_analyzed_set():
+    # Without simlib.py the import cannot be resolved, so the handler
+    # is (conservatively) silent — reachability never guesses.
+    report = check(SERVICE / "estimates_bad.py", select=["SVC001"])
+    assert observed(report) == []
