@@ -42,6 +42,7 @@ from repro.obs.context import ObsContext, activate_obs  # noqa: E402
 from repro.obs.history import record_run  # noqa: E402
 from repro.obs.metrics import Metrics  # noqa: E402
 from repro.obs.spans import Tracer  # noqa: E402
+from repro.simgpu import _kernels  # noqa: E402
 from repro.simgpu.batch import (  # noqa: E402
     clear_precomp_cache,
     simulate_frame_range_multi,
@@ -88,10 +89,11 @@ def _max_rel_err(reference, candidate) -> float:
 
 
 def _vectorized_sweep(trace, configs):
-    """One config-vectorized pass under a tracer; returns results+spans."""
+    """One config-vectorized pass under obs; returns results+spans+metrics."""
     tracer = Tracer()
+    metrics = Metrics()
     start = time.perf_counter()
-    with activate_obs(ObsContext(tracer=tracer, metrics=Metrics())):
+    with activate_obs(ObsContext(tracer=tracer, metrics=metrics)):
         per_config = simulate_frame_range_multi(
             trace, configs, 0, trace.num_frames
         )
@@ -100,7 +102,7 @@ def _vectorized_sweep(trace, configs):
         trace_result_from_outputs(trace.name, config.name, outputs)
         for config, outputs in zip(configs, per_config)
     ]
-    return results, elapsed, tracer.drain()
+    return results, elapsed, tracer.drain(), metrics.snapshot()
 
 
 def run_benchmark(frames: int, scale: float, num_configs: int) -> dict:
@@ -116,8 +118,8 @@ def run_benchmark(frames: int, scale: float, num_configs: int) -> dict:
     loop_s = time.perf_counter() - start
 
     clear_precomp_cache()
-    vec_results, cold_s, spans = _vectorized_sweep(trace, configs)
-    warm_results, warm_s, _ = _vectorized_sweep(trace, configs)
+    vec_results, cold_s, spans, cold_metrics = _vectorized_sweep(trace, configs)
+    warm_results, warm_s, _, warm_metrics = _vectorized_sweep(trace, configs)
 
     parity_cold = _max_rel_err(reference, vec_results)
     parity_warm = _max_rel_err(reference, warm_results)
@@ -171,6 +173,20 @@ def run_benchmark(frames: int, scale: float, num_configs: int) -> dict:
             ),
         },
         "layers": layers,
+        # Which kernel backend computed the pass, and how the cold/warm
+        # passes interacted with the shared precompute store (the warm
+        # pass hits the in-process memo, so zeros there are expected).
+        "kernels": _kernels.kernel_info(),
+        "precomp_store": {
+            phase: {
+                name: snapshot.counter_total(f"precomp_store_{name}")
+                for name in ("hits", "misses", "publishes")
+            }
+            for phase, snapshot in (
+                ("cold", cold_metrics),
+                ("warm", warm_metrics),
+            )
+        },
         "parity": {
             "tolerance_rel": tolerance,
             "max_rel_err_cold": parity_cold,
@@ -209,6 +225,12 @@ def main(argv=None) -> int:
             "gauge:sweep_parity_max_rel_error": float(
                 record["parity"]["max_rel_err_cold"]
             ),
+            "counter:precomp_store_hits": int(
+                record["precomp_store"]["cold"]["hits"]
+            ),
+            "counter:precomp_store_misses": int(
+                record["precomp_store"]["cold"]["misses"]
+            ),
         },
         stages={
             f"sweep_{name}": seconds
@@ -217,6 +239,7 @@ def main(argv=None) -> int:
         extra={
             "trace": record["trace"],
             "num_configs": record["num_configs"],
+            "kernels": record["kernels"],
         },
     )
 

@@ -63,6 +63,13 @@ ENV_TIME_ALLOWLIST = (
     "repro/datasets.py",
     "repro/runtime/cache.py",
     "repro/service/",
+    # Kernel-backend and precompute-store selection are env-driven by
+    # contract ($REPRO_KERNELS / $REPRO_PRECOMP_DIR / _MEMO_TRACES):
+    # both choose *where/how* bit-identical results are computed, never
+    # the results themselves, and workers must inherit the parent's
+    # choice through the environment.
+    "repro/simgpu/_kernels.py",
+    "repro/simgpu/precomp_store.py",
 )
 
 

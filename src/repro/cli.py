@@ -45,7 +45,9 @@ from repro.obs import (
 from repro.obs.history import record_run
 from repro.runtime.engine import Runtime
 from repro.runtime.telemetry import Telemetry
+from repro.simgpu._kernels import KERNEL_BACKENDS, set_backend
 from repro.simgpu.config import GpuConfig
+from repro.simgpu.precomp_store import set_precomp_dir
 from repro.synth.generator import generate_trace
 from repro.synth.profiles import BIOSHOCK_SERIES
 from repro.util.tables import format_table
@@ -118,6 +120,31 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the artifact cache entirely",
+    )
+    group.add_argument(
+        "--kernels",
+        choices=KERNEL_BACKENDS,
+        default=None,
+        help=(
+            "precompute kernel backend: numba / cext (compiled C) / "
+            "python, or 'auto' for the fastest available (default: "
+            "$REPRO_KERNELS or auto); worker processes inherit it"
+        ),
+    )
+    group.add_argument(
+        "--precomp-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "machine-wide shared precompute store: frame precompute is "
+            "published once and mmap'd by every worker (default: "
+            "$REPRO_PRECOMP_DIR or .repro/precomp)"
+        ),
+    )
+    group.add_argument(
+        "--no-precomp-store",
+        action="store_true",
+        help="disable the shared precompute store (recompute per worker)",
     )
     obs = parser.add_argument_group("observability")
     obs.add_argument(
@@ -206,6 +233,16 @@ class _ObsSession:
         self.logger = (
             JsonLogger() if getattr(args, "log_json", False) else NullLogger()
         )
+        # Kernel/precomp selection exports env so worker processes and
+        # every layer below resolve the same backend/store; resolving
+        # eagerly turns a bad --kernels into a CLI error, not a
+        # mid-sweep crash in a worker.
+        if getattr(args, "kernels", None):
+            set_backend(args.kernels)
+        if getattr(args, "no_precomp_store", False):
+            set_precomp_dir("")
+        elif getattr(args, "precomp_dir", None):
+            set_precomp_dir(args.precomp_dir)
         tracer = Tracer() if getattr(args, "trace_out", None) else None
         self.telemetry = Telemetry(tracer=tracer)
         progress = (

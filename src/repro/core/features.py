@@ -22,6 +22,7 @@ from repro.errors import ValidationError
 from repro.gfx.drawcall import DrawCall
 from repro.gfx.frame import Frame
 from repro.gfx.trace import Trace
+from repro.simgpu import _kernels
 
 FEATURE_NAMES = (
     "log_vertices",
@@ -64,6 +65,8 @@ class FeatureExtractor:
         self._shader_lookup: Optional[Tuple[np.ndarray, Dict[int, int]]] = None
         self._footprint_cache: Dict[tuple, float] = {}
         self._rt_bpp_cache: Dict[tuple, float] = {}
+        self._texture_sizes: Optional[Dict[int, int]] = None
+        self._rt_bpp_by_id: Optional[Dict[int, float]] = None
 
     def extract(self, draw: DrawCall) -> np.ndarray:
         """The feature vector of one draw (length ``NUM_FEATURES``).
@@ -134,14 +137,18 @@ class FeatureExtractor:
             self.trace.shader(missing.args[0])  # raises "unknown shader"
             raise
         matrix[:, 4:9] = table[rows]
+        # Texture/render-target columns run as flat slot arrays through
+        # the segment-sum kernels: per-draw totals of per-trace size
+        # tables, bit-identical to the python sums in extract() because
+        # every addend is an exact integer / dyadic float.
+        tex_sizes, tex_offsets = self._texture_slot_arrays(draws)
         matrix[:, 9] = np.log1p(
-            [self._footprint(d.texture_ids) for d in draws]
+            _kernels.segment_sums_i64(tex_sizes, tex_offsets).astype(np.float64)
         )
-        matrix[:, 10] = [len(d.texture_ids) for d in draws]
-        matrix[:, 11] = [
-            self._rt_bytes_per_pixel(d.render_target_ids) for d in draws
-        ]
-        matrix[:, 12] = [len(d.render_target_ids) for d in draws]
+        matrix[:, 10] = np.diff(tex_offsets)
+        rt_bpps, rt_offsets = self._render_target_slot_arrays(draws)
+        matrix[:, 11] = _kernels.segment_sums(rt_bpps, rt_offsets)
+        matrix[:, 12] = np.diff(rt_offsets)
         matrix[:, 15] = [d.state.depth.reads_depth for d in draws]
         matrix[:, 16] = [d.state.depth.writes_depth for d in draws]
         matrix[:, 17] = [d.state.blend.reads_destination for d in draws]
@@ -180,6 +187,55 @@ class FeatureExtractor:
         if row is None:
             self.trace.shader(shader_id)  # raises "unknown shader"
         return table[index[shader_id]]
+
+    def _texture_slot_arrays(
+        self, draws: Sequence[DrawCall]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat per-slot texture byte sizes + per-draw offsets.
+
+        The per-trace id -> byte_size table is built once (``byte_size``
+        is a computed property, so this also caches its evaluation).
+        """
+        if self._texture_sizes is None:
+            self._texture_sizes = {
+                tid: tex.byte_size for tid, tex in self.trace.textures.items()
+            }
+        table = self._texture_sizes
+        offsets = np.zeros(len(draws) + 1, dtype=np.int64)
+        flat: List[int] = []
+        try:
+            for i, draw in enumerate(draws):
+                offsets[i] = len(flat)
+                for tid in draw.texture_ids:
+                    flat.append(table[tid])
+        except KeyError as missing:
+            self.trace.texture(missing.args[0])  # raises "unknown texture"
+            raise
+        offsets[len(draws)] = len(flat)
+        return np.array(flat, dtype=np.int64), offsets
+
+    def _render_target_slot_arrays(
+        self, draws: Sequence[DrawCall]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat per-slot render-target bytes/pixel + per-draw offsets."""
+        if self._rt_bpp_by_id is None:
+            self._rt_bpp_by_id = {
+                rid: rt.bytes_per_pixel
+                for rid, rt in self.trace.render_targets.items()
+            }
+        table = self._rt_bpp_by_id
+        offsets = np.zeros(len(draws) + 1, dtype=np.int64)
+        flat: List[float] = []
+        try:
+            for i, draw in enumerate(draws):
+                offsets[i] = len(flat)
+                for rid in draw.render_target_ids:
+                    flat.append(table[rid])
+        except KeyError as missing:
+            self.trace.render_target(missing.args[0])  # raises "unknown RT"
+            raise
+        offsets[len(draws)] = len(flat)
+        return np.array(flat, dtype=np.float64), offsets
 
     def _footprint(self, texture_ids: tuple) -> float:
         cached = self._footprint_cache.get(texture_ids)

@@ -75,12 +75,19 @@ def git_sha() -> Optional[str]:
 def environment_fingerprint() -> Dict[str, Any]:
     """The host/runtime facts that explain run-to-run perf variance."""
     from repro import __version__
+    from repro.simgpu._kernels import kernel_info
 
+    # resolve=False: fingerprinting must stay side-effect free (no
+    # kernel compiles/imports); the backend shows as None until some
+    # simulation actually resolved it in this process.
+    kernels = kernel_info(resolve=False)
     return {
         "package_version": __version__,
         "python_version": sys.version.split()[0],
         "platform": platform.platform(),
         "host_cpu_count": os.cpu_count(),
+        "kernels_requested": kernels["requested"],
+        "kernels_backend": kernels["backend"],
     }
 
 

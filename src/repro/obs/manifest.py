@@ -42,6 +42,10 @@ class RunManifest:
     config_digests: Mapping[str, str] = field(default_factory=dict)
     trace_digests: Mapping[str, str] = field(default_factory=dict)
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    # Kernel backend the run computed with ({"requested", "backend"}) —
+    # compiled vs pure-python runs are bit-identical by contract, but
+    # recording which one ran keeps perf records comparable.
+    kernels: Mapping[str, Any] = field(default_factory=dict)
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -72,6 +76,7 @@ class RunManifest:
         # stack, which manifest-free users of repro.obs never need.
         from repro import __version__
         from repro.runtime.keys import config_digest, trace_digest
+        from repro.simgpu._kernels import kernel_info
 
         metrics_dict: Mapping[str, Any] = {}
         if metrics is not None:
@@ -99,6 +104,10 @@ class RunManifest:
                 for name, trace in (traces or {}).items()
             },
             metrics=metrics_dict,
+            # resolve=False: recording a manifest must never trigger a
+            # kernel compile/import; simulating commands have already
+            # resolved the backend by the time they write run.json.
+            kernels=kernel_info(resolve=False),
             extra=dict(extra or {}),
         )
 
@@ -119,6 +128,7 @@ class RunManifest:
             "config_digests": dict(self.config_digests),
             "trace_digests": dict(self.trace_digests),
             "metrics": dict(self.metrics),
+            "kernels": dict(self.kernels),
             "extra": dict(self.extra),
         }
 

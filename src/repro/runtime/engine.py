@@ -516,6 +516,7 @@ class Runtime:
                 )
                 for start, stop in ranges
             ]
+            self._prepublish_precomp(trace, len(tasks))
             with self.telemetry.timer(label):
                 values = self.engine.run(tasks, context=trace)
             for position, (key, _) in enumerate(need):
@@ -525,6 +526,35 @@ class Runtime:
                 by_key[key] = outputs
                 self.cache.put(key, outputs)
         return [list(by_key[key]) for key in keys]
+
+    def _prepublish_precomp(self, trace: "Trace", num_tasks: int) -> None:
+        """Publish the trace's precompute to the shared store before fan-out.
+
+        Only worth doing when the run will actually fan out (multiple
+        tasks on a multi-job engine) *and* a compiled kernel backend is
+        active: publishing from the parent is serial, so with the
+        pure-python kernels it would cost more than letting each worker
+        compute-and-publish its own chunk.  With compiled kernels the
+        parent precomputes each frame once machine-wide and workers
+        mmap the arrays instead of recomputing (ROADMAP item 2).
+        """
+        if num_tasks <= 1 or self.engine.jobs <= 1:
+            return
+        from repro.simgpu import _kernels
+        from repro.simgpu.batch import prepublish_precomp
+        from repro.simgpu.precomp_store import active_store
+
+        if active_store() is None:
+            return
+        try:
+            if _kernels.backend().name == "python":
+                return
+        except Exception:
+            return
+        with self.telemetry.timer("precomp_publish"):
+            published = prepublish_precomp(trace)
+        if published:
+            self.telemetry.count("precomp_prepublished_frames", published)
 
     def simulate_frames(
         self, trace: Trace, config: GpuConfig, label: str = "simulate"

@@ -423,6 +423,17 @@ class JobExecutor:
         self.store.update(record)
         self.metrics.inc("service_jobs_completed", state=state)
         self.metrics.observe("service_job_wall_s", elapsed, kind=record.kind)
+        # Surface the precompute-store economics of job traffic on
+        # /v1/metrics: job telemetry is per-run, so the shared-store
+        # counters are folded into the service registry here.
+        for counter in (
+            "precomp_store_hits",
+            "precomp_store_misses",
+            "precomp_store_publishes",
+        ):
+            total = telemetry.metrics.counter_total(counter)
+            if total:
+                self.metrics.inc(counter, int(total))
         record_run(
             f"service:{record.kind}",
             store=self.run_store,

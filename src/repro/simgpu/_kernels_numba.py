@@ -1,0 +1,102 @@
+"""Numba implementations of the precompute kernels.
+
+Imported lazily by :mod:`repro.simgpu._kernels` only when the ``numba``
+backend is requested (or probed by ``auto``); importing this module
+without numba installed raises ``ImportError``, which the dispatch
+layer converts into an unavailability record.  The loop bodies mirror
+the C source in ``_kernels.py`` statement for statement — integer-exact
+Fenwick arithmetic and running-prefix-difference segment sums — so the
+bit-parity contract holds (see the module docstring there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401  (hard import: module is the gate)
+
+
+@njit(cache=True)
+def _reuse_jit(dense_ids, sizes, offsets, num_ids, tree, last_touch, reuse):
+    num_slots = sizes.shape[0]
+    live_total = np.int64(0)
+    now = np.int64(0)
+    for d in range(offsets.shape[0] - 1):
+        for s in range(offsets[d], offsets[d + 1]):
+            prev = last_touch[dense_ids[s]]
+            if prev >= 0:
+                total = np.int64(0)
+                i = prev + 1
+                while i > 0:
+                    total += tree[i]
+                    i -= i & (-i)
+                reuse[s] = np.float64(sizes[s] + (live_total - total))
+        for s in range(offsets[d], offsets[d + 1]):
+            tid = dense_ids[s]
+            size = sizes[s]
+            prev = last_touch[tid]
+            if prev >= 0:
+                i = prev + 1
+                while i <= num_slots:
+                    tree[i] -= size
+                    i += i & (-i)
+                live_total -= size
+            i = now + 1
+            while i <= num_slots:
+                tree[i] += size
+                i += i & (-i)
+            live_total += size
+            last_touch[tid] = now
+            now += 1
+
+
+@njit(cache=True)
+def _seg_f64_jit(values, offsets, out):
+    run = 0.0
+    i = np.int64(0)
+    while i < offsets[0]:
+        run += values[i]
+        i += 1
+    for d in range(out.shape[0]):
+        start = run
+        while i < offsets[d + 1]:
+            run += values[i]
+            i += 1
+        out[d] = run - start
+
+
+@njit(cache=True)
+def _seg_i64_jit(values, offsets, out):
+    run = np.int64(0)
+    i = np.int64(0)
+    while i < offsets[0]:
+        run += values[i]
+        i += 1
+    for d in range(out.shape[0]):
+        start = run
+        while i < offsets[d + 1]:
+            run += values[i]
+            i += 1
+        out[d] = run - start
+
+
+def reuse_distances(
+    dense_ids: np.ndarray, sizes: np.ndarray, offsets: np.ndarray, num_ids: int
+) -> np.ndarray:
+    num_slots = sizes.shape[0]
+    reuse = np.full(num_slots, np.inf)
+    tree = np.zeros(num_slots + 1, dtype=np.int64)
+    last_touch = np.full(max(1, num_ids), -1, dtype=np.int64)
+    _reuse_jit(dense_ids, sizes, offsets, np.int64(num_ids), tree, last_touch, reuse)
+    return reuse
+
+
+def segment_sums_f64(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    out = np.empty(offsets.shape[0] - 1, dtype=np.float64)
+    _seg_f64_jit(values, offsets, out)
+    return out
+
+
+def segment_sums_i64(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    out = np.empty(offsets.shape[0] - 1, dtype=np.int64)
+    _seg_i64_jit(values, offsets, out)
+    return out

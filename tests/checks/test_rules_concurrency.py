@@ -15,6 +15,7 @@ CONC = ["CONC001", "CONC002", "CONC003"]
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 EXECUTOR = REPO_ROOT / "src" / "repro" / "service" / "executor.py"
+PRECOMP_STORE = REPO_ROOT / "src" / "repro" / "simgpu" / "precomp_store.py"
 
 
 def test_conc_fixtures_match_markers() -> None:
@@ -33,6 +34,21 @@ def test_store_alone_is_not_threaded() -> None:
     # exists only because the call graph links the spawn site to it.
     report = check(FIXTURES / "conc" / "xstore.py", select=CONC)
     assert observed(report) == []
+
+
+def test_precomp_store_publisher_stays_conc_clean() -> None:
+    # The shared precompute store is reached from executor worker
+    # threads (via the sweep layers) as well as the request path, so
+    # its publisher/loader class must keep the lock discipline: mmap
+    # handles and index snapshots are taken under the lock, file I/O
+    # (exclusive-create publish, os.replace) happens outside it.
+    # Analyzing it together with the executor gives the call graph the
+    # thread entry points; any new CONC finding here is a real race.
+    report = check(EXECUTOR, PRECOMP_STORE, select=CONC)
+    findings = [
+        triple for triple in observed(report) if "precomp_store" in triple[1]
+    ]
+    assert findings == []
 
 
 def test_blocking_fixture_names_the_lock_holder() -> None:

@@ -51,6 +51,21 @@ def _isolated_run_store(tmp_path_factory):
     os.environ.pop("REPRO_RUN_STORE", None)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_precomp_store(tmp_path_factory):
+    """Keep the shared precompute store out of the repository's ``.repro``.
+
+    Simulating tests would otherwise publish ``.fpc`` files into
+    ``.repro/precomp`` in the working tree; a session temp dir keeps
+    runs hermetic while still exercising the store path end to end.
+    Tests that need a private store (or a disabled one) override
+    ``$REPRO_PRECOMP_DIR`` per-test via monkeypatch.
+    """
+    os.environ["REPRO_PRECOMP_DIR"] = str(tmp_path_factory.mktemp("precomp-store"))
+    yield
+    os.environ.pop("REPRO_PRECOMP_DIR", None)
+
+
 def make_draw(
     shader_id: int = 1,
     vertex_count: int = 300,
