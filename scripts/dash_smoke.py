@@ -9,12 +9,24 @@ contract the frontend depends on:
    top-level shape, and the run listing / series trends are non-empty;
 2. ``/v1/dash/runs/{ref}`` resolves a real run id from the listing;
 3. the span profile works end to end over a ``--trace-out`` JSONL
-   export (``--spans FILE``, or a tiny generated one);
+   export (``--spans FILE``, or a tiny generated one), and
+   ``/v1/dash/flamediff`` of that export against itself yields
+   all-zero deltas;
 4. the embedded UI is served at ``/dash`` as HTML;
 5. after the walk, ``service_request_duration_s`` histograms and
    ``service_requests`` counters are on ``/v1/metrics`` with templated
    route labels — the request telemetry the dashboard's service panel
    renders.
+
+Then a second, full server (executor attached) covers the live half:
+
+6. a tiny pipeline job submitted over HTTP writes an artifact sidecar
+   through the service path;
+7. ``/v1/dash/runs/{ref}/clusters`` and ``.../fidelity`` serve
+   non-empty evidence payloads from that sidecar;
+8. ``GET /v1/events`` streams the job's lifecycle as server-sent
+   events (at least hello + queued/running/succeeded observed) and the
+   server shuts down cleanly with the stream open.
 
 Every payload is written to ``--out`` (default ``dash_payloads/``) so
 CI can upload them as artifacts.  Exit code 0 means every assertion
@@ -71,6 +83,112 @@ def ensure_spans(spans_arg: str | None) -> Path:
     return spans
 
 
+def live_evidence_phase(out: Path, saved: dict) -> None:
+    """Steps 6-8: full server, sidecar-writing job, live SSE, clean close."""
+    from repro.service.client import ServiceClient
+    from repro.service.http import build_server
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-dash-smoke-live-"))
+    server, recovery = build_server(
+        port=0,
+        job_dir=workdir / "jobs",
+        cache_dir=workdir / "cache",
+        run_store=workdir / "runs",
+    )
+    assert recovery == {"requeued": [], "interrupted": []}, recovery
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, timeout_s=60.0)
+
+    def save(name: str, payload: object) -> None:
+        saved[name] = payload
+        (out / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    events: list[dict] = []
+    ready = threading.Event()
+
+    def consume() -> None:
+        for kind, data in client.events(timeout_s=120.0):
+            if kind == "hello":
+                ready.set()
+            if kind == "keepalive":
+                continue
+            # "event" holds the SSE kind; job payloads carry their own
+            # "kind" field (the job kind), which must not clobber it.
+            events.append(dict(data, event=kind))
+            if kind == "job" and data.get("state") in ("succeeded", "failed"):
+                return
+
+    closed = False
+    consumer = threading.Thread(target=consume, daemon=True)
+    try:
+        consumer.start()
+        assert ready.wait(10.0), "event stream never said hello"
+        submitted = client.submit({
+            "kind": "subset",
+            "trace": {"generate": {"game": "bioshock1_like", "frames": 3,
+                                   "scale": 0.05}},
+        })
+        final = client.wait(submitted["job_id"], timeout_s=300.0)
+        assert final["state"] == "succeeded", final
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive(), "SSE consumer missed the terminal event"
+        save("events", events)
+        job_states = [e["state"] for e in events if e["event"] == "job"]
+        assert job_states == ["queued", "running", "succeeded"], job_states
+        assert len(events) >= 3, events
+        print(f"[7/9] pipeline job succeeded; {len(events)} SSE events "
+              f"observed ({' -> '.join(job_states)})")
+
+        runs = fetch_json(server.url + "/v1/dash/runs")
+        newest = runs["runs"][-1]
+        assert newest["artifact_sections"], (
+            "service subset run recorded no artifact sidecar", newest
+        )
+        base = f"{server.url}/v1/dash/runs/{newest['run_id']}"
+        clusters = fetch_json(base + "/clusters")
+        save("clusters", clusters)
+        assert clusters["frames"], clusters
+        assert all(frame["points"] for frame in clusters["frames"]), clusters
+        assert any(frame["representatives"] for frame in clusters["frames"])
+        fidelity = fetch_json(base + "/fidelity")
+        save("fidelity", fidelity)
+        assert fidelity["frames"], fidelity
+        assert "mean_prediction_error" in fidelity["summary"], fidelity
+        print(f"[8/9] evidence routes ok ({len(clusters['frames'])} cluster "
+              f"frames; E1 {fidelity['summary']['mean_prediction_error']:.4%})")
+
+        # an idle stream must unwind on server close via the shutdown event
+        stream_open = threading.Event()
+        shutdown_seen = threading.Event()
+
+        def idle_consume() -> None:
+            for kind, _ in client.events(timeout_s=60.0):
+                if kind == "hello":
+                    stream_open.set()
+                if kind == "shutdown":
+                    shutdown_seen.set()
+                    return
+
+        idle = threading.Thread(target=idle_consume, daemon=True)
+        idle.start()
+        assert stream_open.wait(10.0), "second event stream never opened"
+        server.close()
+        thread.join(timeout=10.0)
+        closed = True
+        assert shutdown_seen.wait(10.0), (
+            "open SSE stream did not receive shutdown on server close"
+        )
+        print("[9/9] server closed cleanly with a live event stream attached")
+    finally:
+        if not closed:
+            server.close()
+            thread.join(timeout=10.0)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--store", default=".repro/runs",
@@ -104,7 +222,7 @@ def main() -> int:
         assert health["status"] == "ok", health
         assert health["executor"] is False, "dash smoke must be data-only"
         assert health["dashboard"] is True, health
-        print(f"[1/6] healthz ok (repro {health['build']['package_version']}, "
+        print(f"[1/9] healthz ok (repro {health['build']['package_version']}, "
               "read-only)")
 
         runs = get("runs", "/v1/dash/runs")
@@ -116,7 +234,7 @@ def main() -> int:
         newest = runs["runs"][-1]
         for field in ("run_id", "command", "created_unix", "num_series"):
             assert field in newest, (field, newest)
-        print(f"[2/6] /v1/dash/runs ok ({runs['count']} runs, "
+        print(f"[2/9] /v1/dash/runs ok ({runs['count']} runs, "
               f"commands: {', '.join(runs['commands'])})")
 
         detail = get("run_detail", f"/v1/dash/runs/{newest['run_id']}")
@@ -134,7 +252,7 @@ def main() -> int:
         assert len(series["run_ids"]) < 2 or gated, (
             "multi-run window produced no gate verdicts"
         )
-        print(f"[3/6] series trends ok ({len(series['series'])} series over "
+        print(f"[3/9] series trends ok ({len(series['series'])} series over "
               f"{series['window']} runs, {len(gated)} gated)")
 
         spans_file = ensure_spans(args.spans)
@@ -145,8 +263,23 @@ def main() -> int:
         assert spans["num_spans"] > 0, spans
         assert spans["rollup"] and spans["flame"], spans
         assert spans["frames"], "span export carried no simulate_frame rows"
-        print(f"[4/6] span profile ok ({spans['num_spans']} spans, "
-              f"{len(spans['frames'])} timeline rows)")
+        diff = get(
+            "flamediff", f"/v1/dash/flamediff?a={spans_file}&b={spans_file}"
+        )
+        assert diff["delta_total_s"] == 0.0, diff["delta_total_s"]
+        assert diff["tree"], "self flame-diff produced an empty tree"
+
+        def walk_diff(nodes):
+            for node in nodes:
+                yield node
+                yield from walk_diff(node["children"])
+
+        assert all(
+            node["delta_total_s"] == 0.0 and node["delta_self_s"] == 0.0
+            for node in walk_diff(diff["tree"])
+        ), "self flame-diff must have all-zero deltas"
+        print(f"[4/9] span profile ok ({spans['num_spans']} spans, "
+              f"{len(spans['frames'])} timeline rows); self flame-diff zero")
 
         bench = get("bench", "/v1/dash/bench")
         assert bench["problems"] == [], bench["problems"]
@@ -156,7 +289,7 @@ def main() -> int:
         )
         jobs = get("jobs", "/v1/dash/jobs")
         assert jobs["available"] in (True, False), jobs
-        print(f"[5/6] bench ({len(bench['benches'])} files) and jobs "
+        print(f"[5/9] bench ({len(bench['benches'])} files) and jobs "
               f"(available={jobs['available']}) ok")
 
         content_type, html = fetch(server.url + "/dash")
@@ -177,11 +310,13 @@ def main() -> int:
         assert counters and all(
             c["labels"]["status"] == "200" for c in counters
         ), counters
-        print(f"[6/6] UI served; request telemetry on /v1/metrics "
+        print(f"[6/9] UI served; request telemetry on /v1/metrics "
               f"({len(routes)} route labels)")
     finally:
         server.close()
         thread.join(timeout=10.0)
+
+    live_evidence_phase(out, saved)
 
     print(f"dash smoke: all checks passed ({len(saved)} payloads in {out}/)")
     return 0

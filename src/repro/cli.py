@@ -256,6 +256,9 @@ class _ObsSession:
         self.seeds: dict = {}
         self.configs: dict = {}
         self.traces: dict = {}
+        # Sidecar sections (see repro.obs.artifacts) attached by the
+        # command body; record_run writes them next to the run record.
+        self.artifacts: dict = {}
         self._started = time.perf_counter()
         self._root_span = self.telemetry.tracer.span(
             f"cli:{command}", category="cli"
@@ -318,6 +321,7 @@ class _ObsSession:
                 },
                 jobs=runtime.jobs,
                 duration_s=duration_s,
+                artifacts=self.artifacts or None,
             )
             if record_path is not None:
                 self.logger.log("run_recorded", path=str(record_path))
@@ -583,6 +587,14 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument(
         "ref", help="run id prefix, or a negative index (-1 = newest)"
     )
+    runs_show.add_argument(
+        "--artifacts",
+        action="store_true",
+        help=(
+            "also list the run's artifact sidecar sections "
+            "(clusterings, fidelity, subset) if it has one"
+        ),
+    )
 
     runs_diff = runs_sub.add_parser(
         "diff", help="metric-by-metric delta between two run records"
@@ -665,6 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report.add_argument(
         "--limit", type=int, default=30,
         help="show the top N span names (default 30; 0 = all)",
+    )
+    trace_report.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help=(
+            "json emits the same payload as the dashboard's "
+            "GET /v1/dash/runs/{ref}/spans (default: text)"
+        ),
     )
 
     serve = sub.add_parser(
@@ -876,8 +897,13 @@ def _cmd_subset(args) -> int:
     session.configs[config.name] = config
     session.traces[trace.name] = trace
     session.seeds["pipeline"] = pipeline.seed
-    result = pipeline.run(trace, config, runtime=session.runtime)
+    result = pipeline.run(
+        trace, config, keep_clusterings=True, runtime=session.runtime
+    )
     print(result.report())
+    from repro.obs.artifacts import pipeline_artifact_sections
+
+    session.artifacts = pipeline_artifact_sections(result, trace)
     if args.save_subset:
         subset_trace = result.subset.materialize(trace)
         save_trace(subset_trace, args.save_subset)
@@ -979,6 +1005,9 @@ def _cmd_sweep(args) -> int:
     print(f"ranking agreement (spearman): {result.ranking_agreement:.4f}")
     print(f"winner agrees: {result.winner_agrees()}")
     print(runtime.snapshot().summary_line())
+    from repro.obs.artifacts import sweep_artifact_sections
+
+    session.artifacts = sweep_artifact_sections(result)
     session.finish()
     return 0
 
@@ -1185,6 +1214,21 @@ def _cmd_runs(args) -> int:
     if args.runs_command == "show":
         record = store.resolve(args.ref)
         print(_json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        if getattr(args, "artifacts", False):
+            from repro.errors import ValidationError
+
+            try:
+                index = store.artifact_index(record)
+            except ValidationError as exc:
+                print(f"artifacts: none ({exc})")
+                return 0
+            directory = store.artifacts_dir(record)
+            print(f"artifacts: {directory}")
+            for name, entry in sorted(index.get("sections", {}).items()):
+                print(
+                    f"  {name:<10} {entry['file']}  "
+                    f"({entry['bytes']} bytes, sha256 {entry['sha256'][:16]})"
+                )
         return 0
 
     if args.runs_command == "diff":
@@ -1247,6 +1291,13 @@ def _cmd_runs(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.obs.analyze import load_spans_jsonl, render_rollup, rollup_spans
 
+    if getattr(args, "format", "text") == "json":
+        import json as _json
+
+        from repro.obs.dash import spans_payload
+
+        print(_json.dumps(spans_payload(args.spans), indent=2, sort_keys=True))
+        return 0
     spans = load_spans_jsonl(args.spans)
     rollups = rollup_spans(spans)
     if not rollups:

@@ -32,6 +32,16 @@ See ``docs/OBSERVABILITY.md`` for the span model, metric naming
 conventions, and how to open a trace in Perfetto.
 """
 
+from repro.obs.artifacts import (
+    ARTIFACTS_VERSION,
+    artifact_link,
+    artifacts_dir_for,
+    load_artifacts,
+    pipeline_artifact_sections,
+    read_index,
+    sweep_artifact_sections,
+    write_artifacts,
+)
 from repro.obs.analyze import (
     RegressionReport,
     SpanRollup,
@@ -51,6 +61,7 @@ from repro.obs.history import (
     RUN_STORE_VERSION,
     RunRecord,
     RunStore,
+    new_run_id,
     record_run,
 )
 from repro.obs.logjson import JsonLogger, NullLogger
@@ -66,6 +77,7 @@ from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
 from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "ARTIFACTS_VERSION",
     "DEFAULT_BUCKETS",
     "HistogramSnapshot",
     "JsonLogger",
@@ -88,17 +100,25 @@ __all__ = [
     "SpanRollup",
     "Tracer",
     "activate_obs",
+    "artifact_link",
+    "artifacts_dir_for",
     "chrome_trace_document",
     "chrome_trace_events",
     "compare_to_baseline",
     "current_obs",
     "current_tracer",
     "label_key",
+    "load_artifacts",
     "load_manifest",
+    "new_run_id",
+    "pipeline_artifact_sections",
+    "read_index",
     "record_run",
     "render_regressions",
     "rollup_spans",
+    "sweep_artifact_sections",
     "validate_chrome_trace",
+    "write_artifacts",
     "write_chrome_trace",
     "write_spans_jsonl",
 ]

@@ -36,6 +36,7 @@ from repro.obs.analyze import (
     rollup_spans,
     series_direction,
 )
+from repro.obs.artifacts import artifact_link
 from repro.obs.history import RunRecord, RunStore
 
 #: Bump when any dashboard payload changes meaning.
@@ -60,6 +61,7 @@ def run_summary(record: RunRecord) -> Dict[str, Any]:
     both surfaces change together.
     """
     metrics = record.metrics
+    link = artifact_link(record.extra)
     return {
         "run_id": record.run_id,
         "command": record.command,
@@ -74,8 +76,15 @@ def run_summary(record: RunRecord) -> Dict[str, Any]:
         "frames_per_s": metrics.get("derived:frames_per_s"),
         "cache_hit_rate": metrics.get("derived:cache_hit_rate"),
         "frames_simulated": metrics.get("counter:frames_simulated"),
+        "precomp_store_hits": metrics.get("counter:precomp_store_hits"),
+        "precomp_store_misses": metrics.get("counter:precomp_store_misses"),
+        "precomp_store_publishes": metrics.get(
+            "counter:precomp_store_publishes"
+        ),
+        "kernels_backend": record.environment.get("kernels_backend"),
         "num_series": len(record.all_series()),
         "num_stages": len(record.stages),
+        "artifact_sections": list(link["sections"]) if link else [],
     }
 
 
@@ -338,6 +347,237 @@ def spans_payload(path: Union[str, Path]) -> Dict[str, Any]:
         "rollup": [rollup.as_dict() for rollup in rollup_spans(spans)],
         "flame": span_flame_tree(spans),
         "frames": frame_timeline(spans),
+    }
+
+
+# -- artifact sidecar views: cluster scatter + fidelity ---------------------
+
+
+def _pca_2d(matrix: Sequence[Sequence[float]]) -> Dict[str, Any]:
+    """2-component PCA of one frame's standardized feature matrix.
+
+    numpy-only by design (the dashboard layer must not grow heavier
+    deps): center, SVD, project onto the top two right singular
+    vectors.  Degenerate shapes — one draw, one feature, all-constant
+    columns — degrade to zero-filled components rather than raising.
+    """
+    import numpy as np
+
+    data = np.asarray(matrix, dtype=np.float64)
+    if data.ndim != 2 or data.size == 0:
+        return {"points": [], "explained_variance": [0.0, 0.0]}
+    centered = data - data.mean(axis=0, keepdims=True)
+    coords = np.zeros((data.shape[0], 2))
+    explained = [0.0, 0.0]
+    try:
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+    except np.linalg.LinAlgError:
+        singular, vt = np.zeros(0), np.zeros((0, data.shape[1]))
+    components = min(2, vt.shape[0])
+    if components:
+        coords[:, :components] = centered @ vt[:components].T
+        denominator = float(np.sum(singular**2))
+        if denominator > 0:
+            for i in range(components):
+                explained[i] = float(singular[i] ** 2 / denominator)
+    return {
+        "points": [[float(x), float(y)] for x, y in coords],
+        "explained_variance": explained,
+    }
+
+
+def clusters_payload(store: RunStore, ref: str) -> Dict[str, Any]:
+    """The ``GET /v1/dash/runs/{ref}/clusters`` body.
+
+    Projects each frame's standardized feature matrix (straight from
+    the run's sidecar — never recomputed, never re-simulated) to 2D
+    via PCA, tagging every draw with its cluster assignment and
+    whether it is that cluster's representative.  Raises
+    :class:`~repro.errors.ValidationError` when the run has no sidecar
+    or no ``clusters`` section; the service maps that to a typed 404.
+    """
+    record = store.resolve(ref)
+    section = store.load_artifact_section(record, "clusters")
+    frames = []
+    for entry in section.get("frames", []):
+        projection = _pca_2d(entry.get("features", []))
+        representatives = {int(r) for r in entry.get("representatives", [])}
+        labels = [int(v) for v in entry.get("labels", [])]
+        points = [
+            {
+                "draw": draw,
+                "x": xy[0],
+                "y": xy[1],
+                "cluster": labels[draw] if draw < len(labels) else -1,
+                "representative": draw in representatives,
+            }
+            for draw, xy in enumerate(projection["points"])
+        ]
+        frames.append(
+            {
+                "frame": entry.get("frame"),
+                "num_draws": entry.get("num_draws"),
+                "num_clusters": entry.get("num_clusters"),
+                "representatives": sorted(representatives),
+                "weights": list(entry.get("weights", [])),
+                "explained_variance": projection["explained_variance"],
+                "points": points,
+            }
+        )
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "run_id": record.run_id,
+        "command": record.command,
+        "feature_names": list(section.get("feature_names", [])),
+        "normalize": section.get("normalize"),
+        "frames": frames,
+    }
+
+
+def fidelity_payload(store: RunStore, ref: str) -> Dict[str, Any]:
+    """The ``GET /v1/dash/runs/{ref}/fidelity`` body.
+
+    Ships the per-frame predicted-vs-measured curves (E1: in-context
+    prediction error, E2: isolated-replay error) and per-phase error
+    bars exactly as the pipeline serialized them — the numbers here are
+    the printed report's numbers, not a recomputation.  Raises
+    :class:`~repro.errors.ValidationError` without a sidecar.
+    """
+    record = store.resolve(ref)
+    fidelity = store.load_artifact_section(record, "fidelity")
+    frames = list(fidelity.get("frames", []))
+
+    phase_of: Dict[int, int] = {}
+    try:
+        subset = store.load_artifact_section(record, "subset")
+    except Exception:
+        subset = {}
+    phases_meta = subset.get("phases", {}) if isinstance(subset, Mapping) else {}
+    for interval, phase in zip(
+        phases_meta.get("intervals", []), phases_meta.get("phase_ids", [])
+    ):
+        for frame in range(int(interval["start"]), int(interval["end"])):
+            phase_of[frame] = int(phase)
+
+    groups: Dict[int, List[Mapping[str, Any]]] = {}
+    for row in frames:
+        phase = phase_of.get(int(row.get("frame", -1)), -1)
+        groups.setdefault(phase, []).append(row)
+    phase_errors = [
+        {
+            "phase": phase,
+            "num_frames": len(rows),
+            "mean_error": sum(r["error"] for r in rows) / len(rows),
+            "max_error": max(r["error"] for r in rows),
+            "mean_isolated_error": (
+                sum(r["isolated_error"] for r in rows) / len(rows)
+            ),
+            "mean_outlier_rate": (
+                sum(r["outlier_rate"] for r in rows) / len(rows)
+            ),
+        }
+        for phase, rows in sorted(groups.items())
+        if rows
+    ]
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "run_id": record.run_id,
+        "command": record.command,
+        "trace": fidelity.get("trace"),
+        "config": fidelity.get("config"),
+        "summary": dict(fidelity.get("summary", {})),
+        "frames": frames,
+        "phases": phase_errors,
+        "subset": {
+            key: subset.get(key)
+            for key in (
+                "frame_positions",
+                "frame_weights",
+                "frame_fraction",
+                "draw_fraction",
+            )
+            if isinstance(subset, Mapping) and key in subset
+        },
+    }
+
+
+# -- flame diff: two span exports aligned into one tree ---------------------
+
+
+def _merge_flame_nodes(
+    nodes_a: Sequence[Mapping[str, Any]],
+    nodes_b: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    index_a = {(n["name"], n["category"]): n for n in nodes_a}
+    index_b = {(n["name"], n["category"]): n for n in nodes_b}
+    keys = list(index_a)
+    keys.extend(k for k in index_b if k not in index_a)
+    merged: List[Dict[str, Any]] = []
+    for key in keys:
+        node_a = index_a.get(key)
+        node_b = index_b.get(key)
+        empty = {"count": 0, "total_s": 0.0, "self_s": 0.0, "children": []}
+        side_a = node_a or empty
+        side_b = node_b or empty
+        merged.append(
+            {
+                "name": key[0],
+                "category": key[1],
+                "a": {
+                    "count": side_a["count"],
+                    "total_s": side_a["total_s"],
+                    "self_s": side_a["self_s"],
+                },
+                "b": {
+                    "count": side_b["count"],
+                    "total_s": side_b["total_s"],
+                    "self_s": side_b["self_s"],
+                },
+                "delta_total_s": side_b["total_s"] - side_a["total_s"],
+                "delta_self_s": side_b["self_s"] - side_a["self_s"],
+                "children": _merge_flame_nodes(
+                    side_a["children"], side_b["children"]
+                ),
+            }
+        )
+    merged.sort(key=lambda n: -abs(n["delta_total_s"]))
+    return merged
+
+
+def flamediff_payload(
+    path_a: Union[str, Path], path_b: Union[str, Path]
+) -> Dict[str, Any]:
+    """The ``GET /v1/dash/flamediff?a=&b=`` body.
+
+    Both span exports fold into flame trees
+    (:func:`span_flame_tree`), which are then aligned into a single
+    tree by their ``(name, category)`` path; each merged node carries
+    both sides' totals plus self/total deltas (``b - a``).  Diffing an
+    export against itself therefore yields all-zero deltas — the
+    identity the tests pin.
+    """
+    spans_a = load_spans_jsonl(path_a)
+    spans_b = load_spans_jsonl(path_b)
+    tree_a = span_flame_tree(spans_a)
+    tree_b = span_flame_tree(spans_b)
+
+    def total(tree: Sequence[Mapping[str, Any]]) -> float:
+        return sum(node["total_s"] for node in tree)
+
+    return {
+        "version": DASH_PAYLOAD_VERSION,
+        "a": {
+            "source": str(path_a),
+            "num_spans": len(spans_a),
+            "total_s": total(tree_a),
+        },
+        "b": {
+            "source": str(path_b),
+            "num_spans": len(spans_b),
+            "total_s": total(tree_b),
+        },
+        "delta_total_s": total(tree_b) - total(tree_a),
+        "tree": _merge_flame_nodes(tree_a, tree_b),
     }
 
 

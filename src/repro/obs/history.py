@@ -220,6 +220,17 @@ class RunRecord:
         return series
 
 
+def new_run_id() -> str:
+    """A fresh run id (12 hex chars), mintable ahead of record collection.
+
+    Callers that write an artifact sidecar need the id *before* the
+    record exists — the sidecar directory is named by it and the link
+    goes inside the record — so the id is mintable separately and passed
+    back in through ``collect_record(run_id=...)``.
+    """
+    return uuid.uuid4().hex[:12]
+
+
 def collect_record(
     command: str,
     *,
@@ -233,6 +244,7 @@ def collect_record(
     jobs: Optional[int] = None,
     duration_s: Optional[float] = None,
     extra: Optional[Mapping[str, Any]] = None,
+    run_id: Optional[str] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from live objects.
 
@@ -271,7 +283,7 @@ def collect_record(
         flat["derived:duration_s"] = float(duration_s)
 
     return RunRecord(
-        run_id=uuid.uuid4().hex[:12],
+        run_id=run_id if run_id is not None else new_run_id(),
         created_unix=time.time(),
         command=command,
         argv=tuple(str(a) for a in (argv if argv is not None else [])),
@@ -361,6 +373,41 @@ class RunStore:
             loaded = loaded[-limit:] if limit else []
         return loaded
 
+    # -- artifact sidecars -------------------------------------------------
+
+    def artifacts_dir(self, record: RunRecord) -> Path:
+        """The record's sidecar directory (existing or conventional).
+
+        Prefers the link the record carries in ``extra["artifacts"]``;
+        records written before sidecars existed fall back to the
+        conventional ``<run_id>.artifacts`` name, so a sidecar placed
+        next to an old record is still discoverable.
+        """
+        from repro.obs.artifacts import artifact_link, artifacts_dir_for
+
+        link = artifact_link(record.extra)
+        if link is not None:
+            return self.root / str(link["dir"])
+        return artifacts_dir_for(self.root, record.run_id)
+
+    def artifact_index(self, record: RunRecord) -> Dict[str, Any]:
+        """The sidecar's index document; raises when the run has none."""
+        from repro.obs.artifacts import read_index
+
+        return read_index(self.artifacts_dir(record))
+
+    def load_artifacts(self, record: RunRecord) -> Dict[str, Any]:
+        """Every sidecar section of ``record``, digest-verified."""
+        from repro.obs.artifacts import load_artifacts
+
+        return load_artifacts(self.artifacts_dir(record))
+
+    def load_artifact_section(self, record: RunRecord, name: str) -> Any:
+        """One sidecar section of ``record``, digest-verified."""
+        from repro.obs.artifacts import load_section
+
+        return load_section(self.artifacts_dir(record), name)
+
     def resolve(self, ref: str) -> RunRecord:
         """A record by run-id prefix or negative age index (``-1`` = newest)."""
         records = self.records()
@@ -405,8 +452,15 @@ def record_run(
     jobs: Optional[int] = None,
     duration_s: Optional[float] = None,
     extra: Optional[Mapping[str, Any]] = None,
+    artifacts: Optional[Mapping[str, Any]] = None,
 ) -> Optional[Path]:
     """The shared append hook: collect a record and append it to the store.
+
+    ``artifacts`` is an optional mapping of sidecar section names to
+    JSON-safe bodies (see :mod:`repro.obs.artifacts`); when given and
+    non-empty, the sidecar is written *first* and its link embedded in
+    the record's ``extra["artifacts"]`` — existing records are never
+    mutated to attach artifacts after the fact.
 
     Returns the written path, or ``None`` when recording is disabled
     (``$REPRO_RUN_STORE`` set but empty and no explicit ``store``).
@@ -414,6 +468,27 @@ def record_run(
     the run down — but record *collection* errors (programming bugs)
     propagate.
     """
+    if isinstance(store, RunStore):
+        run_store = store
+    else:
+        root = Path(store) if store is not None else default_store_dir()
+        if root is None:
+            return None
+        run_store = RunStore(root)
+    run_id = new_run_id()
+    merged_extra: Dict[str, Any] = dict(extra or {})
+    if artifacts:
+        from repro.obs.artifacts import write_artifacts
+
+        try:
+            run_store.root.mkdir(parents=True, exist_ok=True)
+            merged_extra["artifacts"] = write_artifacts(
+                run_store.root, run_id, artifacts
+            )
+        except OSError:
+            # A sidecar write failure degrades to a link-less record;
+            # the run itself (and its record) must survive.
+            merged_extra.pop("artifacts", None)
     record = collect_record(
         command,
         argv=argv,
@@ -425,15 +500,9 @@ def record_run(
         trace_digests=trace_digests,
         jobs=jobs,
         duration_s=duration_s,
-        extra=extra,
+        extra=merged_extra,
+        run_id=run_id,
     )
-    if isinstance(store, RunStore):
-        run_store = store
-    else:
-        root = Path(store) if store is not None else default_store_dir()
-        if root is None:
-            return None
-        run_store = RunStore(root)
     try:
         return run_store.append(record)
     except OSError:

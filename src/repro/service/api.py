@@ -17,9 +17,13 @@ Routes (JSON unless noted)::
     GET  /v1/dash/runs                run-store summaries (?command=, ?limit=)
     GET  /v1/dash/runs/{ref}          one full run record
     GET  /v1/dash/runs/{ref}/spans    span rollup + flame tree (?file=)
+    GET  /v1/dash/runs/{ref}/clusters PCA cluster scatter from the sidecar
+    GET  /v1/dash/runs/{ref}/fidelity E1/E2 curves + per-phase error bars
+    GET  /v1/dash/flamediff           span-export diff tree (?a=, ?b=)
     GET  /v1/dash/series              metric trends + gate verdicts
     GET  /v1/dash/bench               committed BENCH_*.json trajectory
     GET  /v1/dash/jobs                job-store composition
+    GET  /v1/events                   server-sent events (HTTP layer streams)
     GET  /dash                        the embedded HTML dashboard
 
 The job routes require an executor and answer 503 without one; the
@@ -59,6 +63,7 @@ from repro.util.validation import FieldValidationError
 
 if TYPE_CHECKING:
     from repro.service.dashboard import DashboardData
+    from repro.service.events import EventBus
 
 #: Seconds a 429 response suggests waiting before resubmitting.
 RETRY_AFTER_S = 2
@@ -73,6 +78,8 @@ _FIXED_ROUTES = frozenset(
         "/v1/dash/series",
         "/v1/dash/bench",
         "/v1/dash/jobs",
+        "/v1/dash/flamediff",
+        "/v1/events",
         "/dash",
     }
 )
@@ -116,7 +123,7 @@ def route_template(path: str) -> str:
     if job_id is not None and action in ("", "result", "cancel"):
         return "/v1/jobs/{id}" + (f"/{action}" if action else "")
     ref, action = _split_dash_run_path(path)
-    if ref is not None and action in ("", "spans"):
+    if ref is not None and action in ("", "spans", "clusters", "fidelity"):
         return "/v1/dash/runs/{ref}" + (f"/{action}" if action else "")
     return "<unmatched>"
 
@@ -128,6 +135,7 @@ class ServiceApp:
         self,
         executor: Optional[JobExecutor] = None,
         dashboard: Optional["DashboardData"] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         self.executor = executor
         self.dashboard = dashboard
@@ -136,6 +144,17 @@ class ServiceApp:
         self.metrics: Metrics = (
             executor.metrics if executor is not None else Metrics()
         )
+        #: The SSE fan-out behind /v1/events.  Defaults to the
+        #: executor's bus (so job lifecycle events stream) or a fresh
+        #: quiet bus for read-only dashboards (hello + keepalives only).
+        if events is not None:
+            self.events = events
+        elif executor is not None:
+            self.events = executor.events
+        else:
+            from repro.service.events import EventBus
+
+            self.events = EventBus()
 
     # -- entry point -------------------------------------------------------
 
@@ -192,6 +211,22 @@ class ServiceApp:
             return self._require(method, "GET") or self._healthz()
         if path == "/v1/metrics":
             return self._require(method, "GET") or self._metrics()
+        if path == "/v1/events":
+            # Streaming cannot be expressed as a complete-body Response;
+            # the HTTP layer intercepts this path before handle() and
+            # holds the socket open.  A direct (in-process) caller gets
+            # a description instead of a hang.
+            return self._require(method, "GET") or Response(
+                200,
+                {
+                    "stream": "text/event-stream",
+                    "hint": (
+                        "connect over HTTP with an SSE client; "
+                        "this in-process call cannot stream"
+                    ),
+                    "kinds": list(_event_kinds()),
+                },
+            )
         if path == "/dash" or path.startswith("/v1/dash/"):
             return self._route_dash(method, path, query)
         if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
@@ -253,6 +288,8 @@ class ServiceApp:
             return _wrap(self.dashboard.bench())
         if path == "/v1/dash/jobs":
             return _wrap(self.dashboard.jobs(query))
+        if path == "/v1/dash/flamediff":
+            return _wrap(self.dashboard.flamediff(query))
         ref, action = _split_dash_run_path(path)
         if ref is None:
             return _error(404, f"no route for {path}")
@@ -260,6 +297,10 @@ class ServiceApp:
             return _wrap(self.dashboard.run_detail(ref))
         if action == "spans":
             return _wrap(self.dashboard.run_spans(ref, query))
+        if action == "clusters":
+            return _wrap(self.dashboard.run_clusters(ref, query))
+        if action == "fidelity":
+            return _wrap(self.dashboard.run_fidelity(ref, query))
         return _error(404, f"no route for {path}")
 
     @staticmethod
@@ -375,6 +416,12 @@ class ServiceApp:
         assert self.executor is not None
         record = self.executor.cancel(job_id)
         return Response(200, record.status_payload())
+
+
+def _event_kinds() -> Tuple[str, ...]:
+    from repro.service.events import EVENT_KINDS
+
+    return EVENT_KINDS
 
 
 def _wrap(outcome: Tuple[int, Dict[str, Any]]) -> Response:

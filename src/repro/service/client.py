@@ -12,7 +12,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -115,18 +115,112 @@ class ServiceClient:
         path = "/v1/jobs" + (f"?{query}" if query else "")
         return list(self.request("GET", path).get("jobs", []))
 
+    # -- server-sent events ------------------------------------------------
+
+    def events(
+        self,
+        kinds: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Stream ``(kind, data)`` pairs from ``GET /v1/events``.
+
+        ``kinds`` and ``limit`` are forwarded as query filters so the
+        server closes the stream deterministically; ``timeout_s`` is the
+        socket read timeout (idle streams send keepalives every ~15 s,
+        so anything above that means "server died", not "no news").
+        Keepalive comments surface as ``("keepalive", {})`` so callers
+        can run periodic liveness checks of their own.  Ends on the
+        server's ``shutdown`` event, on ``limit``, or when the
+        connection drops.
+        """
+        query = []
+        if kinds:
+            query.append("kinds=" + ",".join(kinds))
+        if limit is not None:
+            query.append(f"limit={limit}")
+        url = f"{self.base_url}/v1/events" + (
+            "?" + "&".join(query) if query else ""
+        )
+        req = urllib.request.Request(url, headers={"Accept": "text/event-stream"})
+        read_timeout = timeout_s if timeout_s is not None else self.timeout_s
+        try:
+            reply = urllib.request.urlopen(req, timeout=read_timeout)
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None
+        try:
+            kind: Optional[str] = None
+            data_lines: List[str] = []
+            for raw in reply:
+                line = raw.decode("utf-8", "replace").rstrip("\r\n")
+                if line.startswith(":"):
+                    yield "keepalive", {}
+                    continue
+                if line.startswith("event:"):
+                    kind = line[len("event:"):].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and kind is not None:
+                    try:
+                        data = json.loads("\n".join(data_lines) or "{}")
+                    except json.JSONDecodeError:
+                        data = {}
+                    yield kind, data if isinstance(data, dict) else {}
+                    if kind == "shutdown":
+                        return
+                    kind, data_lines = None, []
+        except OSError:
+            return  # stream dropped; caller decides whether that matters
+        finally:
+            reply.close()
+
     # -- conveniences ------------------------------------------------------
 
     def wait(
         self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.2
     ) -> Dict[str, Any]:
-        """Poll until the job reaches a terminal state; returns its status."""
+        """Block until the job reaches a terminal state; returns its status.
+
+        Consumes the server's event stream (one idle connection instead
+        of a poll loop) and falls back to status polling when the stream
+        is unavailable or silent — the terminal answer always comes from
+        ``GET /v1/jobs/{id}`` even on the event path, so a missed event
+        can never wedge the caller.
+        """
         deadline = time.monotonic() + timeout_s
+        terminal = ("succeeded", "failed", "cancelled", "interrupted")
+        status = self.status(job_id)
+        if status.get("state") in terminal:
+            return status
+        try:
+            for kind, data in self.events(
+                kinds=["job"], timeout_s=min(60.0, timeout_s)
+            ):
+                if time.monotonic() >= deadline:
+                    break
+                if kind == "keepalive":
+                    # Close the subscribe race: a transition fired
+                    # before the stream opened produces no more events,
+                    # so idle beats re-check the store's truth.
+                    status = self.status(job_id)
+                    if status.get("state") in terminal:
+                        return status
+                    continue
+                if kind != "job" or data.get("job_id") != job_id:
+                    continue
+                if data.get("state") in terminal:
+                    return self.status(job_id)
+        except ServiceClientError:
+            pass  # no event stream (old server, proxy): poll below
+        # Fallback (and post-stream re-check): classic polling.
         while True:
             status = self.status(job_id)
-            if status.get("state") in (
-                "succeeded", "failed", "cancelled", "interrupted"
-            ):
+            if status.get("state") in terminal:
                 return status
             if time.monotonic() >= deadline:
                 raise ServiceClientError(

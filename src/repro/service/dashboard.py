@@ -22,7 +22,10 @@ from typing import Any, Dict, Optional, Tuple, Union
 from repro.errors import ValidationError
 from repro.obs.dash import (
     bench_trajectory,
+    clusters_payload,
+    fidelity_payload,
     find_span_artifact,
+    flamediff_payload,
     run_detail_payload,
     runs_payload,
     series_trends,
@@ -132,6 +135,61 @@ class DashboardData:
         payload = spans_payload(source)
         payload["run_id"] = record.run_id
         return 200, payload
+
+    def run_clusters(self, ref: str, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/runs/{ref}/clusters`` — PCA scatter per frame.
+
+        A run without an artifact sidecar (older build, telemetry
+        disabled, non-pipeline command) is a *typed* 404 — ``reason:
+        no_artifacts`` — not a 500, so the frontend can explain instead
+        of breaking.
+        """
+        store = self._store()
+        record = store.resolve(ref)
+        try:
+            return 200, clusters_payload(store, record.run_id)
+        except ValidationError as exc:
+            return 404, {
+                "error": str(exc),
+                "reason": "no_artifacts",
+                "run_id": record.run_id,
+            }
+
+    def run_fidelity(self, ref: str, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/runs/{ref}/fidelity`` — E1/E2 curves + phases.
+
+        Same typed-404 contract as :meth:`run_clusters` when the run
+        carries no sidecar.
+        """
+        store = self._store()
+        record = store.resolve(ref)
+        try:
+            return 200, fidelity_payload(store, record.run_id)
+        except ValidationError as exc:
+            return 404, {
+                "error": str(exc),
+                "reason": "no_artifacts",
+                "run_id": record.run_id,
+            }
+
+    def flamediff(self, query: Dict[str, str]) -> Payload:
+        """``GET /v1/dash/flamediff?a=&b=`` — two span exports, one tree.
+
+        ``a`` and ``b`` are span JSONL paths resolved relative to the
+        server's working directory (the same local-exploration contract
+        as ``?file=`` on the spans route).
+        """
+        path_a = query.get("a")
+        path_b = query.get("b")
+        if not path_a or not path_b:
+            return _bad("flamediff needs both ?a= and ?b= span JSONL paths")
+        for label, source in (("a", path_a), ("b", path_b)):
+            if not Path(source).is_file():
+                return 404, {
+                    "error": f"span file {source!r} ({label}=) does not exist",
+                    "reason": "missing_span_file",
+                }
+        return 200, flamediff_payload(path_a, path_b)
 
     def series(self, query: Dict[str, str]) -> Payload:
         """``GET /v1/dash/series`` — metric trends + gate verdicts.

@@ -1,0 +1,191 @@
+"""Thread-safe fan-out event bus behind ``GET /v1/events``.
+
+The service's sole push channel: the executor publishes typed events at
+its existing state-transition points (job lifecycle, run-record
+appends, throttled progress), and every open SSE connection holds one
+:class:`Subscription` that the HTTP layer drains onto the socket.
+
+Event catalog (the ``kind`` field; see docs/OBSERVABILITY.md):
+
+``hello``
+    First event on every stream: server identity + current sequence.
+``job``
+    One job state transition; data is the job's status payload
+    (``job_id``, ``state``, ``kind``, timestamps, progress).
+``run_recorded``
+    A run record was appended to the run store (``run_id``,
+    ``command``).
+``progress``
+    Throttled task-progress gauges for a running job (at most one per
+    second per job, riding the job store's own write throttle).
+``shutdown``
+    The server is closing; streams end after this event.
+
+Concurrency discipline (the CONC rules pin this): the bus lock guards
+only the in-memory subscriber set and sequence counter; delivery uses
+``put_nowait`` on bounded per-subscriber queues, so a stalled consumer
+can never block a publisher — its queue simply drops oldest-first and
+the drop is counted on ``events_dropped``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+#: Bounded depth of each subscriber's delivery queue.
+DEFAULT_QUEUE_SIZE = 256
+
+#: Seconds between SSE comment keepalives on an idle stream.
+KEEPALIVE_INTERVAL_S = 15.0
+
+#: The documented event kinds (docs/OBSERVABILITY.md lists them).
+EVENT_KINDS = ("hello", "job", "run_recorded", "progress", "shutdown")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event: monotonic sequence, kind, JSON-safe data."""
+
+    seq: int
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+    created_unix: float = 0.0
+
+    def sse_bytes(self) -> bytes:
+        """The event in server-sent-events wire format."""
+        payload = json.dumps(
+            {"seq": self.seq, "created_unix": self.created_unix, **self.data},
+            sort_keys=True,
+        )
+        return (
+            f"event: {self.kind}\nid: {self.seq}\ndata: {payload}\n\n"
+        ).encode("utf-8")
+
+
+def keepalive_bytes() -> bytes:
+    """An SSE comment line; keeps idle connections from timing out."""
+    return b": keepalive\n\n"
+
+
+class Subscription:
+    """One consumer's bounded delivery queue; context manager closes it."""
+
+    def __init__(self, bus: "EventBus", q: "queue.Queue[Event]") -> None:
+        self._bus = bus
+        self._queue = q
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """The next event, or ``None`` after ``timeout`` seconds idle."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self._bus._unsubscribe(self._queue)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[Event]:
+        while True:
+            event = self.get(timeout=None)
+            if event is None or event.kind == "shutdown":
+                return
+            yield event
+
+
+class EventBus:
+    """Fan-out publisher: every subscriber sees every event, bounded.
+
+    ``publish`` never blocks: the critical section is in-memory
+    bookkeeping only, and delivery is ``put_nowait`` with drop-oldest
+    overflow per subscriber.  ``close`` broadcasts a final ``shutdown``
+    event so streaming handlers unwind promptly.
+    """
+
+    def __init__(self, queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: Dict[int, "queue.Queue[Event]"] = {}
+        self._seq = 0
+        self._dropped = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def subscribe(self) -> Subscription:
+        """Register a new consumer; it sees events published from now on."""
+        q: "queue.Queue[Event]" = queue.Queue(maxsize=DEFAULT_QUEUE_SIZE)
+        with self._lock:
+            self._subscribers[id(q)] = q
+        return Subscription(self, q)
+
+    def _unsubscribe(self, q: "queue.Queue[Event]") -> None:
+        with self._lock:
+            self._subscribers.pop(id(q), None)
+
+    def publish(self, kind: str, /, **data: Any) -> Event:
+        """Deliver one event to every current subscriber; returns it.
+
+        ``kind`` is positional-only so payloads carrying their own
+        ``kind`` field (job records do) pass through unchanged.
+        """
+        with self._lock:
+            if self._closed and kind != "shutdown":
+                # Late publishers after close are a shutdown race, not
+                # an error; the event just has nobody left to care.
+                targets: Tuple["queue.Queue[Event]", ...] = ()
+            else:
+                targets = tuple(self._subscribers.values())
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                kind=kind,
+                data=dict(data),
+                created_unix=time.time(),
+            )
+        dropped = 0
+        for q in targets:
+            try:
+                q.put_nowait(event)
+            except queue.Full:
+                try:
+                    q.get_nowait()  # drop oldest; the stream stays live
+                except queue.Empty:
+                    pass
+                try:
+                    q.put_nowait(event)
+                except queue.Full:
+                    dropped += 1
+        if dropped:
+            with self._lock:
+                self._dropped += dropped
+        return event
+
+    def close(self) -> None:
+        """Broadcast ``shutdown`` and refuse further fan-out."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.publish("shutdown", reason="server closing")

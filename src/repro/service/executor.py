@@ -32,7 +32,7 @@ import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError, ValidationError
 from repro.obs.history import flatten_metrics, record_run
@@ -41,6 +41,7 @@ from repro.obs.spans import NULL_TRACER
 from repro.runtime.cache import ArtifactCache, NullCache
 from repro.runtime.engine import Runtime
 from repro.runtime.telemetry import Telemetry
+from repro.service.events import EventBus
 from repro.service.jobs import JobRecord, JobStore, new_job
 from repro.service.specs import JobSpec
 
@@ -73,11 +74,16 @@ class _JobProgress:
     _WRITE_INTERVAL_S = 1.0
 
     def __init__(
-        self, store: JobStore, record: JobRecord, metrics: Metrics
+        self,
+        store: JobStore,
+        record: JobRecord,
+        metrics: Metrics,
+        events: Optional[EventBus] = None,
     ) -> None:
         self._store = store
         self._record = record
         self._metrics = metrics
+        self._events = events
         self._last_write = 0.0
 
     def begin(self, total: int) -> None:
@@ -107,6 +113,17 @@ class _JobProgress:
         if force or now - self._last_write >= self._WRITE_INTERVAL_S:
             self._last_write = now
             self._store.update(self._record)
+            # Progress events ride the store-write throttle, so the SSE
+            # stream sees at most one gauge per second per job too.
+            if self._events is not None:
+                self._events.publish(
+                    "progress",
+                    job_id=self._record.job_id,
+                    kind=self._record.kind,
+                    tasks_done=float(done),
+                    tasks_total=float(total),
+                    frames_simulated=float(frames),
+                )
 
 
 class JobExecutor:
@@ -131,6 +148,7 @@ class JobExecutor:
         run_store: Optional[Union[str, Path]] = None,
         metrics: Optional[Metrics] = None,
         tracer: Optional[Any] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ValidationError(f"workers must be an int >= 1, got {workers!r}")
@@ -150,6 +168,11 @@ class JobExecutor:
         self.run_store = run_store
         self.metrics = metrics if metrics is not None else Metrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Typed push channel for /v1/events; every lifecycle transition
+        #: below also lands here.  Always present so callers can
+        #: subscribe without None-guards; fan-out to zero subscribers
+        #: is a no-op.
+        self.events = events if events is not None else EventBus()
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._lock = threading.Lock()
         #: job_key -> primary job id, for queued/running jobs only.
@@ -157,6 +180,10 @@ class JobExecutor:
         #: primary job id -> follower job ids awaiting its outcome.
         self._followers: Dict[str, List[str]] = {}
         self._queued_count = 0
+        #: job_id -> sidecar sections produced by the job body, held
+        #: until _finish hands them to record_run (worker-local handoff;
+        #: written and popped on the same worker thread).
+        self._pending_artifacts: Dict[str, Dict[str, Any]] = {}
         self._threads: List[threading.Thread] = []
         self._started = False
         self._stopping = False
@@ -272,6 +299,7 @@ class JobExecutor:
                     record.job_id
                 )
                 self.metrics.inc("service_jobs_coalesced", kind=spec.kind)
+                self._publish_job(record)
                 return record
             if self._queued_count >= self.queue_limit:
                 self.metrics.inc("service_jobs_rejected", reason="queue_full")
@@ -288,6 +316,7 @@ class JobExecutor:
             self._queued_count += 1
             self._queue.put(record.job_id)
         self._set_depth_gauges()
+        self._publish_job(record)
         return record
 
     def cancel(self, job_id: str) -> JobRecord:
@@ -342,6 +371,7 @@ class JobExecutor:
                     self._queued_count += 1
                     self._queue.put(heir.job_id)
         self._set_depth_gauges()
+        self._publish_job(record)
         return record
 
     # -- worker loop -------------------------------------------------------
@@ -377,6 +407,7 @@ class JobExecutor:
             record.started_unix = time.time()
             self.store.update(record)  # repro: noqa[CONC003]
         self._set_depth_gauges()
+        self._publish_job(record)
         spec = JobSpec(
             kind=record.kind,
             trace=record.spec["trace"],
@@ -434,7 +465,7 @@ class JobExecutor:
             total = telemetry.metrics.counter_total(counter)
             if total:
                 self.metrics.inc(counter, int(total))
-        record_run(
+        record_path = record_run(
             f"service:{record.kind}",
             store=self.run_store,
             argv=[record.job_id],
@@ -446,7 +477,19 @@ class JobExecutor:
                 "job_key": record.job_key,
                 "state": state,
             },
+            artifacts=self._job_artifacts(record),
         )
+        self._publish_job(record)
+        if record_path is not None:
+            # Record filenames are {stamp}-{run_id}.json; the id is
+            # what /v1/dash/runs/{ref} wants.
+            run_id = record_path.stem.split("-", 1)[-1]
+            self.events.publish(
+                "run_recorded",
+                run_id=run_id,
+                command=f"service:{record.kind}",
+                job_id=record.job_id,
+            )
         followers: List[str] = []
         with self._lock:
             if self._inflight.get(record.job_key) == record.job_id:
@@ -466,7 +509,17 @@ class JobExecutor:
             follower.finished_unix = time.time()
             self.store.update(follower)
             self.metrics.inc("service_jobs_completed", state=state)
+            self._publish_job(follower)
         self._set_depth_gauges()
+
+    def _publish_job(self, record: JobRecord) -> None:
+        """One ``job`` event per lifecycle transition, typed by payload."""
+        self.events.publish("job", **record.status_payload())
+
+    def _job_artifacts(self, record: JobRecord) -> Optional[Dict[str, Any]]:
+        """Sidecar sections held aside by the job body, if any."""
+        sections = self._pending_artifacts.pop(record.job_id, None)
+        return sections or None
 
     def _set_depth_gauges(self) -> None:
         with self._lock:
@@ -496,17 +549,23 @@ class JobExecutor:
     def _execute(
         self, spec: JobSpec, record: JobRecord, telemetry: Telemetry
     ) -> Dict[str, Any]:
-        progress = _JobProgress(self.store, record, self.metrics)
+        progress = _JobProgress(self.store, record, self.metrics, self.events)
         runtime = self._runtime(telemetry, progress)
         trace = self._load_trace(spec)
         config = spec.gpu_config()
         if spec.kind == "simulate":
-            return _run_simulate(runtime, trace, config)
-        if spec.kind == "subset":
-            return _run_subset(runtime, trace, config, dict(spec.params))
-        if spec.kind == "sweep":
-            return _run_sweep(runtime, trace)
-        raise ValidationError(f"unknown job kind {spec.kind!r}")
+            result, sections = _run_simulate(runtime, trace, config)
+        elif spec.kind == "subset":
+            result, sections = _run_subset(
+                runtime, trace, config, dict(spec.params)
+            )
+        elif spec.kind == "sweep":
+            result, sections = _run_sweep(runtime, trace)
+        else:
+            raise ValidationError(f"unknown job kind {spec.kind!r}")
+        if sections:
+            self._pending_artifacts[record.job_id] = sections
+        return result
 
     @staticmethod
     def _load_trace(spec: JobSpec) -> Any:
@@ -525,7 +584,11 @@ class JobExecutor:
         )
 
 
-def _run_simulate(runtime: Runtime, trace: Any, config: Any) -> Dict[str, Any]:
+#: Job bodies return (result payload, artifact sidecar sections).
+_JobOutcome = Tuple[Dict[str, Any], Dict[str, Any]]
+
+
+def _run_simulate(runtime: Runtime, trace: Any, config: Any) -> _JobOutcome:
     result = runtime.simulate_trace(trace, config)
     return {
         "trace": trace.name,
@@ -534,13 +597,14 @@ def _run_simulate(runtime: Runtime, trace: Any, config: Any) -> Dict[str, Any]:
         "mean_fps": float(result.mean_fps),
         "num_frames": int(trace.num_frames),
         "num_draws": int(trace.num_draws),
-    }
+    }, {}
 
 
 def _run_subset(
     runtime: Runtime, trace: Any, config: Any, params: Dict[str, Any]
-) -> Dict[str, Any]:
+) -> _JobOutcome:
     from repro.core.pipeline import SubsettingPipeline
+    from repro.obs.artifacts import pipeline_artifact_sections
 
     pipeline = SubsettingPipeline(
         radius=float(params["radius"]),
@@ -548,7 +612,7 @@ def _run_subset(
         phase_tolerance=float(params["tolerance"]),
         seed=int(params["seed"]),
     )
-    result = pipeline.run(trace, config, runtime=runtime)
+    result = pipeline.run(trace, config, keep_clusterings=True, runtime=runtime)
     subset = result.subset
     return {
         "trace": trace.name,
@@ -567,12 +631,13 @@ def _run_subset(
             "parent_num_frames": int(subset.parent_num_frames),
             "parent_num_draws": int(subset.parent_num_draws),
         },
-    }
+    }, pipeline_artifact_sections(result, trace)
 
 
-def _run_sweep(runtime: Runtime, trace: Any) -> Dict[str, Any]:
+def _run_sweep(runtime: Runtime, trace: Any) -> _JobOutcome:
     from repro.analysis.sweep import pathfinding_sweep
     from repro.core.subsetting import build_subset
+    from repro.obs.artifacts import sweep_artifact_sections
 
     subset = build_subset(trace)
     result = pathfinding_sweep(trace, subset, runtime=runtime)
@@ -585,4 +650,4 @@ def _run_sweep(runtime: Runtime, trace: Any) -> Dict[str, Any]:
         ],
         "ranking_agreement": float(result.ranking_agreement),
         "winner_agrees": bool(result.winner_agrees()),
-    }
+    }, sweep_artifact_sections(result)

@@ -16,18 +16,28 @@ old all-or-nothing ``verbose`` request logging.
 
 from __future__ import annotations
 
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 from repro.service.api import Response, ServiceApp
 from repro.service.dashboard import DashboardData
+from repro.service.events import (
+    KEEPALIVE_INTERVAL_S,
+    Event,
+    keepalive_bytes,
+)
 from repro.service.executor import JobExecutor
 from repro.service.jobs import JobStore
 
 #: Cap on accepted request bodies; a job submission is a small JSON
 #: document, so anything bigger is a client error (or abuse).
 MAX_BODY_BYTES = 1 << 20
+
+#: How often a streaming handler wakes to check for server shutdown.
+_STREAM_POLL_S = 0.5
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -70,9 +80,93 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._write(self.server.app.handle(method, self.path, body))
 
+    # -- server-sent events ------------------------------------------------
+
+    def _stream_events(self) -> None:
+        """Hold the socket open and relay the app's event bus as SSE.
+
+        The one route the Response model cannot express: output is
+        incremental and the connection lives until the client leaves,
+        the server closes, or an optional ``?limit=`` is reached
+        (counting non-hello events — what scripts and ``--wait`` use to
+        exit deterministically).  Idle streams get comment keepalives
+        every ~15 s.  Request metrics are recorded by hand since
+        ``app.handle`` is bypassed.
+        """
+        app = self.server.app
+        bus = app.events
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.path).query).items()
+        }
+        try:
+            limit = int(query["limit"]) if "limit" in query else None
+        except ValueError:
+            self._write(
+                Response(400, {"error": "limit must be an integer"})
+            )
+            return
+        kinds = None
+        if query.get("kinds"):
+            kinds = {
+                part.strip()
+                for part in query["kinds"].split(",")
+                if part.strip()
+            }
+        app.metrics.inc(
+            "service_requests", method="GET", route="/v1/events", status="200"
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        delivered = 0
+        try:
+            with bus.subscribe() as subscription:
+                # The hello is connection-local (not fanned out through
+                # the bus) so parallel streams don't see each other's.
+                hello = Event(
+                    seq=0,
+                    kind="hello",
+                    data={"server": self.server.url},
+                    created_unix=time.time(),
+                )
+                self.wfile.write(hello.sse_bytes())
+                self.wfile.flush()
+                last_sent = time.monotonic()
+                while not bus.closed:
+                    event = subscription.get(timeout=_STREAM_POLL_S)
+                    now = time.monotonic()
+                    if event is None:
+                        if now - last_sent >= KEEPALIVE_INTERVAL_S:
+                            self.wfile.write(keepalive_bytes())
+                            self.wfile.flush()
+                            last_sent = now
+                        continue
+                    if kinds is not None and event.kind not in kinds | {
+                        "shutdown"
+                    }:
+                        continue
+                    self.wfile.write(event.sse_bytes())
+                    self.wfile.flush()
+                    last_sent = now
+                    if event.kind == "shutdown":
+                        break
+                    if event.kind != "hello":
+                        delivered += 1
+                        if limit is not None and delivered >= limit:
+                            break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to clean up beyond unsubscribe
+        self.close_connection = True
+
     # -- verbs -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if urlsplit(self.path).path.rstrip("/") == "/v1/events":
+            self._stream_events()
+            return
         self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
@@ -113,7 +207,13 @@ class ServiceServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def close(self) -> None:
-        """Stop serving and drain the executor's workers, if any."""
+        """Stop serving and drain the executor's workers, if any.
+
+        The event bus closes *first* so open SSE streams receive their
+        ``shutdown`` event and unwind instead of pinning daemon threads
+        on idle sockets.
+        """
+        self.app.events.close()
         self.shutdown()
         self.server_close()
         if self.app.executor is not None:

@@ -1,0 +1,151 @@
+"""Artifact sidecars: content-addressed writes, readers, record linking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.artifacts import (
+    ARTIFACTS_VERSION,
+    artifact_link,
+    artifacts_dir_for,
+    load_artifacts,
+    load_section,
+    read_index,
+    write_artifacts,
+)
+from repro.obs.history import RunStore, record_run
+
+SECTIONS = {
+    "clusters": {"frames": [{"frame": 0, "labels": [0, 0, 1]}]},
+    "fidelity": {"summary": {"mean_prediction_error": 0.01}},
+}
+
+
+class TestWriteAndRead:
+    def test_roundtrip(self, tmp_path):
+        link = write_artifacts(tmp_path, "abc123", SECTIONS)
+        assert link["dir"] == "abc123.artifacts"
+        assert link["sections"] == ["clusters", "fidelity"]
+        directory = artifacts_dir_for(tmp_path, "abc123")
+        assert load_artifacts(directory) == SECTIONS
+        assert load_section(directory, "fidelity") == SECTIONS["fidelity"]
+
+    def test_index_names_content_addressed_bodies(self, tmp_path):
+        write_artifacts(tmp_path, "abc123", SECTIONS)
+        index = read_index(artifacts_dir_for(tmp_path, "abc123"))
+        assert index["artifacts_version"] == ARTIFACTS_VERSION
+        assert index["run_id"] == "abc123"
+        for name, entry in index["sections"].items():
+            assert entry["file"].startswith(name + "-")
+            assert entry["file"].endswith(".json")
+            assert len(entry["sha256"]) == 64
+
+    def test_rewrite_same_content_is_idempotent(self, tmp_path):
+        first = write_artifacts(tmp_path, "abc123", SECTIONS)
+        second = write_artifacts(tmp_path, "abc123", SECTIONS)
+        assert first == second
+        directory = artifacts_dir_for(tmp_path, "abc123")
+        bodies = [p for p in directory.iterdir() if p.name != "index.json"]
+        assert len(bodies) == len(SECTIONS)  # dedup: no duplicate bodies
+
+    def test_changed_section_gets_a_new_body_file(self, tmp_path):
+        write_artifacts(tmp_path, "abc123", SECTIONS)
+        changed = dict(SECTIONS, fidelity={"summary": {"x": 2.0}})
+        write_artifacts(tmp_path, "abc123", changed)
+        directory = artifacts_dir_for(tmp_path, "abc123")
+        fidelity_bodies = list(directory.glob("fidelity-*.json"))
+        assert len(fidelity_bodies) == 2  # old body kept, never overwritten
+        # the index points at the new content
+        assert load_section(directory, "fidelity") == {"summary": {"x": 2.0}}
+
+    def test_missing_sidecar_is_a_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="no artifact sidecar"):
+            read_index(tmp_path / "nope.artifacts")
+
+    def test_unknown_section_lists_what_exists(self, tmp_path):
+        write_artifacts(tmp_path, "abc123", SECTIONS)
+        with pytest.raises(ValidationError, match="have: clusters, fidelity"):
+            load_section(artifacts_dir_for(tmp_path, "abc123"), "sweep")
+
+    def test_corrupted_body_fails_digest_check(self, tmp_path):
+        write_artifacts(tmp_path, "abc123", SECTIONS)
+        directory = artifacts_dir_for(tmp_path, "abc123")
+        body = next(directory.glob("clusters-*.json"))
+        body.write_text('{"tampered": true}\n')
+        with pytest.raises(ValidationError, match="digest mismatch"):
+            load_section(directory, "clusters")
+
+    def test_foreign_version_refused(self, tmp_path):
+        write_artifacts(tmp_path, "abc123", SECTIONS)
+        directory = artifacts_dir_for(tmp_path, "abc123")
+        index = json.loads((directory / "index.json").read_text())
+        index["artifacts_version"] = 999
+        (directory / "index.json").write_text(json.dumps(index))
+        with pytest.raises(ValidationError, match="version 999"):
+            read_index(directory)
+
+    def test_artifact_link_reader(self):
+        assert artifact_link({}) is None
+        assert artifact_link({"artifacts": "garbage"}) is None
+        link = {"dir": "x.artifacts", "sections": ["a"], "index_sha256": "f" * 64}
+        assert artifact_link({"artifacts": link}) == link
+
+
+class TestRecordRunIntegration:
+    def test_record_run_links_sidecar(self, tmp_path):
+        store_dir = tmp_path / "runs"
+        path = record_run(
+            command="subset",
+            argv=("subset", "t.jsonl"),
+            duration_s=0.5,
+            store=store_dir,
+            artifacts=SECTIONS,
+        )
+        assert path is not None
+        store = RunStore(store_dir)
+        (record,) = store.records()
+        link = record.extra["artifacts"]
+        assert link["sections"] == ["clusters", "fidelity"]
+        assert store.load_artifacts(record) == SECTIONS
+        assert store.load_artifact_section(record, "clusters") == SECTIONS[
+            "clusters"
+        ]
+        # sidecar directory sits next to the record, named by run id
+        assert (store_dir / f"{record.run_id}.artifacts" / "index.json").exists()
+
+    def test_record_without_artifacts_has_no_link(self, tmp_path):
+        store_dir = tmp_path / "runs"
+        record_run(
+            command="simulate",
+            argv=("simulate",),
+            duration_s=0.1,
+            store=store_dir,
+        )
+        (record,) = RunStore(store_dir).records()
+        assert "artifacts" not in record.extra
+        with pytest.raises(ValidationError, match="no artifact sidecar"):
+            RunStore(store_dir).artifact_index(record)
+
+    def test_existing_records_are_never_mutated(self, tmp_path):
+        store_dir = tmp_path / "runs"
+        record_run(
+            command="simulate",
+            argv=("simulate",),
+            duration_s=0.1,
+            store=store_dir,
+        )
+        store = RunStore(store_dir)
+        (before_path,) = store.paths()
+        before_bytes = before_path.read_bytes()
+        record_run(
+            command="subset",
+            argv=("subset",),
+            duration_s=0.2,
+            store=store_dir,
+            artifacts=SECTIONS,
+        )
+        assert before_path.read_bytes() == before_bytes
+        assert len(store.paths()) == 2

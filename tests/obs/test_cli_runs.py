@@ -269,3 +269,56 @@ class TestTraceReport:
         bad.write_text("{broken\n")
         assert main(["trace", "report", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_json_format_is_the_dash_spans_payload(
+        self, trace_file, tmp_path, capsys
+    ):
+        # `trace report --format json` and GET /v1/dash/runs/{ref}/spans
+        # share spans_payload; scripts can consume either identically.
+        from repro.obs.dash import spans_payload
+
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "simulate", str(trace_file), "--no-cache",
+                "--no-run-store", "--trace-out", str(spans),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "report", str(spans), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == spans_payload(spans)
+        assert payload["num_spans"] > 0
+        assert payload["flame"] and payload["rollup"]
+
+
+class TestRunsShowArtifacts:
+    def test_subset_run_records_and_lists_sidecar(
+        self, trace_file, tmp_path, capsys
+    ):
+        store = tmp_path / "runs"
+        assert main(
+            [
+                "subset", str(trace_file), "--preset", "mainstream",
+                "--run-store", str(store),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "show", "-1", "--store", str(store), "--artifacts"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "artifacts:" in out
+        for section in ("clusters", "fidelity", "subset"):
+            assert section in out
+
+    def test_simulate_run_reports_no_sidecar(self, trace_file, tmp_path, capsys):
+        store = tmp_path / "runs"
+        assert simulate(trace_file, store) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "show", "-1", "--store", str(store), "--artifacts"]
+        ) == 0
+        assert "artifacts: none" in capsys.readouterr().out

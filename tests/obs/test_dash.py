@@ -57,6 +57,31 @@ class TestRunListing:
         # Absent derived metrics surface as null, not KeyError.
         assert run_summary(make_record(metrics={}))["duration_s"] is None
 
+    def test_summary_carries_precomp_kernels_and_artifacts(self):
+        bare = run_summary(make_record())
+        assert bare["precomp_store_hits"] is None
+        assert bare["kernels_backend"] is None
+        assert bare["artifact_sections"] == []
+
+        rich = run_summary(make_record(
+            metrics={
+                "counter:precomp_store_hits": 7.0,
+                "counter:precomp_store_misses": 1.0,
+                "counter:precomp_store_publishes": 1.0,
+            },
+            environment={"kernels_backend": "cext"},
+            extra={"artifacts": {
+                "dir": "abc123def456.artifacts",
+                "sections": ["clusters", "fidelity"],
+                "index_sha256": "f" * 64,
+            }},
+        ))
+        assert rich["precomp_store_hits"] == 7.0
+        assert rich["precomp_store_misses"] == 1.0
+        assert rich["precomp_store_publishes"] == 1.0
+        assert rich["kernels_backend"] == "cext"
+        assert rich["artifact_sections"] == ["clusters", "fidelity"]
+
     def test_runs_payload_lists_store_wide_commands(self, tmp_path):
         store = RunStore(tmp_path)
         store.append(make_record(run_id="sim0sim0sim0", created=1.0))

@@ -1,0 +1,206 @@
+"""Degenerate inputs for the evidence routes: clusters, fidelity, flamediff.
+
+Hand-written sidecars (no pipeline run) pin the payload shapes; the
+failure-mode tests pin the typed-404 contract — a missing sidecar or
+span file is a reasoned 404, never a 500.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.artifacts import write_artifacts
+from repro.obs.history import RunRecord, RunStore
+from repro.service.api import Response, ServiceApp
+from repro.service.dashboard import DashboardData
+
+
+def make_record(run_id, command="subset"):
+    return RunRecord(
+        run_id=run_id,
+        created_unix=1000.0,
+        command=command,
+        argv=(command, "t.jsonl"),
+        metrics={},
+        stages={},
+    )
+
+
+CLUSTERS_SECTION = {
+    "feature_names": ["a", "b"],
+    "normalize": "zscore",
+    "frames": [
+        {
+            "frame": 0,
+            "num_draws": 3,
+            "num_clusters": 1,   # single cluster: one representative
+            "labels": [0, 0, 0],
+            "representatives": [1],
+            "weights": [3.0],
+            "features": [[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]],
+        }
+    ],
+}
+
+FIDELITY_SECTION = {
+    "trace": "t",
+    "config": "mainstream",
+    "frames": [
+        {
+            "frame": 0, "actual_time_ns": 100.0, "predicted_time_ns": 101.0,
+            "isolated_time_ns": 99.0, "error": 0.01, "isolated_error": 0.01,
+            "efficiency": 3.0, "num_draws": 3, "num_clusters": 1,
+            "outlier_rate": 0.0,
+        },
+        {
+            "frame": 1, "actual_time_ns": 200.0, "predicted_time_ns": 196.0,
+            "isolated_time_ns": 204.0, "error": 0.02, "isolated_error": 0.02,
+            "efficiency": 3.0, "num_draws": 3, "num_clusters": 1,
+            "outlier_rate": 0.0,
+        },
+    ],
+    "summary": {"mean_prediction_error": 0.015, "mean_isolated_error": 0.015},
+}
+
+SUBSET_SECTION = {
+    "frame_positions": [0],
+    "frame_weights": [2.0],
+    "phases": {
+        "intervals": [{"start": 0, "end": 1}, {"start": 1, "end": 2}],
+        "phase_ids": [0, 1],
+    },
+}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    store.append(make_record("bare00000000", command="simulate"))
+    store.append(make_record("side00000000"))
+    write_artifacts(
+        store.root,
+        "side00000000",
+        {
+            "clusters": CLUSTERS_SECTION,
+            "fidelity": FIDELITY_SECTION,
+            "subset": SUBSET_SECTION,
+        },
+    )
+    return store
+
+
+@pytest.fixture
+def app(store, tmp_path):
+    dashboard = DashboardData(run_store=store.root, bench_root=tmp_path)
+    return ServiceApp(executor=None, dashboard=dashboard)
+
+
+def get(app: ServiceApp, target: str) -> Response:
+    return app.handle("GET", target)
+
+
+class TestClustersRoute:
+    def test_no_sidecar_is_a_typed_404(self, app):
+        response = get(app, "/v1/dash/runs/bare/clusters")
+        assert response.status == 404
+        assert response.body["reason"] == "no_artifacts"
+        assert response.body["run_id"] == "bare00000000"
+
+    def test_unknown_run_is_a_plain_404(self, app):
+        assert get(app, "/v1/dash/runs/zzz/clusters").status == 404
+
+    def test_single_cluster_frame_projects(self, app):
+        response = get(app, "/v1/dash/runs/side/clusters")
+        assert response.status == 200
+        body = response.body
+        assert body["feature_names"] == ["a", "b"]
+        (frame,) = body["frames"]
+        assert frame["num_clusters"] == 1
+        assert frame["representatives"] == [1]
+        assert len(frame["points"]) == 3
+        assert all(point["cluster"] == 0 for point in frame["points"])
+        flags = [point["representative"] for point in frame["points"]]
+        assert flags == [False, True, False]
+        # perfectly collinear features: all variance on the first PC
+        assert frame["explained_variance"][0] == pytest.approx(1.0)
+        assert frame["explained_variance"][1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestFidelityRoute:
+    def test_no_sidecar_is_a_typed_404(self, app):
+        response = get(app, "/v1/dash/runs/bare/fidelity")
+        assert response.status == 404
+        assert response.body["reason"] == "no_artifacts"
+
+    def test_summary_and_phase_grouping(self, app):
+        response = get(app, "/v1/dash/runs/side/fidelity")
+        assert response.status == 200
+        body = response.body
+        assert body["summary"]["mean_prediction_error"] == 0.015
+        assert len(body["frames"]) == 2
+        assert [phase["phase"] for phase in body["phases"]] == [0, 1]
+        assert body["phases"][0]["mean_error"] == 0.01
+        assert body["phases"][1]["max_error"] == 0.02
+        assert body["subset"]["frame_positions"] == [0]
+
+
+class TestFlamediffRoute:
+    @pytest.fixture
+    def spans_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        rows = [
+            {"span_id": "a", "parent_id": None, "name": "cli:subset",
+             "category": "cli", "start_ns": 0, "duration_ns": 3000},
+            {"span_id": "b", "parent_id": "a", "name": "stage:cluster",
+             "category": "pipeline", "start_ns": 100, "duration_ns": 1000},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        return path
+
+    def test_missing_params_is_a_400(self, app, spans_file):
+        assert get(app, "/v1/dash/flamediff").status == 400
+        assert get(app, f"/v1/dash/flamediff?a={spans_file}").status == 400
+
+    def test_missing_file_is_a_typed_404(self, app, spans_file, tmp_path):
+        response = get(
+            app, f"/v1/dash/flamediff?a={spans_file}&b={tmp_path}/no.jsonl"
+        )
+        assert response.status == 404
+        assert response.body["reason"] == "missing_span_file"
+
+    def test_self_diff_has_all_zero_deltas(self, app, spans_file):
+        response = get(
+            app, f"/v1/dash/flamediff?a={spans_file}&b={spans_file}"
+        )
+        assert response.status == 200
+        body = response.body
+        assert body["delta_total_s"] == 0.0
+        assert body["a"]["num_spans"] == body["b"]["num_spans"] == 2
+
+        def walk(nodes):
+            for node in nodes:
+                yield node
+                yield from walk(node["children"])
+
+        nodes = list(walk(body["tree"]))
+        assert nodes, "merged tree should not be empty"
+        assert all(node["delta_total_s"] == 0.0 for node in nodes)
+        assert all(node["delta_self_s"] == 0.0 for node in nodes)
+        assert all(node["a"] == node["b"] for node in nodes)
+
+    def test_empty_span_file_diffs_cleanly(self, app, spans_file, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        response = get(
+            app, f"/v1/dash/flamediff?a={empty}&b={spans_file}"
+        )
+        assert response.status == 200
+        body = response.body
+        assert body["a"]["num_spans"] == 0
+        assert body["a"]["total_s"] == 0.0
+        assert body["delta_total_s"] == pytest.approx(3000 / 1e9)
+        root = body["tree"][0]
+        assert root["a"]["count"] == 0
+        assert root["b"]["count"] == 1

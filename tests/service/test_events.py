@@ -1,0 +1,224 @@
+"""The event bus and the /v1/events SSE stream, unit and end-to-end."""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.events import (
+    EVENT_KINDS,
+    DEFAULT_QUEUE_SIZE,
+    Event,
+    EventBus,
+    keepalive_bytes,
+)
+from repro.service.http import build_server
+
+from tests.service.conftest import job_payload
+
+
+class TestEventBus:
+    def test_publish_fans_out_to_every_subscriber(self):
+        bus = EventBus()
+        with bus.subscribe() as first, bus.subscribe() as second:
+            published = bus.publish("job", job_id="j1", state="queued")
+            assert published.seq == 1
+            for sub in (first, second):
+                event = sub.get(timeout=1.0)
+                assert event.kind == "job"
+                assert event.data == {"job_id": "j1", "state": "queued"}
+
+    def test_payloads_may_carry_their_own_kind_field(self):
+        # Job status payloads have a "kind" key (the job kind); the
+        # positional-only event kind must not collide with it.
+        bus = EventBus()
+        with bus.subscribe() as sub:
+            bus.publish("job", kind="simulate", job_id="j1")
+            event = sub.get(timeout=1.0)
+            assert event.kind == "job"
+            assert event.data["kind"] == "simulate"
+
+    def test_unsubscribed_consumers_see_nothing(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("progress", tasks_done=1)
+        assert sub.get(timeout=0.05) is None
+        assert bus.subscriber_count() == 0
+
+    def test_slow_consumer_drops_oldest_never_blocks(self):
+        bus = EventBus()
+        with bus.subscribe() as sub:
+            for index in range(DEFAULT_QUEUE_SIZE + 10):
+                bus.publish("progress", index=index)
+            # publisher never blocked; the queue kept the newest events
+            first = sub.get(timeout=1.0)
+            assert first.data["index"] == 10  # 0..9 were dropped oldest-first
+
+    def test_close_broadcasts_shutdown_and_ends_iteration(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("job", job_id="j1")
+        bus.close()
+        kinds = [event.kind for event in iter(lambda: sub.get(0.2), None)]
+        assert kinds == ["job", "shutdown"]
+        assert bus.closed
+        # idempotent; publishing after close reaches nobody
+        bus.close()
+        bus.publish("job", job_id="j2")
+        assert sub.get(timeout=0.05) is None
+
+    def test_sse_wire_format(self):
+        event = Event(seq=7, kind="job", data={"a": 1}, created_unix=2.0)
+        wire = event.sse_bytes().decode()
+        assert wire.startswith("event: job\nid: 7\ndata: ")
+        assert wire.endswith("\n\n")
+        assert '"a": 1' in wire
+        assert keepalive_bytes() == b": keepalive\n\n"
+
+    def test_documented_kinds(self):
+        assert EVENT_KINDS == (
+            "hello", "job", "run_recorded", "progress", "shutdown"
+        )
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance, recovery = build_server(
+        port=0,
+        job_dir=tmp_path / "jobs",
+        cache_dir=tmp_path / "cache",
+        run_store=tmp_path / "runs",
+    )
+    assert recovery == {"requeued": [], "interrupted": []}
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.close()
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def client(server) -> ServiceClient:
+    return ServiceClient(server.url, timeout_s=60.0)
+
+
+class TestEventStream:
+    def test_job_lifecycle_streams_end_to_end(self, server, client):
+        """The acceptance path: queued -> running -> succeeded as SSE."""
+        states: "queue.Queue[str]" = queue.Queue()
+        ready = threading.Event()
+
+        def consume():
+            for kind, data in client.events(timeout_s=60.0):
+                ready.set()
+                if kind == "job":
+                    states.put(data["state"])
+                    if data["state"] in ("succeeded", "failed"):
+                        return
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        assert ready.wait(10.0)  # hello arrived: stream is subscribed
+
+        submitted = client.submit(job_payload(kind="simulate", frames=3))
+        final = client.wait(submitted["job_id"], timeout_s=120.0)
+        assert final["state"] == "succeeded"
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+
+        seen = []
+        while not states.empty():
+            seen.append(states.get_nowait())
+        assert seen == ["queued", "running", "succeeded"]
+
+    def test_kind_and_limit_filters(self, server, client):
+        events = []
+
+        def consume():
+            for kind, data in client.events(
+                kinds=["run_recorded"], limit=1, timeout_s=60.0
+            ):
+                if kind != "keepalive":
+                    events.append((kind, data))
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        submitted = client.submit(job_payload(kind="simulate", frames=3, seed=7))
+        assert client.wait(submitted["job_id"], timeout_s=120.0)[
+            "state"
+        ] == "succeeded"
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["hello", "run_recorded"]
+        assert events[1][1]["command"] == "service:simulate"
+        assert events[1][1]["run_id"]
+
+    def test_progress_events_ride_the_throttle(self, server, client):
+        collected = []
+
+        def consume():
+            for kind, data in client.events(
+                kinds=["progress", "job"], timeout_s=60.0
+            ):
+                collected.append((kind, data))
+                if kind == "job" and data.get("state") in (
+                    "succeeded", "failed"
+                ):
+                    return
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        submitted = client.submit(job_payload(kind="simulate", frames=4, seed=9))
+        client.wait(submitted["job_id"], timeout_s=120.0)
+        consumer.join(timeout=30.0)
+        progress = [data for kind, data in collected if kind == "progress"]
+        assert progress, "at least one throttled progress event expected"
+        assert progress[-1]["job_id"] == submitted["job_id"]
+        assert progress[-1]["tasks_total"] >= progress[-1]["tasks_done"] > 0
+
+    def test_bad_limit_is_a_400(self, server, client):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{server.url}/v1/events?limit=bogus")
+        assert info.value.code == 400
+
+    def test_server_close_ends_open_streams(self, tmp_path):
+        instance, _ = build_server(
+            port=0,
+            job_dir=tmp_path / "jobs2",
+            cache_dir=tmp_path / "cache2",
+            run_store=tmp_path / "runs2",
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        local = ServiceClient(instance.url, timeout_s=30.0)
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for kind, _ in local.events(timeout_s=30.0):
+                seen.append(kind)
+            done.set()
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        deadline = threading.Event()
+        deadline.wait(0.3)  # let the stream subscribe
+        instance.close()
+        thread.join(timeout=10.0)
+        assert done.wait(10.0), "stream did not unwind on server close"
+        assert seen[0] == "hello"
+        assert seen[-1] == "shutdown"
+
+    def test_in_process_handle_describes_the_stream(self, server):
+        response = server.app.handle("GET", "/v1/events")
+        assert response.status == 200
+        assert response.body["stream"] == "text/event-stream"
+        assert "job" in response.body["kinds"]
